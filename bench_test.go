@@ -1,0 +1,213 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation section, one per artifact:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports its headline numbers as custom metrics (the same
+// values recorded in EXPERIMENTS.md), so a regression in the reproduced
+// results is visible directly in benchmark output. The full-size kernel
+// suite is measured once and shared across benchmarks.
+package hetsim_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"hetsim"
+	"hetsim/internal/kernels"
+	"hetsim/internal/paper"
+)
+
+var (
+	benchOnce sync.Once
+	benchM    *paper.Measurements
+	benchErr  error
+)
+
+// measurements simulates the full paper suite once per benchmark run
+// (every kernel on all six core configurations, ~60M simulated cycles).
+func measurements(b *testing.B) *paper.Measurements {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchM, benchErr = paper.Measure(kernels.PaperSuite())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchM
+}
+
+// BenchmarkTable1 regenerates the benchmark-summary table.
+func BenchmarkTable1(b *testing.B) {
+	m := measurements(b)
+	b.ResetTimer()
+	var rows []paper.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = m.Table1()
+		paper.RenderTable1(io.Discard, rows)
+	}
+	for _, r := range rows {
+		if r.Name == "matmul" {
+			b.ReportMetric(float64(r.RISCOps)/1e6, "matmul-Mops")
+			b.ReportMetric(float64(r.Binary), "matmul-binary-B")
+		}
+		if r.Name == "hog" {
+			b.ReportMetric(float64(r.RISCOps)/1e6, "hog-Mops")
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the energy-efficiency landscape.
+func BenchmarkFigure3(b *testing.B) {
+	m := measurements(b)
+	b.ResetTimer()
+	var pts []paper.Fig3Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = m.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		paper.RenderFigure3(io.Discard, pts)
+	}
+	var bestPULP, bestMCU float64
+	for _, p := range pts {
+		if p.Kind == "pulp" && p.GOPSperW > bestPULP {
+			bestPULP = p.GOPSperW
+		}
+		if p.Kind == "mcu" && p.GOPSperW > bestMCU {
+			bestMCU = p.GOPSperW
+		}
+	}
+	b.ReportMetric(bestPULP, "peak-PULP-GOPS/W")
+	b.ReportMetric(bestMCU, "peak-MCU-GOPS/W")
+	b.ReportMetric(bestPULP/bestMCU, "efficiency-gap-x")
+}
+
+// BenchmarkFigure4Arch regenerates the architectural-speedup panel.
+func BenchmarkFigure4Arch(b *testing.B) {
+	m := measurements(b)
+	b.ResetTimer()
+	var rows []paper.Fig4Row
+	for i := 0; i < b.N; i++ {
+		rows = m.Figure4()
+		paper.RenderFigure4(io.Discard, rows)
+	}
+	for _, r := range rows {
+		switch r.Name {
+		case "matmul":
+			b.ReportMetric(r.ArchVsM4, "matmul-arch-x")
+		case "matmul (fixed)":
+			b.ReportMetric(r.ArchVsM4, "fixed-arch-x")
+		case "hog":
+			b.ReportMetric(r.ArchVsM4, "hog-arch-x")
+		}
+	}
+}
+
+// BenchmarkFigure4Parallel regenerates the parallel-speedup panel.
+func BenchmarkFigure4Parallel(b *testing.B) {
+	m := measurements(b)
+	b.ResetTimer()
+	var rows []paper.Fig4Row
+	for i := 0; i < b.N; i++ {
+		rows = m.Figure4()
+	}
+	var minPar4, maxPar4 = 4.0, 0.0
+	for _, r := range rows {
+		if r.Par4 < minPar4 {
+			minPar4 = r.Par4
+		}
+		if r.Par4 > maxPar4 {
+			maxPar4 = r.Par4
+		}
+	}
+	b.ReportMetric(minPar4, "min-par4-x")
+	b.ReportMetric(maxPar4, "max-par4-x")
+	b.ReportMetric(paper.OMPOverhead(rows)*100, "omp-overhead-%")
+}
+
+// BenchmarkFigure5a regenerates the 10 mW envelope sweep.
+func BenchmarkFigure5a(b *testing.B) {
+	m := measurements(b)
+	b.ResetTimer()
+	var rows []paper.Fig5aRow
+	for i := 0; i < b.N; i++ {
+		rows = m.Figure5a()
+		paper.RenderFigure5a(io.Discard, rows)
+	}
+	for _, r := range rows {
+		best := r.Entries[len(r.Entries)-1].Speedup
+		switch r.Name {
+		case "strassen":
+			b.ReportMetric(best, "strassen-max-x")
+		case "hog":
+			b.ReportMetric(best, "hog-max-x")
+		case "matmul (fixed)":
+			b.ReportMetric(best, "fixed-max-x")
+		}
+	}
+}
+
+// BenchmarkFigure5b regenerates the offload-amortization curves on matmul
+// (full offload pipeline over the QSPI link, 10 iteration counts x 5 host
+// frequencies, with and without double buffering).
+func BenchmarkFigure5b(b *testing.B) {
+	m := measurements(b)
+	k, err := hetsim.KernelByName("matmul")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var series []paper.Fig5bSeries
+	for i := 0; i < b.N; i++ {
+		series, err = paper.Figure5b(k, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		paper.RenderFigure5b(io.Discard, k.Name, series)
+	}
+	for _, s := range series {
+		last := s.EffDB[len(s.EffDB)-1]
+		switch s.MCUFreqHz {
+		case 26e6:
+			b.ReportMetric(last, "eff-26MHz-512it")
+		case 2e6:
+			b.ReportMetric(last, "eff-2MHz-512it")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the raw simulator speed (simulated
+// cycles per second) on the 4-core matmul — the cost of the methodology.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	k := hetsim.MatMulChar(64)
+	prog, err := k.Build(hetsim.PULPFull, hetsim.Accel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := k.Input(1)
+	sys, err := hetsim.NewSystem(hetsim.SystemConfig{
+		Host: hetsim.STM32L476, HostFreqHz: 16e6, Lanes: 4,
+		AccVdd: 0.8, AccFreqHz: 200e6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, rep, err := sys.Offload(hetsim.Job{
+			Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: 4, Args: k.Args(),
+		}, hetsim.OffloadOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += rep.ComputeCycles
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(cycles)/secs/1e6, "Msimcycles/s")
+	}
+}

@@ -1,0 +1,189 @@
+// hetasm is the binary-tooling companion: it assembles the textual
+// assembly dialect into loadable PBIN images, disassembles images, and
+// dumps the generated code of any benchmark kernel for any target.
+//
+// Usage:
+//
+//	hetasm -o prog.pbin prog.s             assemble
+//	hetasm -d prog.pbin                    disassemble an image
+//	hetasm -kernel "svm (RBF)" -target cortex-m4 -mode host
+//	                                       dump a kernel's generated code
+//	hetasm -kernel matmul -run -trace 200  run a kernel standalone on the
+//	                                       cluster, tracing retirements
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"hetsim/internal/asm"
+	"hetsim/internal/cluster"
+	"hetsim/internal/devrt"
+	"hetsim/internal/hw"
+	"hetsim/internal/isa"
+	"hetsim/internal/kernels"
+	"hetsim/internal/loader"
+	"hetsim/internal/trace"
+)
+
+func main() {
+	out := flag.String("o", "", "assemble: output image path")
+	dis := flag.Bool("d", false, "disassemble the input image")
+	kernel := flag.String("kernel", "", "dump a Table I kernel instead of reading files")
+	target := flag.String("target", "pulp-or10n", "target for -kernel (pulp-or10n, pulp-plain, cortex-m3, cortex-m4)")
+	mode := flag.String("mode", "accel", "runtime mode for -kernel (accel, host)")
+	src := flag.Bool("src", false, "emit re-assemblable source instead of a listing")
+	runIt := flag.Bool("run", false, "with -kernel: execute it standalone on the cluster")
+	traceMax := flag.Uint64("trace", 0, "with -run: dump the first N retired instructions")
+	threads := flag.Int("threads", 4, "with -run: OpenMP team size")
+	flag.Parse()
+
+	switch {
+	case *kernel != "":
+		k, err := kernels.ByName(*kernel)
+		if err != nil {
+			fatal(err)
+		}
+		tgt, err := isa.TargetByName(*target)
+		if err != nil {
+			fatal(err)
+		}
+		m := devrt.Accel
+		if *mode == "host" {
+			m = devrt.Host
+		}
+		prog, err := k.Build(tgt, m)
+		if err != nil {
+			fatal(err)
+		}
+		if *runIt {
+			runKernel(k, tgt, m, *threads, *traceMax)
+			return
+		}
+		fmt.Printf("; %s for %s (%s mode): %d instructions, %d data bytes, image %d bytes\n",
+			k.Name, tgt.Name, m, len(prog.Text), len(prog.Data), prog.Size())
+		if *src {
+			fmt.Print(prog.AsmSource())
+		} else {
+			fmt.Print(prog.Disassemble())
+		}
+
+	case *dis:
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("usage: hetasm -d image.pbin"))
+		}
+		raw, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := asm.ParseImage(raw)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("; entry %#x, text %d instructions, data %d bytes (LMA %#x -> VMA %#x), bss %d\n",
+			prog.Entry, len(prog.Text), len(prog.Data), prog.DataLMA, prog.DataVMA, prog.BSSLen)
+		if *src {
+			fmt.Print(prog.AsmSource())
+		} else {
+			fmt.Print(prog.Disassemble())
+		}
+
+	case *out != "":
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("usage: hetasm -o out.pbin in.s"))
+		}
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := asm.Assemble(flag.Arg(0), string(src), asm.Layout{})
+		if err != nil {
+			fatal(err)
+		}
+		img, err := prog.Image()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, img, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d instructions, %d data bytes -> %s (%d bytes)\n",
+			flag.Arg(0), len(prog.Text), len(prog.Data), *out, len(img))
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runKernel executes the kernel on a standalone cluster, optionally
+// tracing, verifies the output against the golden model and prints cycle
+// statistics.
+func runKernel(k *kernels.Instance, tgt isa.Target, m devrt.Mode, threads int, traceMax uint64) {
+	prog, err := k.Build(tgt, m)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg cluster.Config
+	if m == devrt.Accel {
+		cfg = cluster.PULPConfig()
+		cfg.Target = tgt
+	} else {
+		cfg = cluster.MCUConfig(tgt)
+		threads = 1
+	}
+	in := k.Input(1)
+	job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1,
+		Threads: uint32(threads), Args: k.Args()}
+	l, err := loader.Plan(job, cfg.TCDMSize, cfg.L2Size)
+	if err != nil {
+		fatal(err)
+	}
+	cl := cluster.New(cfg)
+	if err := cl.LoadProgram(prog, m == devrt.Host); err != nil {
+		fatal(err)
+	}
+	if err := cl.L2.WriteBytes(hw.DescBase, loader.Descriptor(job, l)); err != nil {
+		fatal(err)
+	}
+	if m == devrt.Host {
+		err = cl.TCDM.WriteBytes(l.InVMA, in)
+	} else {
+		err = cl.L2.WriteBytes(l.InLMA, in)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	var tr *trace.Tracer
+	if traceMax > 0 {
+		tr = trace.New(os.Stdout, traceMax)
+		cl.AttachTracer(tr)
+	}
+	cl.Start(prog.Entry)
+	res, err := cl.Run(4_000_000_000)
+	if err != nil {
+		fatal(err)
+	}
+	var out []byte
+	if m == devrt.Host {
+		out = cl.TCDM.ReadBytes(l.OutVMA, k.OutLen())
+	} else {
+		out = cl.L2.ReadBytes(l.OutLMA, k.OutLen())
+	}
+	verdict := "MATCHES golden model"
+	if !bytes.Equal(out, k.Golden(in)) {
+		verdict = "MISMATCH vs golden model"
+	}
+	s := cl.CollectStats()
+	fmt.Printf("; %s on %s/%s, %d thread(s): %d cycles, %d instructions retired, %s\n",
+		k.Name, tgt.Name, m, threads, res.Cycles, s.Retired(), verdict)
+	fmt.Printf("; tcdm conflicts %.2f%%, icache misses %d, dma busy %d cycles\n",
+		100*float64(s.TCDMConf)/float64(s.TCDMAccess+s.TCDMConf+1), s.ICMisses, s.DMABusy)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hetasm:", err)
+	os.Exit(1)
+}

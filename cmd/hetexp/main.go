@@ -1,0 +1,137 @@
+// hetexp regenerates the tables and figures of the paper's evaluation.
+//
+// Usage:
+//
+//	hetexp [-exp table1|fig3|fig4|fig5a|fig5b|all] [-small] [-kernel name]
+//
+// -small runs reduced-size kernels (seconds instead of minutes); the
+// recorded EXPERIMENTS.md numbers come from the full-size run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetsim/internal/kernels"
+	"hetsim/internal/paper"
+	"hetsim/internal/sensor"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5a, fig5b, ablate or all")
+	small := flag.Bool("small", false, "use reduced kernel sizes (fast smoke run)")
+	kernel := flag.String("kernel", "matmul", "kernel for fig5b")
+	flag.Parse()
+
+	suite := kernels.PaperSuite()
+	if *small {
+		suite = kernels.SmallSuite()
+	}
+
+	fmt.Fprintln(os.Stderr, "measuring kernel suite (each kernel on 6 configurations)...")
+	m, err := paper.Measure(suite)
+	if err != nil {
+		fatal(err)
+	}
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	out := os.Stdout
+
+	if run("table1") {
+		fmt.Fprintln(out, "== Table I: benchmark summary ==")
+		paper.RenderTable1(out, m.Table1())
+		fmt.Fprintln(out)
+	}
+	if run("fig3") {
+		fmt.Fprintln(out, "== Figure 3: energy efficiency on matmul ==")
+		pts, err := m.Figure3()
+		if err != nil {
+			fatal(err)
+		}
+		paper.RenderFigure3(out, pts)
+		fmt.Fprintln(out)
+	}
+	if run("fig4") {
+		fmt.Fprintln(out, "== Figure 4: architectural and parallel speedup ==")
+		paper.RenderFigure4(out, m.Figure4())
+		fmt.Fprintln(out)
+	}
+	if run("fig5a") {
+		fmt.Fprintln(out, "== Figure 5a: speedup within the 10 mW envelope ==")
+		paper.RenderFigure5a(out, m.Figure5a())
+		fmt.Fprintln(out)
+	}
+	if run("ablate") {
+		fmt.Fprintln(out, "== Ablation: per-extension contribution (beyond paper) ==")
+		ext, err := paper.ExtensionAblation(suite)
+		if err != nil {
+			fatal(err)
+		}
+		paper.RenderExtensionAblation(out, ext)
+		fmt.Fprintln(out)
+
+		mm := suite[0] // matmul
+		fmt.Fprintln(out, "== Ablation: TCDM bank count (beyond paper) ==")
+		banks, err := paper.BankSweep(mm)
+		if err != nil {
+			fatal(err)
+		}
+		paper.RenderBankSweep(out, mm.Name, banks)
+		fmt.Fprintln(out)
+
+		fmt.Fprintln(out, "== Ablation: decoupled link clock (Section V) ==")
+		la, err := paper.LinkAblation(mm, m)
+		if err != nil {
+			fatal(err)
+		}
+		paper.RenderLinkAblation(out, mm.Name, la)
+		fmt.Fprintln(out)
+
+		fmt.Fprintln(out, "== Ablation: 8-core cluster scaling (beyond paper) ==")
+		for _, k := range []int{0, 7} { // matmul, cnn
+			sc, err := paper.ScalingStudy(suite[k])
+			if err != nil {
+				fatal(err)
+			}
+			paper.RenderScalingStudy(out, suite[k].Name, sc)
+		}
+		fmt.Fprintln(out)
+
+		hogK := suite[len(suite)-1] // hog
+		fmt.Fprintln(out, "== Ablation: sensor data path (Section V) ==")
+		cam := sensor.QVGACamera()
+		if *small {
+			cam.SampleBytes = 32 * 32
+		}
+		sa, err := paper.SensorAblation(hogK, m, cam, 8e6)
+		if err != nil {
+			fatal(err)
+		}
+		paper.RenderSensorAblation(out, hogK.Name, sa)
+		fmt.Fprintln(out)
+	}
+	if run("fig5b") {
+		var k *kernels.Instance
+		for _, c := range suite {
+			if c.Name == *kernel {
+				k = c
+			}
+		}
+		if k == nil {
+			fatal(fmt.Errorf("kernel %q not in suite", *kernel))
+		}
+		fmt.Fprintln(out, "== Figure 5b: offload-cost amortization ==")
+		series, err := paper.Figure5b(k, m)
+		if err != nil {
+			fatal(err)
+		}
+		paper.RenderFigure5b(out, k.Name, series)
+		fmt.Fprintln(out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hetexp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Power-envelope explorer: the Fig. 5a design-space study as a tool. For a
+// chosen kernel and total power budget it sweeps the MCU frequency, gives
+// the freed budget to the accelerator, and prints the resulting operating
+// points and speedups over the all-MCU baseline — the methodology a system
+// designer would use to place the host/accelerator split.
+//
+//	go run ./examples/envelope [-kernel "strassen"] [-budget-mw 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hetsim"
+	"hetsim/internal/cluster"
+	"hetsim/internal/devrt"
+	"hetsim/internal/loader"
+	"hetsim/internal/power"
+)
+
+func main() {
+	name := flag.String("kernel", "strassen", "Table I kernel name")
+	budgetMW := flag.Float64("budget-mw", 10, "total power envelope in mW")
+	flag.Parse()
+
+	k, err := hetsim.KernelByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := k.Input(1)
+
+	// Measure the two compute profiles once.
+	hostBin, err := k.Build(hetsim.CortexM4, hetsim.Host)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hostRes, err := cluster.RunJob(cluster.MCUConfig(hetsim.CortexM4), devrt.Host,
+		loader.Job{Prog: hostBin, In: in, OutLen: k.OutLen(), Iters: 1, Threads: 1, Args: k.Args()}, 4e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	accBin, err := k.Build(hetsim.PULPFull, hetsim.Accel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	accRes, err := cluster.RunJob(cluster.PULPConfig(), devrt.Accel,
+		loader.Job{Prog: accBin, In: in, OutLen: k.OutLen(), Iters: 1, Threads: 4, Args: k.Args()}, 4e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	act := power.ActivityOf(accRes.Stats)
+	budget := *budgetMW / 1e3
+	baseSec := float64(hostRes.Cycles) / 32e6
+
+	fmt.Printf("kernel %s (%s): MCU %d cycles, PULPx4 %d cycles\n",
+		k.Name, k.ParamDesc, hostRes.Cycles, accRes.Cycles)
+	fmt.Printf("envelope %.1f mW, baseline = STM32-L476 @ 32 MHz (%.2f ms)\n\n", *budgetMW, baseSec*1e3)
+	fmt.Printf("%8s %10s %10s %10s %10s %9s\n",
+		"MCU MHz", "MCU mW", "acc mW", "acc VDD", "acc MHz", "speedup")
+	for _, fMHz := range []float64{32, 26, 16, 8, 4, 2, 1} {
+		pMCU := hetsim.STM32L476.RunPowerW(fMHz * 1e6)
+		rem := budget - pMCU
+		if rem <= 0 {
+			fmt.Printf("%8.0f %10.2f %10s %10s %10s %8.1fx\n",
+				fMHz, pMCU*1e3, "-", "-", "-", fMHz*1e6/32e6)
+			continue
+		}
+		v, f, ok := hetsim.PULPBestOp(rem, act)
+		if !ok {
+			fmt.Printf("%8.0f %10.2f (accelerator infeasible)\n", fMHz, pMCU*1e3)
+			continue
+		}
+		accSec := float64(accRes.Cycles) / f
+		fmt.Printf("%8.0f %10.2f %10.2f %10.2f %10.1f %8.1fx\n",
+			fMHz, pMCU*1e3, power.PULPPowerW(v, f, act)*1e3, v, f/1e6, baseSec/accSec)
+	}
+}

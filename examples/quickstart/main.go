@@ -1,0 +1,78 @@
+// Quickstart: offload one matrix multiplication from the MCU to the PULP
+// accelerator through the OpenMP-style API, verify the result against the
+// golden model, and compare time and energy with running it natively.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"hetsim"
+)
+
+func main() {
+	// A heterogeneous system: STM32-L476 host at 16 MHz, QSPI link, PULP
+	// accelerator at the 0.8 V / 200 MHz operating point.
+	sys, err := hetsim.NewSystem(hetsim.SystemConfig{
+		Host:       hetsim.STM32L476,
+		HostFreqHz: 16e6,
+		Lanes:      4,
+		AccVdd:     0.8,
+		AccFreqHz:  200e6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The benchmark: 64x64 char matrix multiplication (Table I row 1).
+	k := hetsim.MatMulChar(64)
+	in := k.Input(42)
+
+	// Build the same kernel for both sides of the system.
+	accBin, err := k.Build(hetsim.PULPFull, hetsim.Accel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hostBin, err := k.Build(hetsim.CortexM4, hetsim.Host)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Native baseline on the MCU.
+	base, err := sys.Baseline(hetsim.Job{
+		Prog: hostBin, In: in, OutLen: k.OutLen(), Iters: 1, Args: k.Args(),
+	}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Offload: `#pragma omp target map(to: in) map(from: out) num_threads(4)`.
+	dev := hetsim.NewDevice(sys)
+	res, err := dev.Target(accBin,
+		hetsim.MapTo(in),
+		hetsim.MapFrom(k.OutLen()),
+		hetsim.NumThreads(4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Both executions are real; both must match the golden model exactly.
+	want := k.Golden(in)
+	if !bytes.Equal(res.Out, want) || !bytes.Equal(base.Out, want) {
+		log.Fatal("output mismatch against the golden model")
+	}
+
+	r := res.Report
+	fmt.Printf("kernel          %s (%s)\n", k.Name, k.ParamDesc)
+	fmt.Printf("MCU baseline    %.2f ms   %.1f uJ\n", base.Seconds*1e3, base.EnergyJ*1e6)
+	fmt.Printf("offloaded       %.2f ms   %.1f uJ  (compute %.2f ms on 4 cores)\n",
+		r.TotalTime*1e3, r.Energy.TotalJ()*1e6, r.ComputeTime*1e3)
+	fmt.Printf("speedup         %.1fx compute, %.1fx end-to-end\n",
+		base.Seconds/r.ComputeTime, base.Seconds/r.TotalTime)
+	fmt.Printf("energy gain     %.1fx\n", base.EnergyJ/r.Energy.TotalJ())
+	fmt.Printf("verified        output identical to the golden model\n")
+}

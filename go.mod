@@ -1,0 +1,3 @@
+module hetsim
+
+go 1.22

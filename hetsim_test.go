@@ -1,0 +1,165 @@
+package hetsim_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hetsim"
+)
+
+// ExampleDevice_Target is the canonical offload: build, map, run, verify.
+func ExampleDevice_Target() {
+	sys, err := hetsim.NewSystem(hetsim.SystemConfig{
+		Host: hetsim.STM32L476, HostFreqHz: 16e6, Lanes: 4,
+		AccVdd: 0.8, AccFreqHz: 200e6,
+	})
+	if err != nil {
+		panic(err)
+	}
+	dev := hetsim.NewDevice(sys)
+
+	k := hetsim.MatMulChar(16)
+	prog, err := k.Build(hetsim.PULPFull, hetsim.Accel)
+	if err != nil {
+		panic(err)
+	}
+	in := k.Input(1)
+	res, err := dev.Target(prog,
+		hetsim.MapTo(in),
+		hetsim.MapFrom(k.OutLen()),
+		hetsim.NumThreads(4),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("verified:", bytes.Equal(res.Out, k.Golden(in)))
+	// Output: verified: true
+}
+
+// ExamplePULPBestOp shows the Fig. 5a envelope solver.
+func ExamplePULPBestOp() {
+	// Budget left by the STM32-L476 at 8 MHz inside a 10 mW envelope.
+	budget := 10e-3 - hetsim.STM32L476.RunPowerW(8e6)
+	vdd, f, ok := hetsim.PULPBestOp(budget, hetsim.Activity{CoreRun: 4, TCDM: 1.4})
+	fmt.Printf("feasible=%v vdd=%.2fV f=%.0fMHz\n", ok, vdd, f/1e6)
+	// Output: feasible=true vdd=0.75V f=169MHz
+}
+
+func TestFacadeSuiteCoversTableOne(t *testing.T) {
+	suite := hetsim.PaperSuite()
+	if len(suite) != 10 {
+		t.Fatalf("Table I has 10 kernels, facade returns %d", len(suite))
+	}
+	names := map[string]bool{}
+	for _, k := range suite {
+		names[k.Name] = true
+	}
+	for _, want := range []string{
+		"matmul", "matmul (short)", "matmul (fixed)", "strassen",
+		"svm (linear)", "svm (poly)", "svm (RBF)", "cnn", "cnn (approx)", "hog",
+	} {
+		if !names[want] {
+			t.Errorf("missing kernel %q", want)
+		}
+	}
+	if _, err := hetsim.KernelByName("hog"); err != nil {
+		t.Error(err)
+	}
+	if _, err := hetsim.KernelByName("doom"); err == nil {
+		t.Error("unknown kernel must fail")
+	}
+}
+
+func TestFacadeBaselineAndOffloadAgree(t *testing.T) {
+	sys, err := hetsim.NewSystem(hetsim.SystemConfig{
+		Host: hetsim.STM32L476, HostFreqHz: 16e6, Lanes: 4,
+		AccVdd: 0.7, AccFreqHz: 120e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := hetsim.SVM(hetsim.SVMPoly, 16, 8, 6)
+	in := k.Input(5)
+	want := k.Golden(in)
+
+	hostProg, err := k.Build(hetsim.CortexM3, hetsim.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sys.Baseline(hetsim.Job{Prog: hostProg, In: in, OutLen: k.OutLen(), Iters: 1, Args: k.Args()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(base.Out, want) {
+		t.Fatal("baseline mismatch")
+	}
+
+	accProg, err := k.Build(hetsim.PULPFull, hetsim.Accel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rep, err := sys.Offload(hetsim.Job{Prog: accProg, In: in, OutLen: k.OutLen(), Iters: 1, Threads: 4, Args: k.Args()},
+		hetsim.OffloadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatal("offload mismatch")
+	}
+	if rep.Energy.TotalJ() <= 0 || rep.ComputeCycles == 0 {
+		t.Fatal("degenerate report")
+	}
+}
+
+func TestFacadeSensorClause(t *testing.T) {
+	sys, err := hetsim.NewSystem(hetsim.SystemConfig{
+		Host: hetsim.STM32L476, HostFreqHz: 16e6, Lanes: 4,
+		AccVdd: 0.7, AccFreqHz: 120e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := hetsim.NewDevice(sys)
+	k := hetsim.HOG(32, 32)
+	prog, err := k.Build(hetsim.PULPFull, hetsim.Accel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := k.Input(2)
+	cam := hetsim.QVGACamera()
+	cam.SampleBytes = len(in)
+
+	run := func(p hetsim.SensorPath) *hetsim.OffloadReport {
+		res, err := dev.Target(prog,
+			hetsim.MapTo(in), hetsim.MapFrom(k.OutLen()), hetsim.NumThreads(4),
+			hetsim.Iterations(16), hetsim.DoubleBuffer(),
+			hetsim.FromSensor(cam, p),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.Out, k.Golden(in)) {
+			t.Fatal("sensor-fed output mismatch")
+		}
+		return res.Report
+	}
+	host := run(hetsim.SensorViaHost)
+	direct := run(hetsim.SensorDirect)
+	if direct.TotalTime > host.TotalTime {
+		t.Errorf("direct sensor path should not be slower: %v vs %v",
+			direct.TotalTime, host.TotalTime)
+	}
+	if host.Energy.SensorJ <= 0 || direct.Energy.SensorJ <= 0 {
+		t.Error("sensor energy not accounted")
+	}
+}
+
+func TestFacadeMCUTable(t *testing.T) {
+	if len(hetsim.AllMCUs()) != 7 {
+		t.Fatal("MCU table size")
+	}
+	if hetsim.PULPFMaxAt(0.6) != 50e6 {
+		t.Fatal("fmax table")
+	}
+}

@@ -1,0 +1,477 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hetsim/internal/isa"
+)
+
+// Assemble translates assembly text into a linked Program. The syntax is a
+// line-oriented subset matching the disassembler's output:
+//
+//	label:                     ; define a code label
+//	    add  r3, r4, r5        ; FmtR
+//	    addi r3, r4, -12       ; FmtI
+//	    lw   r3, 8(r4)         ; loads
+//	    sw   r5, 0(r4)         ; stores: src, off(base)
+//	    movhi r3, 0x1000
+//	    bf   loop              ; branches take labels
+//	    lp.setup 0, r5, end    ; HW loop: index, count reg, end label
+//	    li   r3, 0x12345678    ; pseudo: load 32-bit constant
+//	    la   r3, table         ; pseudo: load symbol address
+//	    mov  r3, r4            ; pseudo
+//	    ret                    ; pseudo: jr lr
+//	.word  name v0 v1 ...      ; data directives
+//	.half  name v0 v1 ...
+//	.byte  name v0 v1 ...
+//	.space name n
+//
+// Comments start with ';' or '#'. Register operands accept both rN and the
+// ABI names (sp, lr, a0..a5, rv, t0.., s0..).
+func Assemble(name, src string, l Layout) (*Program, error) {
+	b := NewBuilder(name)
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if err := asmLine(b, line); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", lineno+1, err)
+		}
+	}
+	return b.Build(l)
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+var abiRegs = map[string]isa.Reg{
+	"sp": isa.SP, "fp": isa.FP, "lr": isa.LR, "rv": isa.RV,
+	"a0": isa.A0, "a1": isa.A1, "a2": isa.A2, "a3": isa.A3, "a4": isa.A4, "a5": isa.A5,
+	"t0": isa.T0, "t1": isa.T1, "t2": isa.T2, "t3": isa.T3, "t4": isa.T4, "t5": isa.T5, "t6": isa.T6,
+	"t7": isa.T7, "t8": isa.T8, "t9": isa.T9,
+	"s0": isa.S0, "s1": isa.S1, "s2": isa.S2, "s3": isa.S3, "s4": isa.S4,
+	"s5": isa.S5, "s6": isa.S6, "s7": isa.S7, "s8": isa.S8, "s9": isa.S9,
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := abiRegs[s]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(uint32(v)), nil
+}
+
+// parseMem parses "off(rN)".
+func parseMem(s string) (isa.Reg, int32, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	off := int32(0)
+	if open > 0 {
+		v, err := parseImm(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	base, err := parseReg(s[open+1 : len(s)-1])
+	return base, off, err
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func asmLine(b *Builder, line string) error {
+	// Labels (possibly followed by an instruction on the same line).
+	for {
+		i := strings.IndexByte(line, ':')
+		if i < 0 {
+			break
+		}
+		lbl := strings.TrimSpace(line[:i])
+		if lbl == "" || strings.ContainsAny(lbl, " \t(") {
+			break // ':' belongs to something else
+		}
+		b.Label(lbl)
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return b.Err()
+		}
+	}
+
+	if strings.HasPrefix(line, ".") {
+		return asmDirective(b, line)
+	}
+
+	mn := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mn, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mn = strings.ToLower(mn)
+	ops := splitOperands(rest)
+
+	// Pseudo-instructions first.
+	switch mn {
+	case "li", "la", "mov":
+		if len(ops) != 2 {
+			return fmt.Errorf("%s needs 2 operands", mn)
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		switch mn {
+		case "mov":
+			ra, err := parseReg(ops[1])
+			if err != nil {
+				return err
+			}
+			b.MOV(rd, ra)
+		case "li":
+			imm, err := parseImm(ops[1])
+			if err != nil {
+				return err
+			}
+			b.LI(rd, imm)
+		case "la":
+			b.LA(rd, ops[1])
+		}
+		return b.Err()
+	case "ret":
+		b.Ret()
+		return b.Err()
+	case "call":
+		if len(ops) != 1 {
+			return fmt.Errorf("call needs a label")
+		}
+		b.JAL(ops[0])
+		return b.Err()
+	}
+
+	op, ok := isa.OpByName(mn)
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	return asmOp(b, op, ops)
+}
+
+func asmOp(b *Builder, op isa.Op, ops []string) error {
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%v needs %d operands, got %d", op, n, len(ops))
+		}
+		return nil
+	}
+	switch op.Format() {
+	case isa.FmtN:
+		if err := need(0); err != nil {
+			return err
+		}
+		b.I(isa.Inst{Op: op})
+
+	case isa.FmtR:
+		switch op {
+		case isa.SEXTB, isa.SEXTH, isa.MACRDL, isa.MACRDH:
+			if err := need(2); err != nil {
+				return err
+			}
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return err
+			}
+			ra, err := parseReg(ops[1])
+			if err != nil {
+				return err
+			}
+			b.I(isa.Inst{Op: op, Rd: rd, Ra: ra})
+		case isa.MACS, isa.MACU:
+			if err := need(2); err != nil {
+				return err
+			}
+			ra, err := parseReg(ops[0])
+			if err != nil {
+				return err
+			}
+			rb, err := parseReg(ops[1])
+			if err != nil {
+				return err
+			}
+			b.I(isa.Inst{Op: op, Ra: ra, Rb: rb})
+		default:
+			if op.IsCompare() {
+				if err := need(2); err != nil {
+					return err
+				}
+				ra, err := parseReg(ops[0])
+				if err != nil {
+					return err
+				}
+				rb, err := parseReg(ops[1])
+				if err != nil {
+					return err
+				}
+				b.SF(op, ra, rb)
+				return b.Err()
+			}
+			if err := need(3); err != nil {
+				return err
+			}
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return err
+			}
+			ra, err := parseReg(ops[1])
+			if err != nil {
+				return err
+			}
+			rb, err := parseReg(ops[2])
+			if err != nil {
+				return err
+			}
+			b.I(isa.Inst{Op: op, Rd: rd, Ra: ra, Rb: rb})
+		}
+
+	case isa.FmtI:
+		switch {
+		case op.IsLoad():
+			if err := need(2); err != nil {
+				return err
+			}
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return err
+			}
+			base, off, err := parseMem(ops[1])
+			if err != nil {
+				return err
+			}
+			b.Load(op, rd, base, off)
+		case op == isa.TRAP:
+			if err := need(1); err != nil {
+				return err
+			}
+			imm, err := parseImm(ops[0])
+			if err != nil {
+				return err
+			}
+			b.TRAP(imm)
+		case op == isa.MFSPR:
+			if err := need(2); err != nil {
+				return err
+			}
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return err
+			}
+			imm, err := parseImm(ops[1])
+			if err != nil {
+				return err
+			}
+			b.MFSPR(rd, imm)
+		case op.IsCompare():
+			if err := need(2); err != nil {
+				return err
+			}
+			ra, err := parseReg(ops[0])
+			if err != nil {
+				return err
+			}
+			imm, err := parseImm(ops[1])
+			if err != nil {
+				return err
+			}
+			b.SFI(op, ra, imm)
+		default:
+			if err := need(3); err != nil {
+				return err
+			}
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return err
+			}
+			ra, err := parseReg(ops[1])
+			if err != nil {
+				return err
+			}
+			imm, err := parseImm(ops[2])
+			if err != nil {
+				return err
+			}
+			b.I(isa.Inst{Op: op, Rd: rd, Ra: ra, Imm: imm})
+		}
+
+	case isa.FmtIH:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(ops[1])
+		if err != nil {
+			return err
+		}
+		b.I(isa.Inst{Op: op, Rd: rd, Imm: imm})
+
+	case isa.FmtS:
+		if err := need(2); err != nil {
+			return err
+		}
+		src, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Store(op, base, src, off)
+
+	case isa.FmtB:
+		if err := need(1); err != nil {
+			return err
+		}
+		switch op {
+		case isa.J:
+			b.J(ops[0])
+		case isa.JAL:
+			b.JAL(ops[0])
+		case isa.BF:
+			b.BF(ops[0])
+		case isa.BNF:
+			b.BNF(ops[0])
+		}
+
+	case isa.FmtJR:
+		if op == isa.JALR {
+			if err := need(2); err != nil {
+				return err
+			}
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return err
+			}
+			ra, err := parseReg(ops[1])
+			if err != nil {
+				return err
+			}
+			b.JALR(rd, ra)
+		} else {
+			if err := need(1); err != nil {
+				return err
+			}
+			ra, err := parseReg(ops[0])
+			if err != nil {
+				return err
+			}
+			b.JR(ra)
+		}
+
+	case isa.FmtLP:
+		if err := need(3); err != nil {
+			return err
+		}
+		idx, err := parseImm(ops[0])
+		if err != nil {
+			return err
+		}
+		cnt, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.LPSetup(int(idx), cnt, ops[2])
+	}
+	return b.Err()
+}
+
+func asmDirective(b *Builder, line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return fmt.Errorf("directive %q needs a symbol name", fields[0])
+	}
+	dir, name := fields[0], fields[1]
+	vals := fields[2:]
+	switch dir {
+	case ".word":
+		out := make([]int32, len(vals))
+		for i, v := range vals {
+			x, err := parseImm(v)
+			if err != nil {
+				return err
+			}
+			out[i] = x
+		}
+		b.Words(name, out)
+	case ".half":
+		out := make([]int16, len(vals))
+		for i, v := range vals {
+			x, err := parseImm(v)
+			if err != nil {
+				return err
+			}
+			out[i] = int16(x)
+		}
+		b.Halves(name, out)
+	case ".byte":
+		out := make([]int8, len(vals))
+		for i, v := range vals {
+			x, err := parseImm(v)
+			if err != nil {
+				return err
+			}
+			out[i] = int8(x)
+		}
+		b.Bytes8(name, out)
+	case ".space":
+		if len(vals) != 1 {
+			return fmt.Errorf(".space needs a size")
+		}
+		n, err := parseImm(vals[0])
+		if err != nil {
+			return err
+		}
+		if n < 0 {
+			return fmt.Errorf(".space size must be non-negative")
+		}
+		b.Space(name, uint32(n), 4)
+	default:
+		return fmt.Errorf("unknown directive %q", dir)
+	}
+	return b.Err()
+}

@@ -1,0 +1,516 @@
+// Package asm provides the code-generation layer of the reproduction: a
+// programmatic instruction builder with labels and relocations (used by the
+// kernel generators in internal/kernels and by the device runtime emitter),
+// a binary program image format (the byte stream that is offloaded over the
+// SPI link), and a small text assembler/disassembler for tooling and tests.
+package asm
+
+import (
+	"fmt"
+
+	"hetsim/internal/hw"
+	"hetsim/internal/isa"
+)
+
+type relKind uint8
+
+const (
+	relNone   relKind = iota
+	relBranch         // imm24 = sym - (pc+1), word offset
+	relLP             // imm14 = sym - (pc+1), hardware-loop body length
+	relHi             // imm16 = sym >> 16
+	relLo             // imm16 = sym & 0xffff
+)
+
+type pending struct {
+	inst isa.Inst
+	kind relKind
+	sym  string
+}
+
+type dataSym struct {
+	name  string
+	align uint32
+	init  []byte // nil for bss
+	size  uint32
+}
+
+// Builder assembles a program in two passes: Emit* calls record
+// instructions and relocations; Build resolves symbols and produces an
+// executable Program.
+type Builder struct {
+	name  string
+	insts []pending
+	// label -> instruction index
+	labels map[string]int
+	data   []dataSym
+	seen   map[string]bool
+	uniq   int
+	err    error
+}
+
+// NewBuilder returns an empty Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int), seen: make(map[string]bool)}
+}
+
+// Err returns the first error recorded during emission, if any. Emission
+// errors (duplicate labels, bad operands) are sticky and also returned by
+// Build, so call sites can chain emissions without per-call checks.
+func (b *Builder) Err() error { return b.err }
+
+func (b *Builder) fail(format string, args ...interface{}) {
+	if b.err == nil {
+		b.err = fmt.Errorf("asm[%s]: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// PC returns the index of the next instruction to be emitted.
+func (b *Builder) PC() int { return len(b.insts) }
+
+// Label defines a code label at the current position.
+func (b *Builder) Label(name string) {
+	if b.seen[name] {
+		b.fail("duplicate symbol %q", name)
+		return
+	}
+	b.seen[name] = true
+	b.labels[name] = len(b.insts)
+}
+
+// Uniq returns a builder-unique label name for structured-control helpers
+// (loops, clamps, parallel regions).
+func (b *Builder) Uniq(prefix string) string {
+	b.uniq++
+	return fmt.Sprintf(".%s_%d", prefix, b.uniq)
+}
+
+func (b *Builder) emit(in isa.Inst) {
+	b.insts = append(b.insts, pending{inst: in})
+}
+
+func (b *Builder) emitRel(in isa.Inst, kind relKind, sym string) {
+	b.insts = append(b.insts, pending{inst: in, kind: kind, sym: sym})
+}
+
+// --- Data section -----------------------------------------------------
+
+// Data places initialized bytes in the data section under a symbol.
+func (b *Builder) Data(name string, content []byte, align uint32) {
+	if b.seen[name] {
+		b.fail("duplicate symbol %q", name)
+		return
+	}
+	if align == 0 {
+		align = 4
+	}
+	b.seen[name] = true
+	cp := make([]byte, len(content))
+	copy(cp, content)
+	b.data = append(b.data, dataSym{name: name, align: align, init: cp, size: uint32(len(cp))})
+}
+
+// Words places initialized 32-bit little-endian words in the data section.
+func (b *Builder) Words(name string, words []int32) {
+	buf := make([]byte, 4*len(words))
+	for i, w := range words {
+		u := uint32(w)
+		buf[4*i], buf[4*i+1], buf[4*i+2], buf[4*i+3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
+	}
+	b.Data(name, buf, 4)
+}
+
+// Halves places initialized 16-bit little-endian values in the data section.
+func (b *Builder) Halves(name string, vals []int16) {
+	buf := make([]byte, 2*len(vals))
+	for i, v := range vals {
+		u := uint16(v)
+		buf[2*i], buf[2*i+1] = byte(u), byte(u>>8)
+	}
+	b.Data(name, buf, 4)
+}
+
+// Bytes8 places initialized signed bytes in the data section.
+func (b *Builder) Bytes8(name string, vals []int8) {
+	buf := make([]byte, len(vals))
+	for i, v := range vals {
+		buf[i] = byte(v)
+	}
+	b.Data(name, buf, 4)
+}
+
+// Space reserves n zero/scratch bytes (BSS). The bytes are not part of the
+// serialized image; the runtime provides them in TCDM but does not zero
+// them, so generated code must not rely on initial contents.
+func (b *Builder) Space(name string, n uint32, align uint32) {
+	if b.seen[name] {
+		b.fail("duplicate symbol %q", name)
+		return
+	}
+	if align == 0 {
+		align = 4
+	}
+	b.seen[name] = true
+	b.data = append(b.data, dataSym{name: name, align: align, size: n})
+}
+
+// --- Raw emission ------------------------------------------------------
+
+// I emits a raw instruction without relocation.
+func (b *Builder) I(in isa.Inst) { b.emit(in) }
+
+// --- ALU wrappers -------------------------------------------------------
+
+func (b *Builder) r3(op isa.Op, rd, ra, rb isa.Reg) { b.emit(isa.Inst{Op: op, Rd: rd, Ra: ra, Rb: rb}) }
+func (b *Builder) ri(op isa.Op, rd, ra isa.Reg, imm int32) {
+	b.emit(isa.Inst{Op: op, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// ADD emits rd = ra + rb.
+func (b *Builder) ADD(rd, ra, rb isa.Reg) { b.r3(isa.ADD, rd, ra, rb) }
+
+// SUB emits rd = ra - rb.
+func (b *Builder) SUB(rd, ra, rb isa.Reg) { b.r3(isa.SUB, rd, ra, rb) }
+
+// AND emits rd = ra & rb.
+func (b *Builder) AND(rd, ra, rb isa.Reg) { b.r3(isa.AND, rd, ra, rb) }
+
+// OR emits rd = ra | rb.
+func (b *Builder) OR(rd, ra, rb isa.Reg) { b.r3(isa.OR, rd, ra, rb) }
+
+// XOR emits rd = ra ^ rb.
+func (b *Builder) XOR(rd, ra, rb isa.Reg) { b.r3(isa.XOR, rd, ra, rb) }
+
+// SLL emits rd = ra << rb.
+func (b *Builder) SLL(rd, ra, rb isa.Reg) { b.r3(isa.SLL, rd, ra, rb) }
+
+// SRL emits rd = ra >> rb (logical).
+func (b *Builder) SRL(rd, ra, rb isa.Reg) { b.r3(isa.SRL, rd, ra, rb) }
+
+// SRA emits rd = ra >> rb (arithmetic).
+func (b *Builder) SRA(rd, ra, rb isa.Reg) { b.r3(isa.SRA, rd, ra, rb) }
+
+// MUL emits rd = ra * rb (low 32 bits).
+func (b *Builder) MUL(rd, ra, rb isa.Reg) { b.r3(isa.MUL, rd, ra, rb) }
+
+// DIV emits rd = ra / rb (signed).
+func (b *Builder) DIV(rd, ra, rb isa.Reg) { b.r3(isa.DIV, rd, ra, rb) }
+
+// DIVU emits rd = ra / rb (unsigned).
+func (b *Builder) DIVU(rd, ra, rb isa.Reg) { b.r3(isa.DIVU, rd, ra, rb) }
+
+// MIN emits rd = min(ra, rb) (signed; OR10N extension).
+func (b *Builder) MIN(rd, ra, rb isa.Reg) { b.r3(isa.MIN, rd, ra, rb) }
+
+// MAX emits rd = max(ra, rb) (signed; OR10N extension).
+func (b *Builder) MAX(rd, ra, rb isa.Reg) { b.r3(isa.MAX, rd, ra, rb) }
+
+// MAC emits rd += ra * rb (OR10N register-register MAC, or ARM MLA).
+func (b *Builder) MAC(rd, ra, rb isa.Reg) { b.r3(isa.MAC, rd, ra, rb) }
+
+// MSU emits rd -= ra * rb.
+func (b *Builder) MSU(rd, ra, rb isa.Reg) { b.r3(isa.MSU, rd, ra, rb) }
+
+// SEXTB emits rd = sign-extend byte of ra.
+func (b *Builder) SEXTB(rd, ra isa.Reg) { b.r3(isa.SEXTB, rd, ra, 0) }
+
+// SEXTH emits rd = sign-extend half of ra.
+func (b *Builder) SEXTH(rd, ra isa.Reg) { b.r3(isa.SEXTH, rd, ra, 0) }
+
+// MACS emits acc += sext64(ra)*sext64(rb) (M-profile SMLAL).
+func (b *Builder) MACS(ra, rb isa.Reg) { b.r3(isa.MACS, 0, ra, rb) }
+
+// MACU emits acc += zext64(ra)*zext64(rb) (M-profile UMLAL).
+func (b *Builder) MACU(ra, rb isa.Reg) { b.r3(isa.MACU, 0, ra, rb) }
+
+// MACCLR clears the 64-bit accumulator.
+func (b *Builder) MACCLR() { b.emit(isa.Inst{Op: isa.MACCLR}) }
+
+// MACRDL emits rd = acc[31:0].
+func (b *Builder) MACRDL(rd isa.Reg) { b.r3(isa.MACRDL, rd, 0, 0) }
+
+// MACRDH emits rd = acc[63:32].
+func (b *Builder) MACRDH(rd isa.Reg) { b.r3(isa.MACRDH, rd, 0, 0) }
+
+// DOTP4B emits rd += dot product of the four signed bytes of ra and rb.
+func (b *Builder) DOTP4B(rd, ra, rb isa.Reg) { b.r3(isa.DOTP4B, rd, ra, rb) }
+
+// DOTP2H emits rd += dot product of the two signed halves of ra and rb.
+func (b *Builder) DOTP2H(rd, ra, rb isa.Reg) { b.r3(isa.DOTP2H, rd, ra, rb) }
+
+// ADD4B emits per-byte addition.
+func (b *Builder) ADD4B(rd, ra, rb isa.Reg) { b.r3(isa.ADD4B, rd, ra, rb) }
+
+// SUB4B emits per-byte subtraction.
+func (b *Builder) SUB4B(rd, ra, rb isa.Reg) { b.r3(isa.SUB4B, rd, ra, rb) }
+
+// ADD2H emits per-half addition.
+func (b *Builder) ADD2H(rd, ra, rb isa.Reg) { b.r3(isa.ADD2H, rd, ra, rb) }
+
+// SUB2H emits per-half subtraction.
+func (b *Builder) SUB2H(rd, ra, rb isa.Reg) { b.r3(isa.SUB2H, rd, ra, rb) }
+
+// SRA2H emits per-half arithmetic shift right by rb[3:0].
+func (b *Builder) SRA2H(rd, ra, rb isa.Reg) { b.r3(isa.SRA2H, rd, ra, rb) }
+
+// ADDI emits rd = ra + imm.
+func (b *Builder) ADDI(rd, ra isa.Reg, imm int32) { b.ri(isa.ADDI, rd, ra, imm) }
+
+// ANDI emits rd = ra & imm (zero-extended).
+func (b *Builder) ANDI(rd, ra isa.Reg, imm int32) { b.ri(isa.ANDI, rd, ra, imm) }
+
+// ORI emits rd = ra | imm (zero-extended).
+func (b *Builder) ORI(rd, ra isa.Reg, imm int32) { b.ri(isa.ORI, rd, ra, imm) }
+
+// XORI emits rd = ra ^ imm (zero-extended).
+func (b *Builder) XORI(rd, ra isa.Reg, imm int32) { b.ri(isa.XORI, rd, ra, imm) }
+
+// SLLI emits rd = ra << imm.
+func (b *Builder) SLLI(rd, ra isa.Reg, imm int32) { b.ri(isa.SLLI, rd, ra, imm) }
+
+// SRLI emits rd = ra >> imm (logical).
+func (b *Builder) SRLI(rd, ra isa.Reg, imm int32) { b.ri(isa.SRLI, rd, ra, imm) }
+
+// SRAI emits rd = ra >> imm (arithmetic).
+func (b *Builder) SRAI(rd, ra isa.Reg, imm int32) { b.ri(isa.SRAI, rd, ra, imm) }
+
+// MOVHI emits rd = imm16 << 16.
+func (b *Builder) MOVHI(rd isa.Reg, imm16 int32) { b.emit(isa.Inst{Op: isa.MOVHI, Rd: rd, Imm: imm16}) }
+
+// MOV emits rd = ra.
+func (b *Builder) MOV(rd, ra isa.Reg) { b.r3(isa.ADD, rd, ra, isa.R0) }
+
+// --- Compares ------------------------------------------------------------
+
+// SF emits a register-register flag compare.
+func (b *Builder) SF(op isa.Op, ra, rb isa.Reg) { b.emit(isa.Inst{Op: op, Ra: ra, Rb: rb}) }
+
+// SFI emits a register-immediate flag compare.
+func (b *Builder) SFI(op isa.Op, ra isa.Reg, imm int32) {
+	b.emit(isa.Inst{Op: op, Ra: ra, Imm: imm})
+}
+
+// --- Memory ----------------------------------------------------------------
+
+// Load emits a load of the given opcode: rd = mem[ra+imm] (or post-increment
+// rd = mem[ra]; ra += imm for the P variants).
+func (b *Builder) Load(op isa.Op, rd, ra isa.Reg, imm int32) {
+	if !op.IsLoad() {
+		b.fail("%v is not a load", op)
+		return
+	}
+	b.ri(op, rd, ra, imm)
+}
+
+// Store emits a store: mem[base+imm] = src (or post-increment for the P
+// variants: mem[base] = src; base += imm).
+func (b *Builder) Store(op isa.Op, base, src isa.Reg, imm int32) {
+	if !op.IsStore() {
+		b.fail("%v is not a store", op)
+		return
+	}
+	b.emit(isa.Inst{Op: op, Ra: base, Rb: src, Imm: imm})
+}
+
+// LW emits rd = mem32[ra+imm].
+func (b *Builder) LW(rd, ra isa.Reg, imm int32) { b.Load(isa.LW, rd, ra, imm) }
+
+// SW emits mem32[base+imm] = src.
+func (b *Builder) SW(base, src isa.Reg, imm int32) { b.Store(isa.SW, base, src, imm) }
+
+// --- Control flow ------------------------------------------------------------
+
+// J emits an unconditional jump to a label.
+func (b *Builder) J(label string) { b.emitRel(isa.Inst{Op: isa.J}, relBranch, label) }
+
+// JAL emits a call to a label (link in LR).
+func (b *Builder) JAL(label string) { b.emitRel(isa.Inst{Op: isa.JAL}, relBranch, label) }
+
+// JR emits an indirect jump to ra.
+func (b *Builder) JR(ra isa.Reg) { b.emit(isa.Inst{Op: isa.JR, Ra: ra}) }
+
+// JALR emits an indirect call to ra, linking in rd.
+func (b *Builder) JALR(rd, ra isa.Reg) { b.emit(isa.Inst{Op: isa.JALR, Rd: rd, Ra: ra}) }
+
+// Ret emits a return (jr lr).
+func (b *Builder) Ret() { b.JR(isa.LR) }
+
+// BF emits a branch to label if the flag is set.
+func (b *Builder) BF(label string) { b.emitRel(isa.Inst{Op: isa.BF}, relBranch, label) }
+
+// BNF emits a branch to label if the flag is clear.
+func (b *Builder) BNF(label string) { b.emitRel(isa.Inst{Op: isa.BNF}, relBranch, label) }
+
+// TRAP emits a halt with the given code (used by tests and assertions).
+func (b *Builder) TRAP(code int32) { b.emit(isa.Inst{Op: isa.TRAP, Imm: code}) }
+
+// WFE emits a wait-for-event.
+func (b *Builder) WFE() { b.emit(isa.Inst{Op: isa.WFE}) }
+
+// NOP emits a no-op.
+func (b *Builder) NOP() { b.emit(isa.Inst{Op: isa.NOP}) }
+
+// MFSPR emits rd = SPR[spr].
+func (b *Builder) MFSPR(rd isa.Reg, spr int32) { b.ri(isa.MFSPR, rd, 0, spr) }
+
+// LPSetup emits a hardware loop: loop index idx (0 or 1), iteration count in
+// countReg, body extending to (but not including) endLabel. The body starts
+// at the next instruction.
+func (b *Builder) LPSetup(idx int, countReg isa.Reg, endLabel string) {
+	if idx != 0 && idx != 1 {
+		b.fail("hardware loop index %d out of range", idx)
+		return
+	}
+	b.emitRel(isa.Inst{Op: isa.LPSETUP, Rd: isa.Reg(idx), Ra: countReg}, relLP, endLabel)
+}
+
+// --- Pseudo-instructions ------------------------------------------------------
+
+// LI loads a 32-bit constant, using the shortest sequence (1 or 2 words).
+func (b *Builder) LI(rd isa.Reg, imm int32) {
+	if imm >= isa.Imm14Min && imm <= isa.Imm14Max {
+		b.ADDI(rd, isa.R0, imm)
+		return
+	}
+	b.MOVHI(rd, int32(uint32(imm)>>16))
+	if lo := int32(uint32(imm) & 0xffff); lo != 0 {
+		b.emit(isa.Inst{Op: isa.ORIL, Rd: rd, Imm: lo})
+	}
+}
+
+// LA loads the address of a symbol (code label, data symbol, or builtin
+// layout symbol). Always two instructions so code size is target-stable.
+func (b *Builder) LA(rd isa.Reg, sym string) {
+	b.emitRel(isa.Inst{Op: isa.MOVHI, Rd: rd}, relHi, sym)
+	b.emitRel(isa.Inst{Op: isa.ORIL, Rd: rd}, relLo, sym)
+}
+
+// --- Build ---------------------------------------------------------------------
+
+// Layout controls where Build places the program.
+type Layout struct {
+	TextBase uint32 // default hw.TextBase
+	DataVMA  uint32 // runtime address of the data image; default hw.DataVMABase
+	TCDMSize uint32 // for __stack_top; default hw.DefaultTCDMSize
+}
+
+func (l *Layout) defaults() {
+	if l.TextBase == 0 {
+		l.TextBase = hw.TextBase
+	}
+	if l.DataVMA == 0 {
+		l.DataVMA = hw.DataVMABase
+	}
+	if l.TCDMSize == 0 {
+		l.TCDMSize = hw.DefaultTCDMSize
+	}
+}
+
+func align(v, a uint32) uint32 {
+	if a == 0 {
+		return v
+	}
+	return (v + a - 1) &^ (a - 1)
+}
+
+// Build resolves labels and relocations and returns the linked program.
+// Builtin symbols defined for generated code:
+//
+//	__data_lma   L2 load address of the initialized data image
+//	__data_vma   TCDM runtime address of the data image
+//	__data_len   initialized data length in bytes
+//	__heap       first free TCDM byte after data+bss (I/O buffers go here)
+//	__stack_top  top of TCDM (core 0 stack base)
+func (b *Builder) Build(l Layout) (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	l.defaults()
+
+	// Lay out data symbols: initialized first (so the image is contiguous),
+	// then bss.
+	syms := make(map[string]uint32, len(b.labels)+len(b.data)+8)
+	var image []byte
+	off := uint32(0)
+	for _, d := range b.data {
+		if d.init == nil {
+			continue
+		}
+		off = align(off, d.align)
+		for uint32(len(image)) < off {
+			image = append(image, 0)
+		}
+		syms[d.name] = l.DataVMA + off
+		image = append(image, d.init...)
+		off += d.size
+	}
+	dataLen := uint32(len(image))
+	bssOff := align(dataLen, 8)
+	for _, d := range b.data {
+		if d.init != nil {
+			continue
+		}
+		bssOff = align(bssOff, d.align)
+		syms[d.name] = l.DataVMA + bssOff
+		bssOff += d.size
+	}
+	bssEnd := align(bssOff, 16)
+
+	textLen := uint32(len(b.insts)) * 4
+	dataLMA := align(l.TextBase+textLen, 16)
+
+	// Code labels.
+	for name, idx := range b.labels {
+		if _, dup := syms[name]; dup {
+			return nil, fmt.Errorf("asm[%s]: symbol %q defined as both code and data", b.name, name)
+		}
+		syms[name] = l.TextBase + uint32(idx)*4
+	}
+	// Builtin layout symbols.
+	syms["__data_lma"] = dataLMA
+	syms["__data_vma"] = l.DataVMA
+	syms["__data_len"] = dataLen
+	syms["__heap"] = l.DataVMA + bssEnd
+	syms["__stack_top"] = hw.TCDMBase + l.TCDMSize
+
+	// Resolve relocations.
+	text := make([]isa.Inst, len(b.insts))
+	for i, p := range b.insts {
+		in := p.inst
+		if p.kind != relNone {
+			v, ok := syms[p.sym]
+			if !ok {
+				return nil, fmt.Errorf("asm[%s]: undefined symbol %q at instruction %d", b.name, p.sym, i)
+			}
+			switch p.kind {
+			case relBranch, relLP:
+				here := l.TextBase + uint32(i)*4
+				delta := (int64(v) - int64(here) - 4) / 4
+				if p.kind == relLP && delta < 1 {
+					return nil, fmt.Errorf("asm[%s]: hardware loop at %d has empty body", b.name, i)
+				}
+				in.Imm = int32(delta)
+			case relHi:
+				in.Imm = int32(v >> 16)
+			case relLo:
+				in.Imm = int32(v & 0xffff)
+			}
+		}
+		if _, err := isa.Encode(in); err != nil {
+			return nil, fmt.Errorf("asm[%s]: instruction %d (%v): %w", b.name, i, in, err)
+		}
+		text[i] = in
+	}
+
+	return &Program{
+		Name:     b.name,
+		Entry:    l.TextBase,
+		TextBase: l.TextBase,
+		Text:     text,
+		DataLMA:  dataLMA,
+		DataVMA:  l.DataVMA,
+		Data:     image,
+		BSSLen:   bssEnd - dataLen,
+		Symbols:  syms,
+	}, nil
+}

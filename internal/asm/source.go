@@ -1,0 +1,115 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hetsim/internal/isa"
+)
+
+// AsmSource renders the program as assembler-compatible source text:
+// Assemble(p.AsmSource()) reproduces the same text section and data image
+// (the round-trip property verified in the tests). Branch targets without
+// a symbol get synthetic `L_<addr>` labels; data symbols are re-emitted as
+// `.byte`/`.space` directives sized from the symbol layout.
+//
+// This is what `hetasm` prints when asked for reusable source, and it
+// doubles as a cross-check that the disassembler, the assembler and the
+// builder agree on the instruction syntax.
+func (p *Program) AsmSource() string {
+	textEnd := p.TextBase + uint32(4*len(p.Text))
+
+	// Collect label names per text address: named symbols first.
+	labels := make(map[uint32]string)
+	var names []string
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic choice among aliases
+	for _, n := range names {
+		a := p.Symbols[n]
+		if strings.HasPrefix(n, "__data") || n == "__heap" || n == "__stack_top" {
+			continue
+		}
+		if a >= p.TextBase && a < textEnd {
+			if _, dup := labels[a]; !dup {
+				labels[a] = n
+			}
+		}
+	}
+	// Synthetic labels for unnamed branch/loop targets.
+	for i, in := range p.Text {
+		addr := p.TextBase + uint32(i)*4
+		var tgt uint32
+		switch {
+		case in.Op == isa.BF || in.Op == isa.BNF || in.Op == isa.J || in.Op == isa.JAL:
+			tgt = uint32(int64(addr) + 4 + int64(in.Imm)*4)
+		case in.Op == isa.LPSETUP:
+			tgt = addr + 4 + uint32(in.Imm)*4
+		default:
+			continue
+		}
+		if _, ok := labels[tgt]; !ok {
+			labels[tgt] = fmt.Sprintf("L_%08x", tgt)
+		}
+	}
+
+	var sb strings.Builder
+	for i, in := range p.Text {
+		addr := p.TextBase + uint32(i)*4
+		if l, ok := labels[addr]; ok {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		switch {
+		case in.Op == isa.BF || in.Op == isa.BNF || in.Op == isa.J || in.Op == isa.JAL:
+			tgt := uint32(int64(addr) + 4 + int64(in.Imm)*4)
+			fmt.Fprintf(&sb, "    %s %s\n", in.Op, labels[tgt])
+		case in.Op == isa.LPSETUP:
+			tgt := addr + 4 + uint32(in.Imm)*4
+			fmt.Fprintf(&sb, "    lp.setup %d, r%d, %s\n", in.Rd, in.Ra, labels[tgt])
+		default:
+			fmt.Fprintf(&sb, "    %v\n", in)
+		}
+	}
+
+	// Data section: named symbols in [DataVMA, DataVMA+len(Data)) become
+	// .byte runs; symbols beyond the image (BSS) become .space, sized by
+	// the gap to the next symbol (or the heap).
+	type dsym struct {
+		name string
+		addr uint32
+	}
+	var dsyms []dsym
+	heap := p.Symbols["__heap"]
+	for _, n := range names {
+		a := p.Symbols[n]
+		if strings.HasPrefix(n, "__") || (a >= p.TextBase && a < textEnd) {
+			continue
+		}
+		if a >= p.DataVMA && a < heap {
+			dsyms = append(dsyms, dsym{n, a})
+		}
+	}
+	sort.Slice(dsyms, func(i, j int) bool { return dsyms[i].addr < dsyms[j].addr })
+	dataEnd := p.DataVMA + uint32(len(p.Data))
+	for i, d := range dsyms {
+		end := heap
+		if i+1 < len(dsyms) {
+			end = dsyms[i+1].addr
+		}
+		if d.addr < dataEnd { // initialized
+			if end > dataEnd {
+				end = dataEnd
+			}
+			fmt.Fprintf(&sb, ".byte %s", d.name)
+			for a := d.addr; a < end; a++ {
+				fmt.Fprintf(&sb, " %d", int8(p.Data[a-p.DataVMA]))
+			}
+			sb.WriteByte('\n')
+		} else { // bss
+			fmt.Fprintf(&sb, ".space %s %d\n", d.name, end-d.addr)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,451 @@
+// Package cluster wires the simulated PULP cluster together: 1–4 cores
+// (internal/cpu), the multi-banked TCDM and shared I-cache (internal/mem),
+// the lightweight DMA (internal/dma) and the hardware synchronizer
+// (internal/hwsync), stepped in lock-step one cycle at a time. It also
+// stands in for the MCU when configured with a single M-profile core, a
+// flat memory and a perfect fetch path.
+//
+// Per-component activity counters collected here are the chi ratios of the
+// paper's power model (Section IV-A).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"hetsim/internal/asm"
+	"hetsim/internal/cpu"
+	"hetsim/internal/dma"
+	"hetsim/internal/hw"
+	"hetsim/internal/hwsync"
+	"hetsim/internal/isa"
+	"hetsim/internal/mem"
+	"hetsim/internal/trace"
+)
+
+// Config selects the cluster's shape.
+type Config struct {
+	Cores     int
+	Target    isa.Target
+	TCDMSize  uint32
+	TCDMBanks int
+	L2Size    uint32
+
+	// ICacheSize 0 selects a perfect (always-hit) fetch path, used for the
+	// MCU model (zero-wait-state flash with prefetch).
+	ICacheSize uint32
+	ICacheLine uint32
+
+	// L2Latency is the extra cycles of a core's direct load/store to L2
+	// over the peripheral interconnect.
+	L2Latency int
+}
+
+// PULPConfig returns the PULP3 cluster of the paper: 4 OR10N cores, 8-bank
+// 64 kB TCDM, 4 kB shared I$, 64 kB L2.
+func PULPConfig() Config {
+	return Config{
+		Cores:      4,
+		Target:     isa.PULPFull,
+		TCDMSize:   hw.DefaultTCDMSize,
+		TCDMBanks:  hw.DefaultTCDMBanks,
+		L2Size:     hw.DefaultL2Size,
+		ICacheSize: 4 * 1024,
+		ICacheLine: 32,
+		L2Latency:  8,
+	}
+}
+
+// MCUConfig returns a single-core host model: one M-profile (or plain)
+// core, flat single-bank memory, perfect fetch, no L2 penalty (the MCU's
+// SRAM is single-cycle and code runs from zero-wait flash).
+func MCUConfig(target isa.Target) Config {
+	return Config{
+		Cores:     1,
+		Target:    target,
+		TCDMSize:  hw.DefaultTCDMSize,
+		TCDMBanks: 1,
+		L2Size:    hw.DefaultL2Size,
+		L2Latency: 0,
+	}
+}
+
+// Cluster is the simulated compute cluster.
+type Cluster struct {
+	Cfg   Config
+	Cores []*cpu.Core
+	TCDM  *mem.TCDM
+	L2    *mem.SRAM
+	IC    *mem.ICache
+	DMA   *dma.Engine
+	Evt   *hwsync.EventUnit
+
+	now      uint64
+	rrOffset int
+
+	eoc      bool
+	eocValue uint32
+
+	tracer *trace.Tracer
+
+	err error
+}
+
+// New builds a cluster from the config.
+func New(cfg Config) *Cluster {
+	if cfg.Cores <= 0 || cfg.Cores > 32 {
+		panic(fmt.Sprintf("cluster: invalid core count %d", cfg.Cores))
+	}
+	cl := &Cluster{
+		Cfg:  cfg,
+		TCDM: mem.NewTCDM(cfg.TCDMSize, cfg.TCDMBanks),
+		L2:   mem.NewSRAM(hw.L2Base, cfg.L2Size),
+		Evt:  hwsync.New(cfg.Cores),
+	}
+	if cfg.ICacheSize > 0 {
+		line := cfg.ICacheLine
+		if line == 0 {
+			line = 32
+		}
+		cl.IC = mem.NewICache(cfg.ICacheSize, line)
+	}
+	cl.DMA = dma.New((*dmaMem)(cl))
+	for i := 0; i < cfg.Cores; i++ {
+		c := cpu.New(i, cfg.Target, cl)
+		if cl.IC != nil {
+			c.Fetch = cl.IC.Fetch
+			c.FetchLineMask = cl.IC.LineSize - 1
+		}
+		cl.Cores = append(cl.Cores, c)
+	}
+	return cl
+}
+
+// Now returns the current cycle.
+func (cl *Cluster) Now() uint64 { return cl.now }
+
+// EOC reports whether the program signalled end-of-computation, and the
+// value it wrote (by convention 1 = success).
+func (cl *Cluster) EOC() (bool, uint32) { return cl.eoc, cl.eocValue }
+
+// ClearEOC re-arms the end-of-computation latch (between iterations of a
+// multi-offload run).
+func (cl *Cluster) ClearEOC() { cl.eoc = false }
+
+// LoadProgram installs the program: pre-decoded text for the cores, the
+// data image at its load address in L2. When direct is true the data image
+// is additionally pre-placed at its runtime (TCDM) address, modelling a
+// host whose loader places data directly (MCU baseline); otherwise the
+// device crt0 is responsible for the L2->TCDM copy via DMA.
+func (cl *Cluster) LoadProgram(p *asm.Program, direct bool) error {
+	textBytes, err := isa.EncodeProgram(p.Text)
+	if err != nil {
+		return err
+	}
+	if err := cl.L2.WriteBytes(p.TextBase, textBytes); err != nil {
+		return fmt.Errorf("cluster: text does not fit L2: %w", err)
+	}
+	if len(p.Data) > 0 {
+		if err := cl.L2.WriteBytes(p.DataLMA, p.Data); err != nil {
+			return fmt.Errorf("cluster: data image does not fit L2: %w", err)
+		}
+		if direct {
+			if err := cl.TCDM.WriteBytes(p.DataVMA, p.Data); err != nil {
+				return fmt.Errorf("cluster: data image does not fit TCDM: %w", err)
+			}
+		}
+	}
+	for _, c := range cl.Cores {
+		c.SetProgram(p.Text, p.TextBase)
+	}
+	return nil
+}
+
+// Start resets all cores to the entry point and releases them.
+func (cl *Cluster) Start(entry uint32) {
+	cl.eoc = false
+	cl.err = nil
+	for _, c := range cl.Cores {
+		c.Start(entry)
+	}
+}
+
+// Step advances the whole cluster by one cycle. Core service order rotates
+// so bank arbitration is fair; the DMA has the lowest priority, stepping
+// after all cores.
+func (cl *Cluster) Step() {
+	cl.TCDM.BeginCycle()
+	n := len(cl.Cores)
+	for i := 0; i < n; i++ {
+		cl.Cores[(i+cl.rrOffset)%n].Step(cl.now)
+	}
+	cl.DMA.Step()
+	if cl.DMA.Err != nil && cl.err == nil {
+		cl.err = cl.DMA.Err
+	}
+	cl.rrOffset = (cl.rrOffset + 1) % n
+	cl.now++
+}
+
+// ErrDeadlock is returned when every core sleeps with no wake source left.
+var ErrDeadlock = errors.New("cluster: deadlock - all cores asleep, DMA idle, no EOC")
+
+// RunResult summarizes a Run.
+type RunResult struct {
+	Cycles   uint64
+	EOC      bool
+	EOCValue uint32
+	// Halted is true when all cores halted (TRAP) instead of signalling EOC.
+	Halted   bool
+	TrapCode int32
+}
+
+// Run steps the cluster until the program signals EOC, every core halts, a
+// core faults, or maxCycles elapse. It returns the cycles consumed by this
+// call.
+func (cl *Cluster) Run(maxCycles uint64) (RunResult, error) {
+	start := cl.now
+	for cl.now-start < maxCycles {
+		cl.Step()
+		if cl.err != nil {
+			return RunResult{Cycles: cl.now - start}, cl.err
+		}
+		if cl.eoc {
+			return RunResult{Cycles: cl.now - start, EOC: true, EOCValue: cl.eocValue}, nil
+		}
+		halted, sleeping := 0, 0
+		var firstErr error
+		var trap int32
+		for _, c := range cl.Cores {
+			if c.Err != nil && firstErr == nil {
+				firstErr = c.Err
+			}
+			if c.Halted {
+				halted++
+				if c.TrapCode != 0 && trap == 0 {
+					trap = c.TrapCode
+				}
+			} else if c.Sleeping() {
+				sleeping++
+			}
+		}
+		if firstErr != nil {
+			return RunResult{Cycles: cl.now - start}, firstErr
+		}
+		if halted == len(cl.Cores) {
+			return RunResult{Cycles: cl.now - start, Halted: true, TrapCode: trap}, nil
+		}
+		if halted+sleeping == len(cl.Cores) && sleeping > 0 && halted > 0 {
+			// Mixed halt/sleep: the master trapped while slaves sleep.
+			return RunResult{Cycles: cl.now - start, Halted: true, TrapCode: trap}, nil
+		}
+		if sleeping == len(cl.Cores) && !cl.DMA.Busy() {
+			return RunResult{Cycles: cl.now - start}, ErrDeadlock
+		}
+	}
+	return RunResult{Cycles: cl.now - start}, fmt.Errorf("cluster: exceeded %d cycles", maxCycles)
+}
+
+// AttachTracer routes every core's retirement stream and the cluster-level
+// events into the tracer. Attach before Start; pass nil to detach.
+func (cl *Cluster) AttachTracer(tr *trace.Tracer) {
+	cl.tracer = tr
+	for _, c := range cl.Cores {
+		if tr == nil {
+			c.Trace = nil
+			continue
+		}
+		id := c.ID
+		c.Trace = func(cycle uint64, pc uint32, in isa.Inst) {
+			tr.Emit(trace.Event{Cycle: cycle, Core: id, Kind: trace.KindRetire, PC: pc, Inst: in})
+		}
+	}
+}
+
+// --- cpu.Env -------------------------------------------------------------
+
+var _ cpu.Env = (*Cluster)(nil)
+
+// Access implements the cluster interconnect: TCDM with bank arbitration,
+// event-unit and DMA register pages, SoC control, and L2 with latency.
+func (cl *Cluster) Access(core int, store bool, addr, size, wdata uint32) (uint32, int, cpu.Status, error) {
+	switch {
+	case cl.TCDM.Contains(addr, size):
+		if !cl.TCDM.Request(addr) {
+			return 0, 0, cpu.AccessRetry, nil
+		}
+		if store {
+			cl.TCDM.Write(addr, size, wdata)
+			return 0, 0, cpu.AccessOK, nil
+		}
+		return cl.TCDM.Read(addr, size), 0, cpu.AccessOK, nil
+
+	case addr >= hw.EvtBase && addr < hw.EvtBase+0x100:
+		return cl.evtAccess(core, store, addr-hw.EvtBase, wdata)
+
+	case addr >= hw.DMABase && addr < hw.DMABase+0x100:
+		if store {
+			if err := cl.DMA.WriteReg(addr-hw.DMABase, wdata); err != nil {
+				return 0, 0, cpu.AccessOK, err
+			}
+			return 0, 0, cpu.AccessOK, nil
+		}
+		v, err := cl.DMA.ReadReg(addr - hw.DMABase)
+		return v, 0, cpu.AccessOK, err
+
+	case addr >= hw.SoCCtlBase && addr < hw.SoCCtlBase+0x100:
+		off := addr - hw.SoCCtlBase
+		if store && off == hw.SoCEOC {
+			cl.eoc = true
+			cl.eocValue = wdata
+			if cl.tracer != nil {
+				cl.tracer.Emit(trace.Event{Cycle: cl.now, Kind: trace.KindNote,
+					Note: fmt.Sprintf("EOC raised by core %d (value %d)", core, wdata)})
+			}
+			return 0, 0, cpu.AccessOK, nil
+		}
+		if !store && off == hw.SoCStatus {
+			return 1, 0, cpu.AccessOK, nil
+		}
+		return 0, 0, cpu.AccessOK, fmt.Errorf("cluster: unsupported SoC ctl access at +%#x", off)
+
+	case cl.L2.Contains(addr, size):
+		if store {
+			cl.L2.Write(addr, size, wdata)
+			return 0, cl.Cfg.L2Latency, cpu.AccessOK, nil
+		}
+		return cl.L2.Read(addr, size), cl.Cfg.L2Latency, cpu.AccessOK, nil
+	}
+	return 0, 0, cpu.AccessOK, fmt.Errorf("cluster: access to unmapped address %#x", addr)
+}
+
+func (cl *Cluster) evtAccess(core int, store bool, off, wdata uint32) (uint32, int, cpu.Status, error) {
+	switch off {
+	case hw.EvtBarrierArrive:
+		if !store {
+			return 0, 0, cpu.AccessOK, fmt.Errorf("cluster: read of barrier register")
+		}
+		wake, last := cl.Evt.Arrive(core, int(wdata))
+		if last {
+			for _, w := range wake {
+				cl.Cores[w].Wake(cl.now)
+			}
+			return 0, 0, cpu.AccessOK, nil
+		}
+		return 0, 0, cpu.AccessSleepBarrier, nil
+	case hw.EvtSend:
+		if !store {
+			return 0, 0, cpu.AccessOK, fmt.Errorf("cluster: read of event send register")
+		}
+		for _, w := range cl.Evt.Send(wdata) {
+			cl.Cores[w].Wake(cl.now)
+		}
+		return 0, 0, cpu.AccessOK, nil
+	case hw.EvtStatus:
+		return cl.Evt.SleepMask(), 0, cpu.AccessOK, nil
+	case hw.EvtMutexLock:
+		if store {
+			return 0, 0, cpu.AccessOK, fmt.Errorf("cluster: store to mutex lock register")
+		}
+		if cl.Evt.TryLock(core) {
+			return 1, 0, cpu.AccessOK, nil
+		}
+		return 0, 0, cpu.AccessRetry, nil
+	case hw.EvtMutexUnlock:
+		cl.Evt.Unlock()
+		return 0, 0, cpu.AccessOK, nil
+	}
+	return 0, 0, cpu.AccessOK, fmt.Errorf("cluster: unknown event-unit register +%#x", off)
+}
+
+// WFE implements cpu.Env.
+func (cl *Cluster) WFE(core int) bool { return cl.Evt.WFE(core) }
+
+// SPR implements cpu.Env.
+func (cl *Cluster) SPR(core int, spr int32) uint32 {
+	switch spr {
+	case isa.SprCoreID:
+		return uint32(core)
+	case isa.SprNumCore:
+		return uint32(len(cl.Cores))
+	case isa.SprCycleLo:
+		return uint32(cl.now)
+	case isa.SprCycleHi:
+		return uint32(cl.now >> 32)
+	}
+	return 0
+}
+
+// --- dma.Memory ------------------------------------------------------------
+
+// dmaMem adapts the cluster for the DMA engine.
+type dmaMem Cluster
+
+var _ dma.Memory = (*dmaMem)(nil)
+
+func (m *dmaMem) ClaimTCDM(addr uint32) bool { return (*Cluster)(m).TCDM.Request(addr) }
+func (m *dmaMem) IsTCDM(addr uint32) bool    { return (*Cluster)(m).TCDM.Contains(addr, 4) }
+
+func (m *dmaMem) ReadWord(addr uint32) (uint32, error) {
+	cl := (*Cluster)(m)
+	switch {
+	case cl.TCDM.Contains(addr, 4):
+		return cl.TCDM.Read(addr, 4), nil
+	case cl.L2.Contains(addr, 4):
+		return cl.L2.Read(addr, 4), nil
+	}
+	return 0, fmt.Errorf("unmapped DMA read at %#x", addr)
+}
+
+func (m *dmaMem) WriteWord(addr uint32, v uint32) error {
+	cl := (*Cluster)(m)
+	switch {
+	case cl.TCDM.Contains(addr, 4):
+		cl.TCDM.Write(addr, 4, v)
+		return nil
+	case cl.L2.Contains(addr, 4):
+		cl.L2.Write(addr, 4, v)
+		return nil
+	}
+	return fmt.Errorf("unmapped DMA write at %#x", addr)
+}
+
+// --- PMU ---------------------------------------------------------------------
+
+// Stats aggregates the performance counters the power model consumes.
+type Stats struct {
+	Cycles     uint64
+	Cores      []cpu.Stats
+	DMABusy    uint64
+	TCDMAccess uint64
+	TCDMConf   uint64
+	ICHits     uint64
+	ICMisses   uint64
+}
+
+// Retired sums retired instructions over all cores.
+func (s Stats) Retired() uint64 {
+	var n uint64
+	for _, c := range s.Cores {
+		n += c.Retired
+	}
+	return n
+}
+
+// CollectStats snapshots the performance counters.
+func (cl *Cluster) CollectStats() Stats {
+	s := Stats{
+		Cycles:     cl.now,
+		DMABusy:    cl.DMA.BusyCycles,
+		TCDMAccess: cl.TCDM.Accesses,
+		TCDMConf:   cl.TCDM.Conflicts,
+	}
+	if cl.IC != nil {
+		s.ICHits = cl.IC.Hits
+		s.ICMisses = cl.IC.Misses
+	}
+	for _, c := range cl.Cores {
+		s.Cores = append(s.Cores, c.Stats)
+	}
+	return s
+}

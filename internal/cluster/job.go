@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hetsim/internal/devrt"
+	"hetsim/internal/hw"
+	"hetsim/internal/loader"
+)
+
+// JobResult is the outcome of a standalone RunJob.
+type JobResult struct {
+	Out    []byte
+	Cycles uint64
+	Stats  Stats
+	Layout loader.Layout
+}
+
+// RunJob executes one offload job on a fresh cluster without a host: the
+// descriptor and staged input are written into L2 directly (standing in
+// for the SPI writes of the integrated system), the cluster runs until EOC
+// (accel mode) or trap (host mode), and the output buffer is read back.
+// This is the harness used by kernel golden tests and by the performance
+// experiments that need pure compute cycles.
+func RunJob(cfg Config, mode devrt.Mode, job loader.Job, maxCycles uint64) (*JobResult, error) {
+	if job.StackCores == 0 {
+		job.StackCores = cfg.Cores
+	}
+	l, err := loader.Plan(job, cfg.TCDMSize, cfg.L2Size)
+	if err != nil {
+		return nil, err
+	}
+	if int(job.Threads) > cfg.Cores {
+		return nil, fmt.Errorf("cluster: job wants %d threads, cluster has %d cores", job.Threads, cfg.Cores)
+	}
+	cl := New(cfg)
+	if err := cl.LoadProgram(job.Prog, mode == devrt.Host); err != nil {
+		return nil, err
+	}
+	if err := cl.L2.WriteBytes(hw.DescBase, loader.Descriptor(job, l)); err != nil {
+		return nil, err
+	}
+	if len(job.In) > 0 {
+		if mode == devrt.Host {
+			err = cl.TCDM.WriteBytes(l.InVMA, job.In)
+		} else {
+			err = cl.L2.WriteBytes(l.InLMA, job.In)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	cl.Start(job.Prog.Entry)
+	res, err := cl.Run(maxCycles)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: job %s (%s): %w", job.Prog.Name, mode, err)
+	}
+	switch mode {
+	case devrt.Accel:
+		if !res.EOC || res.EOCValue != 1 {
+			return nil, fmt.Errorf("cluster: job %s did not signal EOC=1: %+v", job.Prog.Name, res)
+		}
+	case devrt.Host:
+		if !res.Halted || res.TrapCode != 0 {
+			return nil, fmt.Errorf("cluster: job %s did not trap cleanly: %+v", job.Prog.Name, res)
+		}
+	}
+	out := &JobResult{Cycles: res.Cycles, Stats: cl.CollectStats(), Layout: l}
+	if job.OutLen > 0 {
+		if mode == devrt.Host {
+			out.Out = cl.TCDM.ReadBytes(l.OutVMA, job.OutLen)
+		} else {
+			out.Out = cl.L2.ReadBytes(l.OutLMA, job.OutLen)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,362 @@
+// Package core implements the paper's primary contribution: the
+// heterogeneous accelerator model coupling a commercial MCU host with the
+// PULP parallel accelerator over a low-power SPI/QSPI link.
+//
+// A System bundles the three hardware pieces — host MCU (internal/mcu),
+// link (internal/spilink) and accelerator cluster (internal/cluster) at a
+// chosen voltage/frequency operating point — and implements the offload
+// protocol of Section III:
+//
+//  1. the host parses the kernel's binary image and writes text, data and
+//     the job descriptor into the accelerator L2 over the link;
+//  2. per iteration, the host streams the input buffer into L2, raises the
+//     fetch-enable GPIO, and sleeps;
+//  3. the device runtime stages data into the TCDM by DMA, runs the kernel
+//     on the OpenMP team, stages the output back and raises EOC;
+//  4. the host wakes on the EOC GPIO and reads the output back.
+//
+// Every payload byte really crosses the simulated link and the kernel
+// really executes on the cycle-accurate cluster, so the returned output is
+// checked against golden models in the tests; time and energy are composed
+// from the same measured phases, including the double-buffered pipeline of
+// Fig. 5b where transfers overlap computation.
+package core
+
+import (
+	"fmt"
+
+	"hetsim/internal/asm"
+	"hetsim/internal/cluster"
+	"hetsim/internal/hw"
+	"hetsim/internal/loader"
+	"hetsim/internal/mcu"
+	"hetsim/internal/power"
+	"hetsim/internal/spilink"
+)
+
+// Config selects the three components of a heterogeneous system.
+type Config struct {
+	Host       power.MCUModel
+	HostFreqHz float64
+
+	// Lanes is the link width: 1 (plain SPI wires of the prototype) or 4
+	// (the QSPI interface used for the Fig. 5b evaluation).
+	Lanes int
+
+	// LinkClockHz decouples the SPI clock from the MCU clock (0 keeps the
+	// prototype behaviour, MCU clock / 2). Section V proposes exactly this:
+	// "a low-power, high-throughput SPI link that is not tied to the MCU
+	// core frequency".
+	LinkClockHz float64
+
+	// Accelerator operating point. AccFreqHz must not exceed the maximum
+	// frequency of AccVdd.
+	AccVdd    float64
+	AccFreqHz float64
+
+	// AccCluster overrides the accelerator cluster shape (default:
+	// cluster.PULPConfig).
+	AccCluster *cluster.Config
+}
+
+// System is an instantiated host+link+accelerator pair.
+type System struct {
+	Host   *mcu.Host
+	Link   *spilink.Link
+	AccCfg cluster.Config
+	Vdd    float64
+	FAcc   float64
+}
+
+// NewSystem validates the configuration and builds the system.
+func NewSystem(cfg Config) (*System, error) {
+	host, err := mcu.New(cfg.Host, cfg.HostFreqHz)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Lanes != 1 && cfg.Lanes != 4 {
+		return nil, fmt.Errorf("core: link must have 1 or 4 lanes, got %d", cfg.Lanes)
+	}
+	if fm := power.FMaxAt(cfg.AccVdd); cfg.AccFreqHz <= 0 || cfg.AccFreqHz > fm {
+		return nil, fmt.Errorf("core: accelerator frequency %.1f MHz exceeds f_max %.1f MHz at %.2f V",
+			cfg.AccFreqHz/1e6, fm/1e6, cfg.AccVdd)
+	}
+	linkClock := cfg.LinkClockHz
+	if linkClock == 0 {
+		linkClock = host.SPIClock()
+	}
+	if linkClock < 0 || linkClock > 50e6 {
+		return nil, fmt.Errorf("core: link clock %.1f MHz out of range (0..50]", linkClock/1e6)
+	}
+	lcfg := spilink.Config{Lanes: cfg.Lanes, ClockHz: linkClock, CmdBytes: 9, MaxBurst: 4096}
+	acc := cluster.PULPConfig()
+	if cfg.AccCluster != nil {
+		acc = *cfg.AccCluster
+	}
+	return &System{
+		Host:   host,
+		Link:   spilink.New(lcfg),
+		AccCfg: acc,
+		Vdd:    cfg.AccVdd,
+		FAcc:   cfg.AccFreqHz,
+	}, nil
+}
+
+// Options tunes one offload.
+type Options struct {
+	// Iterations is the number of benchmark iterations per offload (each
+	// with its own input/output transfer), the x axis of Fig. 5b.
+	Iterations int
+	// DoubleBuffer overlaps the data transfer of iteration i+1 with the
+	// computation of iteration i (the rightmost plot of Fig. 5b).
+	DoubleBuffer bool
+	// MaxCycles bounds the accelerator simulation (default 2e9).
+	MaxCycles uint64
+	// Sensor, when set, feeds the input buffer from a sensor instead of
+	// from host memory (see internal/sensor). With ViaLink the sample
+	// still crosses the SPI link after acquisition (the Figure 1 model);
+	// without, it lands in accelerator L2 over a dedicated interface (the
+	// Section V variant) and the link carries only control traffic.
+	Sensor *SensorFeed
+
+	// HostTaskFraction models the Section V scenario of "an additional,
+	// separate task performed on the host at the same time": the fraction
+	// of host cycles (0..0.9) consumed by that task. Link-driving phases
+	// stretch by 1/(1-f), and the host never sleeps (it runs its task
+	// while the accelerator computes), which raises the MCU energy.
+	HostTaskFraction float64
+}
+
+// SensorFeed describes the per-iteration input acquisition path.
+type SensorFeed struct {
+	AcquireTime   float64 // seconds to move one sample over the sensor bus
+	SampleEnergyJ float64 // acquisition energy per sample
+	ViaLink       bool    // true: sensor -> MCU -> SPI; false: sensor -> L2
+}
+
+// Report is the full accounting of one offload.
+type Report struct {
+	// Sizes.
+	BinaryBytes int
+	InBytes     int
+	OutBytes    int
+
+	// Phase durations (seconds).
+	BinTime     float64 // binary image + descriptor over the link
+	InTime      float64 // one iteration's input transfer (incl. trigger)
+	OutTime     float64 // one iteration's output transfer (incl. wake)
+	ComputeTime float64 // one iteration on the accelerator
+
+	Iterations   int
+	DoubleBuffer bool
+
+	TotalTime float64 // whole offload, all iterations
+	IdealTime float64 // Iterations * ComputeTime (the Fig. 5b ideal)
+	// Efficiency = IdealTime / TotalTime, the y axis of Fig. 5b.
+	Efficiency float64
+
+	ComputeCycles uint64
+	Activity      power.Activity
+	Energy        power.Energy
+
+	// Power levels for reference (W).
+	AccPowerW  float64 // accelerator while computing
+	HostPowerW float64 // host while driving the link
+	LinkPowerW float64 // link while clocking
+}
+
+// gpioCycles is the cost of a GPIO edge plus interrupt entry on the host
+// (fetch-enable trigger, EOC wake).
+const gpioCycles = 20
+
+// Offload runs one offload of the job and returns the device's output
+// bytes plus the full time/energy report.
+func (s *System) Offload(job loader.Job, opts Options) ([]byte, *Report, error) {
+	if opts.Iterations <= 0 {
+		opts.Iterations = 1
+	}
+	if opts.MaxCycles == 0 {
+		opts.MaxCycles = 2_000_000_000
+	}
+	if job.Threads == 0 {
+		job.Threads = uint32(s.AccCfg.Cores)
+	}
+	if opts.HostTaskFraction < 0 || opts.HostTaskFraction > 0.9 {
+		return nil, nil, fmt.Errorf("core: host task fraction %v out of [0, 0.9]", opts.HostTaskFraction)
+	}
+	if job.StackCores == 0 {
+		job.StackCores = s.AccCfg.Cores
+	}
+	lay, err := loader.Plan(job, s.AccCfg.TCDMSize, s.AccCfg.L2Size)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Serialize the binary and re-parse it: the byte stream on the link is
+	// all the accelerator side ever sees.
+	image, err := job.Prog.Image()
+	if err != nil {
+		return nil, nil, err
+	}
+	parsed, err := asm.ParseImage(image)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	acc := cluster.New(s.AccCfg)
+	if err := acc.LoadProgram(parsed, false); err != nil {
+		return nil, nil, err
+	}
+
+	// Host-side loader: text+data+descriptor over the link.
+	textBytes := image[36 : 36+4*len(parsed.Text)]
+	tBin, err := s.Link.Write(acc.L2, parsed.TextBase, textBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(parsed.Data) > 0 {
+		t, err := s.Link.Write(acc.L2, parsed.DataLMA, parsed.Data)
+		if err != nil {
+			return nil, nil, err
+		}
+		tBin += t
+	}
+	t, err := s.Link.Write(acc.L2, hw.DescBase, loader.Descriptor(job, lay))
+	if err != nil {
+		return nil, nil, err
+	}
+	tBin += t
+
+	// One iteration's input transfer + fetch-enable trigger. A sensor feed
+	// adds its acquisition time; the direct-to-L2 wiring bypasses the link.
+	tIn := float64(gpioCycles) / s.Host.FreqHz
+	inViaLink := true
+	if opts.Sensor != nil {
+		tIn += opts.Sensor.AcquireTime
+		inViaLink = opts.Sensor.ViaLink
+	}
+	if len(job.In) > 0 {
+		if inViaLink {
+			t, err := s.Link.Write(acc.L2, lay.InLMA, job.In)
+			if err != nil {
+				return nil, nil, err
+			}
+			tIn += t
+		} else if err := acc.L2.WriteBytes(lay.InLMA, job.In); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Run the accelerator (functionally: once; the timeline scales it).
+	acc.Start(parsed.Entry)
+	res, err := acc.Run(opts.MaxCycles)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: offloaded %s: %w", job.Prog.Name, err)
+	}
+	if !res.EOC || res.EOCValue != 1 {
+		return nil, nil, fmt.Errorf("core: offloaded %s did not complete: %+v", job.Prog.Name, res)
+	}
+	stats := acc.CollectStats()
+	act := power.ActivityOf(stats)
+	tComp := float64(res.Cycles) / s.FAcc
+
+	// Output transfer + EOC wake.
+	var out []byte
+	tOut := float64(gpioCycles) / s.Host.FreqHz
+	if job.OutLen > 0 {
+		data, t, err := s.Link.Read(acc.L2, lay.OutLMA, job.OutLen)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = data
+		tOut += t
+	}
+
+	// A concurrent host task steals cycles from every host-driven phase.
+	if f := opts.HostTaskFraction; f > 0 {
+		stretch := 1 / (1 - f)
+		tBin *= stretch
+		tIn *= stretch
+		tOut *= stretch
+	}
+
+	// Timeline composition over the iterations.
+	n := float64(opts.Iterations)
+	var total float64
+	if opts.DoubleBuffer {
+		steady := tComp
+		if xfer := tIn + tOut; xfer > steady {
+			steady = xfer
+		}
+		total = tBin + tIn + (n-1)*steady + tComp + tOut
+	} else {
+		total = tBin + n*(tIn+tComp+tOut)
+	}
+	ideal := n * tComp
+
+	// Energy composition.
+	linkCfg := s.Link.Cfg
+	eIn := linkCfg.TransferEnergy(len(job.In))
+	if !inViaLink {
+		eIn = 0
+	}
+	eOut := linkCfg.TransferEnergy(int(job.OutLen))
+	eBin := linkCfg.TransferEnergy(len(image) + int(hw.DescSize))
+	xferTime := tBin + n*(tIn+tOut)
+	computeTime := n * tComp
+	accRun := power.PULPPowerW(s.Vdd, s.FAcc, act)
+	accIdle := power.PULPPowerW(s.Vdd, s.FAcc, power.IdleActivity(s.AccCfg.Cores))
+	idleTime := total - computeTime
+	if idleTime < 0 {
+		idleTime = 0
+	}
+	mcuJ := s.Host.RunPowerW()*xferTime + s.Host.Model.SleepW*(total-xferTime)
+	if opts.HostTaskFraction > 0 {
+		// The host runs its own task whenever it is not driving the link.
+		mcuJ = s.Host.RunPowerW() * total
+	}
+	en := power.Energy{
+		SPIJ:  eBin + n*(eIn+eOut),
+		MCUJ:  mcuJ,
+		PULPJ: accRun*computeTime + accIdle*idleTime,
+	}
+	if opts.Sensor != nil {
+		en.SensorJ = n * opts.Sensor.SampleEnergyJ
+	}
+
+	rep := &Report{
+		BinaryBytes:   len(image),
+		InBytes:       len(job.In),
+		OutBytes:      int(job.OutLen),
+		BinTime:       tBin,
+		InTime:        tIn,
+		OutTime:       tOut,
+		ComputeTime:   tComp,
+		Iterations:    opts.Iterations,
+		DoubleBuffer:  opts.DoubleBuffer,
+		TotalTime:     total,
+		IdealTime:     ideal,
+		Efficiency:    ideal / total,
+		ComputeCycles: res.Cycles,
+		Activity:      act,
+		Energy:        en,
+		AccPowerW:     accRun,
+		HostPowerW:    s.Host.RunPowerW(),
+		LinkPowerW:    power.SPIPowerW(linkCfg.ClockHz, linkCfg.Lanes),
+	}
+	return out, rep, nil
+}
+
+// Baseline runs the job natively on the host MCU for comparison.
+func (s *System) Baseline(job loader.Job, maxCycles uint64) (*mcu.BaselineResult, error) {
+	if maxCycles == 0 {
+		maxCycles = 2_000_000_000
+	}
+	return s.Host.RunBaseline(job, maxCycles)
+}
+
+// TotalComputePowerW is the system power while the accelerator computes
+// and the host sleeps — the quantity constrained to 10 mW in Fig. 5a.
+func (s *System) TotalComputePowerW(act power.Activity) float64 {
+	return power.PULPPowerW(s.Vdd, s.FAcc, act) + s.Host.Model.SleepW
+}

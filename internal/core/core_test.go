@@ -1,0 +1,204 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hetsim/internal/core"
+	"hetsim/internal/devrt"
+	"hetsim/internal/isa"
+	"hetsim/internal/kernels"
+	"hetsim/internal/loader"
+	"hetsim/internal/power"
+)
+
+func testSystem(t *testing.T, mcuHz float64) *core.System {
+	t.Helper()
+	return testSystemOp(t, mcuHz, 0.8, 200e6)
+}
+
+func testSystemOp(t *testing.T, mcuHz, vdd, accHz float64) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{
+		Host:       power.STM32L476,
+		HostFreqHz: mcuHz,
+		Lanes:      4,
+		AccVdd:     vdd,
+		AccFreqHz:  accHz,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func kernelJob(t *testing.T, k *kernels.Instance, seed uint64) (loader.Job, []byte) {
+	t.Helper()
+	prog, err := k.Build(isa.PULPFull, devrt.Accel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := k.Input(seed)
+	job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: 4, Args: k.Args()}
+	return job, k.Golden(in)
+}
+
+func TestOffloadEndToEndMatchesGolden(t *testing.T) {
+	sys := testSystem(t, 16e6)
+	for _, k := range []*kernels.Instance{kernels.MatMulChar(16), kernels.SVM(kernels.SVMRBF, 16, 8, 6)} {
+		job, want := kernelJob(t, k, 9)
+		out, rep, err := sys.Offload(job, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if !bytes.Equal(out, want) {
+			t.Fatalf("%s: offloaded output differs from golden", k.Name)
+		}
+		if rep.ComputeCycles == 0 || rep.ComputeTime <= 0 || rep.BinTime <= 0 {
+			t.Fatalf("%s: degenerate report %+v", k.Name, rep)
+		}
+		if rep.Efficiency <= 0 || rep.Efficiency > 1 {
+			t.Fatalf("%s: efficiency %v out of range", k.Name, rep.Efficiency)
+		}
+		if rep.Energy.TotalJ() <= 0 {
+			t.Fatalf("%s: no energy accounted", k.Name)
+		}
+	}
+}
+
+func TestOffloadAmortization(t *testing.T) {
+	// Efficiency must be monotone non-decreasing in iterations per offload
+	// and approach a limit; double buffering must not hurt.
+	sys := testSystem(t, 16e6)
+	k := kernels.MatMulChar(32)
+	job, _ := kernelJob(t, k, 2)
+	prev := 0.0
+	for _, n := range []int{1, 4, 16, 64} {
+		_, rep, err := sys.Offload(job, core.Options{Iterations: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Efficiency+1e-12 < prev {
+			t.Fatalf("efficiency decreased at n=%d: %v -> %v", n, prev, rep.Efficiency)
+		}
+		prev = rep.Efficiency
+	}
+	_, plain, err := sys.Offload(job, core.Options{Iterations: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, db, err := sys.Offload(job, core.Options{Iterations: 64, DoubleBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Efficiency < plain.Efficiency {
+		t.Fatalf("double buffering hurt: %v < %v", db.Efficiency, plain.Efficiency)
+	}
+	if db.TotalTime > plain.TotalTime {
+		t.Fatalf("double buffering slower: %v > %v", db.TotalTime, plain.TotalTime)
+	}
+}
+
+func TestBaselineMatchesGoldenAndIsSlower(t *testing.T) {
+	sys := testSystem(t, 32e6)
+	k := kernels.MatMulChar(32)
+	prog, err := k.Build(isa.CortexM4, devrt.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := k.Input(4)
+	base, err := sys.Baseline(loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Args: k.Args()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(base.Out, k.Golden(in)) {
+		t.Fatal("baseline output differs from golden")
+	}
+	// Offloaded compute at 200 MHz / 4 cores must beat the 32 MHz MCU.
+	job, _ := kernelJob(t, k, 4)
+	_, rep, err := sys.Offload(job, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := base.Seconds / rep.ComputeTime
+	if speedup < 10 {
+		t.Fatalf("accelerated speedup = %.1f, expected >> 10", speedup)
+	}
+}
+
+func TestSlowLinkPlateau(t *testing.T) {
+	// With a very slow MCU (hence slow SPI), efficiency should plateau well
+	// below 1 even with double buffering — the Fig. 5b bandwidth limit.
+	// Accelerator operating points follow the 10 mW envelope: a slow MCU
+	// leaves a big PULP budget (fast accelerator, even slower relative
+	// link), a 26 MHz MCU leaves ~1.4 mW (slow accelerator).
+	slow := testSystemOp(t, 2e6, 0.8, 220e6)
+	fast := testSystemOp(t, 26e6, 0.6, 45e6)
+	k := kernels.MatMulChar(64)
+	job, _ := kernelJob(t, k, 3)
+	_, repSlow, err := slow.Offload(job, core.Options{Iterations: 256, DoubleBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repFast, err := fast.Offload(job, core.Options{Iterations: 256, DoubleBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repSlow.Efficiency >= repFast.Efficiency {
+		t.Fatalf("slow link (%v) should be less efficient than fast (%v)",
+			repSlow.Efficiency, repFast.Efficiency)
+	}
+	if repFast.Efficiency < 0.5 {
+		t.Errorf("fast-link efficiency at 256 iterations = %v, expected to approach 1", repFast.Efficiency)
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	bad := []core.Config{
+		{Host: power.STM32L476, HostFreqHz: 500e6, Lanes: 4, AccVdd: 0.8, AccFreqHz: 100e6}, // over MCU fmax
+		{Host: power.STM32L476, HostFreqHz: 16e6, Lanes: 2, AccVdd: 0.8, AccFreqHz: 100e6},  // bad lanes
+		{Host: power.STM32L476, HostFreqHz: 16e6, Lanes: 4, AccVdd: 0.6, AccFreqHz: 400e6},  // over acc fmax
+	}
+	for i, cfg := range bad {
+		if _, err := core.NewSystem(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestTotalComputePower(t *testing.T) {
+	sys := testSystem(t, 16e6)
+	p := sys.TotalComputePowerW(power.Activity{CoreRun: 4, TCDM: 1.4})
+	if p <= 0 || p > 20e-3 {
+		t.Fatalf("implausible compute power %v W", p)
+	}
+}
+
+func TestHostTaskFraction(t *testing.T) {
+	sys := testSystem(t, 16e6)
+	k := kernels.MatMulChar(32)
+	job, _ := kernelJob(t, k, 6)
+	_, idle, err := sys.Offload(job, core.Options{Iterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, busy, err := sys.Offload(job, core.Options{Iterations: 8, HostTaskFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy.TotalTime <= idle.TotalTime {
+		t.Errorf("a concurrent host task must slow the offload: %v vs %v",
+			busy.TotalTime, idle.TotalTime)
+	}
+	if busy.Energy.MCUJ <= idle.Energy.MCUJ {
+		t.Errorf("a busy host must burn more energy: %v vs %v",
+			busy.Energy.MCUJ, idle.Energy.MCUJ)
+	}
+	// The accelerator-side compute is unaffected.
+	if busy.ComputeCycles != idle.ComputeCycles {
+		t.Error("host task must not change accelerator cycles")
+	}
+	if _, _, err := sys.Offload(job, core.Options{HostTaskFraction: 0.95}); err == nil {
+		t.Error("fraction above 0.9 must be rejected")
+	}
+}

@@ -1,0 +1,643 @@
+// Package cpu implements the in-order core model that executes the ISA of
+// internal/isa. The same interpreter, parameterized by an isa.Target,
+// models the OR10N cores of the PULP cluster (with MAC, SIMD, hardware
+// loops and post-increment addressing), the plain-RISC configuration used
+// to count Table I's RISC operations, and the Cortex-M3/M4 hosts.
+//
+// The core is cycle-stepped: the surrounding cluster calls Step once per
+// cycle, and memory accesses go through an environment interface that
+// performs TCDM bank arbitration, I/O dispatch and sleep control.
+package cpu
+
+import (
+	"fmt"
+
+	"hetsim/internal/isa"
+)
+
+// Status is the outcome of a data-memory access attempt.
+type Status uint8
+
+const (
+	// AccessOK: the access completed this cycle (extra pipeline cycles may
+	// still be reported separately).
+	AccessOK Status = iota
+	// AccessRetry: structural stall (bank conflict, mutex spin); the core
+	// retries the same access next cycle.
+	AccessRetry
+	// AccessSleepBarrier: the store was a barrier arrival that did not
+	// complete the barrier; the core must sleep until woken.
+	AccessSleepBarrier
+)
+
+// Env is the cluster-side environment a core executes in.
+type Env interface {
+	// Access performs a data access for the given core at the current
+	// cycle. extra is the number of additional stall cycles the access
+	// costs beyond the issuing cycle (e.g. L2 latency).
+	Access(core int, store bool, addr, size, wdata uint32) (rdata uint32, extra int, st Status, err error)
+	// WFE reports whether the core must sleep (no pending event latch).
+	WFE(core int) (sleep bool)
+	// SPR reads a special-purpose register.
+	SPR(core int, spr int32) uint32
+}
+
+// SleepKind distinguishes why a core is asleep.
+type SleepKind uint8
+
+const (
+	Awake SleepKind = iota
+	SleepEvent
+	SleepBarrier
+)
+
+type hwLoop struct {
+	start, end uint32
+	count      uint32
+}
+
+type memOp struct {
+	in    isa.Inst
+	addr  uint32
+	size  uint32
+	store bool
+	wdata uint32
+}
+
+// Stats are the core's performance counters (the per-component activity
+// ratios chi of the paper's power model are derived from these).
+type Stats struct {
+	Retired uint64 // instructions retired
+	Active  uint64 // cycles doing work (issue or multi-cycle execute)
+	Stall   uint64 // cycles stalled (conflicts, hazards, I$ misses)
+	Sleep   uint64 // cycles asleep in WFE/barrier
+}
+
+// Core is one simulated core.
+type Core struct {
+	ID     int
+	Target isa.Target
+
+	Regs [isa.NumRegs]uint32
+	PC   uint32
+	Flag bool
+	Acc  int64 // 64-bit MAC accumulator (M-profile)
+
+	lp [2]hwLoop
+
+	env  Env
+	text []isa.Inst
+	base uint32
+
+	// Pre-resolved per-opcode tables (the Target struct is too large to
+	// copy on every instruction).
+	supported [isa.NumOps]bool
+	opCycles  [isa.NumOps]uint8
+
+	// Fetch timing: cluster-provided callback; returns the cycle at which
+	// the fetch of pc completes (== now on a hit). Nil = perfect fetch.
+	Fetch func(pc uint32, now uint64) uint64
+	// FetchLineMask models the core's line prefetch buffer: while the PC
+	// stays within the last fetched line (pc &^ mask unchanged), the cache
+	// is not consulted again. 0 disables the buffer.
+	FetchLineMask uint32
+	fetchedLine   uint32
+
+	sleep      SleepKind
+	stallUntil uint64
+	pending    memOp
+	hasPending bool
+
+	lastLoadReg   isa.Reg
+	lastLoadArmed bool
+
+	Halted   bool
+	TrapCode int32
+	Err      error
+
+	// Trace, when non-nil, is called once per retired instruction (before
+	// the PC advances). Nil costs nothing on the hot path.
+	Trace func(cycle uint64, pc uint32, in isa.Inst)
+
+	Stats Stats
+}
+
+// New builds a core with the given id and target, attached to env.
+func New(id int, target isa.Target, env Env) *Core {
+	c := &Core{ID: id, Target: target, env: env}
+	for op := isa.Op(0); op < isa.Op(isa.NumOps); op++ {
+		c.supported[op] = target.Supports(op)
+		c.opCycles[op] = uint8(target.OpCycles(op))
+	}
+	return c
+}
+
+// SetProgram installs the pre-decoded text segment.
+func (c *Core) SetProgram(text []isa.Inst, base uint32) {
+	c.text = text
+	c.base = base
+}
+
+// Start resets architectural state and begins execution at entry.
+func (c *Core) Start(entry uint32) {
+	c.Regs = [isa.NumRegs]uint32{}
+	c.PC = entry
+	c.Flag = false
+	c.Acc = 0
+	c.lp = [2]hwLoop{}
+	c.sleep = Awake
+	c.stallUntil = 0
+	c.hasPending = false
+	c.fetchedLine = ^uint32(0)
+	c.lastLoadArmed = false
+	c.Halted = false
+	c.TrapCode = 0
+	c.Err = nil
+}
+
+// Asleep returns the core's sleep state.
+func (c *Core) Asleep() SleepKind { return c.sleep }
+
+// Sleeping reports whether the core is asleep.
+func (c *Core) Sleeping() bool { return c.sleep != Awake }
+
+// Wake wakes a sleeping core; it resumes after the target's wake-up
+// latency counted from cycle now.
+func (c *Core) Wake(now uint64) {
+	if c.sleep == Awake {
+		return
+	}
+	c.sleep = Awake
+	c.stallUntil = now + uint64(c.Target.Time.WakeUp)
+}
+
+// SleepNow forces the core to sleep (used for cores outside the team).
+func (c *Core) SleepNow(kind SleepKind) { c.sleep = kind }
+
+func (c *Core) fail(err error) {
+	c.Halted = true
+	if c.Err == nil {
+		c.Err = fmt.Errorf("core %d at pc=%#x: %w", c.ID, c.PC, err)
+	}
+}
+
+func (c *Core) reg(r isa.Reg) uint32 { return c.Regs[r] }
+
+func (c *Core) setReg(r isa.Reg, v uint32) {
+	if r != isa.R0 {
+		c.Regs[r] = v
+	}
+}
+
+// Step advances the core by one cycle.
+func (c *Core) Step(now uint64) {
+	if c.Halted {
+		return
+	}
+	if c.sleep != Awake {
+		c.Stats.Sleep++
+		return
+	}
+	if c.stallUntil > now {
+		c.Stats.Stall++
+		return
+	}
+	if c.hasPending {
+		c.retryMem(now)
+		return
+	}
+
+	// Fetch: the line prefetch buffer short-circuits the shared cache
+	// while execution stays within the current line.
+	if c.Fetch != nil {
+		line := c.PC &^ c.FetchLineMask
+		if c.FetchLineMask == 0 || line != c.fetchedLine {
+			if done := c.Fetch(c.PC, now); done > now {
+				c.stallUntil = done
+				c.Stats.Stall++
+				return
+			}
+			c.fetchedLine = line
+		}
+	}
+	idx := (c.PC - c.base) / 4
+	if c.PC < c.base || idx >= uint32(len(c.text)) {
+		c.fail(fmt.Errorf("fetch outside text segment"))
+		return
+	}
+	in := c.text[idx]
+
+	if !c.supported[in.Op] {
+		c.fail(fmt.Errorf("illegal instruction for target %s: %v", c.Target.Name, in))
+		return
+	}
+
+	// Load-use hazard: one bubble if the previous instruction was a load
+	// and this one consumes its result.
+	if c.lastLoadArmed {
+		c.lastLoadArmed = false
+		if c.Target.Time.LoadUse > 0 && readsReg(in, c.lastLoadReg) {
+			c.stallUntil = now + uint64(c.Target.Time.LoadUse)
+			c.Stats.Stall++
+			return
+		}
+	}
+
+	c.execute(in, now)
+}
+
+// readsReg reports whether the instruction sources register r (r != R0).
+func readsReg(in isa.Inst, r isa.Reg) bool {
+	if r == isa.R0 {
+		return false
+	}
+	switch in.Op.Format() {
+	case isa.FmtR:
+		if in.Ra == r || in.Rb == r {
+			return true
+		}
+		// Accumulating ops also read their destination.
+		switch in.Op {
+		case isa.MAC, isa.MSU, isa.DOTP4B, isa.DOTP2H:
+			return in.Rd == r
+		}
+		return false
+	case isa.FmtI:
+		if in.Op == isa.ORIL { // rd is read-modify-write
+			return in.Rd == r
+		}
+		return in.Ra == r
+	case isa.FmtIH:
+		return in.Op == isa.ORIL && in.Rd == r
+	case isa.FmtS:
+		return in.Ra == r || in.Rb == r
+	case isa.FmtJR:
+		return in.Ra == r
+	case isa.FmtLP:
+		return in.Ra == r
+	}
+	return false
+}
+
+// advancePC computes the next PC, applying hardware-loop wraparound.
+func (c *Core) advancePC(next uint32) {
+	for i := 0; i < 2; i++ {
+		l := &c.lp[i]
+		if l.count > 0 && next == l.end {
+			if l.count > 1 {
+				l.count--
+				next = l.start
+			} else {
+				l.count = 0
+			}
+			break
+		}
+	}
+	c.PC = next
+}
+
+func (c *Core) execute(in isa.Inst, now uint64) {
+	if in.Op.IsLoad() || in.Op.IsStore() {
+		c.issueMem(in, now) // stats counted on completion
+		return
+	}
+	c.Stats.Active++
+	c.Stats.Retired++
+	if c.Trace != nil {
+		c.Trace(now, c.PC, in)
+	}
+
+	a := c.reg(in.Ra)
+	b := c.reg(in.Rb)
+	next := c.PC + 4
+	extra := int(c.opCycles[in.Op]) - 1
+
+	switch in.Op {
+	case isa.NOP:
+
+	case isa.J:
+		next = uint32(int64(c.PC) + 4 + int64(in.Imm)*4)
+		extra += c.Target.Time.Jump
+	case isa.JAL:
+		c.setReg(isa.LR, c.PC+4)
+		next = uint32(int64(c.PC) + 4 + int64(in.Imm)*4)
+		extra += c.Target.Time.Jump
+	case isa.JR:
+		next = a
+		extra += c.Target.Time.Jump
+	case isa.JALR:
+		c.setReg(in.Rd, c.PC+4)
+		next = a
+		extra += c.Target.Time.Jump
+	case isa.BF, isa.BNF:
+		taken := c.Flag == (in.Op == isa.BF)
+		if taken {
+			next = uint32(int64(c.PC) + 4 + int64(in.Imm)*4)
+			extra += c.Target.Time.BranchTaken
+		}
+	case isa.TRAP:
+		c.Halted = true
+		c.TrapCode = in.Imm
+		return
+	case isa.WFE:
+		if c.env.WFE(c.ID) {
+			c.sleep = SleepEvent
+		}
+		c.advancePC(next)
+		return
+
+	case isa.SFEQ:
+		c.Flag = a == b
+	case isa.SFNE:
+		c.Flag = a != b
+	case isa.SFLTS:
+		c.Flag = int32(a) < int32(b)
+	case isa.SFLES:
+		c.Flag = int32(a) <= int32(b)
+	case isa.SFGTS:
+		c.Flag = int32(a) > int32(b)
+	case isa.SFGES:
+		c.Flag = int32(a) >= int32(b)
+	case isa.SFLTU:
+		c.Flag = a < b
+	case isa.SFLEU:
+		c.Flag = a <= b
+	case isa.SFGTU:
+		c.Flag = a > b
+	case isa.SFGEU:
+		c.Flag = a >= b
+	case isa.SFEQI:
+		c.Flag = a == uint32(in.Imm)
+	case isa.SFNEI:
+		c.Flag = a != uint32(in.Imm)
+	case isa.SFLTSI:
+		c.Flag = int32(a) < in.Imm
+	case isa.SFLESI:
+		c.Flag = int32(a) <= in.Imm
+	case isa.SFGTSI:
+		c.Flag = int32(a) > in.Imm
+	case isa.SFGESI:
+		c.Flag = int32(a) >= in.Imm
+	case isa.SFLTUI:
+		c.Flag = a < uint32(in.Imm)
+	case isa.SFGEUI:
+		c.Flag = a >= uint32(in.Imm)
+
+	case isa.ADD:
+		c.setReg(in.Rd, a+b)
+	case isa.SUB:
+		c.setReg(in.Rd, a-b)
+	case isa.AND:
+		c.setReg(in.Rd, a&b)
+	case isa.OR:
+		c.setReg(in.Rd, a|b)
+	case isa.XOR:
+		c.setReg(in.Rd, a^b)
+	case isa.SLL:
+		c.setReg(in.Rd, a<<(b&31))
+	case isa.SRL:
+		c.setReg(in.Rd, a>>(b&31))
+	case isa.SRA:
+		c.setReg(in.Rd, uint32(int32(a)>>(b&31)))
+	case isa.MUL:
+		c.setReg(in.Rd, uint32(int32(a)*int32(b)))
+	case isa.DIV:
+		c.setReg(in.Rd, divS(a, b))
+	case isa.DIVU:
+		c.setReg(in.Rd, divU(a, b))
+	case isa.MIN:
+		if int32(a) < int32(b) {
+			c.setReg(in.Rd, a)
+		} else {
+			c.setReg(in.Rd, b)
+		}
+	case isa.MAX:
+		if int32(a) > int32(b) {
+			c.setReg(in.Rd, a)
+		} else {
+			c.setReg(in.Rd, b)
+		}
+	case isa.MINU:
+		if a < b {
+			c.setReg(in.Rd, a)
+		} else {
+			c.setReg(in.Rd, b)
+		}
+	case isa.MAXU:
+		if a > b {
+			c.setReg(in.Rd, a)
+		} else {
+			c.setReg(in.Rd, b)
+		}
+	case isa.MAC:
+		c.setReg(in.Rd, uint32(int32(c.reg(in.Rd))+int32(a)*int32(b)))
+	case isa.MSU:
+		c.setReg(in.Rd, uint32(int32(c.reg(in.Rd))-int32(a)*int32(b)))
+	case isa.SEXTB:
+		c.setReg(in.Rd, uint32(int32(int8(a))))
+	case isa.SEXTH:
+		c.setReg(in.Rd, uint32(int32(int16(a))))
+
+	case isa.ADDI:
+		c.setReg(in.Rd, a+uint32(in.Imm))
+	case isa.ANDI:
+		c.setReg(in.Rd, a&uint32(in.Imm))
+	case isa.ORI:
+		c.setReg(in.Rd, a|uint32(in.Imm))
+	case isa.XORI:
+		c.setReg(in.Rd, a^uint32(in.Imm))
+	case isa.SLLI:
+		c.setReg(in.Rd, a<<(uint32(in.Imm)&31))
+	case isa.SRLI:
+		c.setReg(in.Rd, a>>(uint32(in.Imm)&31))
+	case isa.SRAI:
+		c.setReg(in.Rd, uint32(int32(a)>>(uint32(in.Imm)&31)))
+	case isa.MOVHI:
+		c.setReg(in.Rd, uint32(in.Imm)<<16)
+	case isa.ORIL:
+		c.setReg(in.Rd, c.reg(in.Rd)|uint32(in.Imm)&0xffff)
+
+	case isa.MACS:
+		c.Acc += int64(int32(a)) * int64(int32(b))
+	case isa.MACU:
+		c.Acc += int64(uint64(a) * uint64(b))
+	case isa.MACCLR:
+		c.Acc = 0
+	case isa.MACRDL:
+		c.setReg(in.Rd, uint32(c.Acc))
+	case isa.MACRDH:
+		c.setReg(in.Rd, uint32(uint64(c.Acc)>>32))
+
+	case isa.DOTP4B:
+		s := int32(c.reg(in.Rd))
+		for i := 0; i < 4; i++ {
+			s += int32(int8(a>>(8*i))) * int32(int8(b>>(8*i)))
+		}
+		c.setReg(in.Rd, uint32(s))
+	case isa.DOTP2H:
+		s := int32(c.reg(in.Rd))
+		for i := 0; i < 2; i++ {
+			s += int32(int16(a>>(16*i))) * int32(int16(b>>(16*i)))
+		}
+		c.setReg(in.Rd, uint32(s))
+	case isa.ADD4B:
+		c.setReg(in.Rd, lanes4(a, b, func(x, y int32) int32 { return x + y }))
+	case isa.SUB4B:
+		c.setReg(in.Rd, lanes4(a, b, func(x, y int32) int32 { return x - y }))
+	case isa.ADD2H:
+		c.setReg(in.Rd, lanes2(a, b, func(x, y int32) int32 { return x + y }))
+	case isa.SUB2H:
+		c.setReg(in.Rd, lanes2(a, b, func(x, y int32) int32 { return x - y }))
+	case isa.SRA2H:
+		sh := b & 15
+		c.setReg(in.Rd, lanes2(a, 0, func(x, _ int32) int32 { return x >> sh }))
+
+	case isa.LPSETUP:
+		i := int(in.Rd)
+		c.lp[i] = hwLoop{
+			start: c.PC + 4,
+			end:   c.PC + 4 + uint32(in.Imm)*4,
+			count: a,
+		}
+		if a == 0 {
+			// Zero-trip loop: skip the body entirely.
+			next = c.PC + 4 + uint32(in.Imm)*4
+			c.lp[i].count = 0
+		}
+
+	case isa.MFSPR:
+		c.setReg(in.Rd, c.env.SPR(c.ID, in.Imm))
+
+	default:
+		c.fail(fmt.Errorf("unimplemented opcode %v", in.Op))
+		return
+	}
+
+	if extra > 0 {
+		// The instruction issued this cycle; extra cycles stall the next one.
+		c.stallUntil = now + uint64(extra) + 1
+	}
+	c.advancePC(next)
+}
+
+func lanes4(a, b uint32, f func(x, y int32) int32) uint32 {
+	var out uint32
+	for i := 0; i < 4; i++ {
+		v := f(int32(int8(a>>(8*i))), int32(int8(b>>(8*i))))
+		out |= uint32(uint8(v)) << (8 * i)
+	}
+	return out
+}
+
+func lanes2(a, b uint32, f func(x, y int32) int32) uint32 {
+	var out uint32
+	for i := 0; i < 2; i++ {
+		v := f(int32(int16(a>>(16*i))), int32(int16(b>>(16*i))))
+		out |= uint32(uint16(v)) << (16 * i)
+	}
+	return out
+}
+
+func divS(a, b uint32) uint32 {
+	if b == 0 {
+		if int32(a) >= 0 {
+			return 0x7fffffff
+		}
+		return 0x80000000
+	}
+	if int32(a) == -0x80000000 && int32(b) == -1 {
+		return 0x80000000
+	}
+	return uint32(int32(a) / int32(b))
+}
+
+func divU(a, b uint32) uint32 {
+	if b == 0 {
+		return 0xffffffff
+	}
+	return a / b
+}
+
+// issueMem starts a load/store. On a grant the access completes this cycle;
+// on a structural conflict the op parks in pending and retries.
+func (c *Core) issueMem(in isa.Inst, now uint64) {
+	size := uint32(in.Op.MemSize())
+	var addr uint32
+	if in.Op.IsPostIncr() {
+		addr = c.reg(in.Ra)
+	} else {
+		addr = c.reg(in.Ra) + uint32(in.Imm)
+	}
+	if addr%size != 0 && !c.Target.Feat.Unaligned {
+		c.fail(fmt.Errorf("unaligned %d-byte access at %#x without unaligned support", size, addr))
+		return
+	}
+	op := memOp{in: in, addr: addr, size: size, store: in.Op.IsStore()}
+	if op.store {
+		op.wdata = c.reg(in.Rb)
+	}
+	c.tryMem(op, now)
+}
+
+func (c *Core) retryMem(now uint64) {
+	op := c.pending
+	c.hasPending = false
+	c.tryMem(op, now)
+}
+
+func (c *Core) tryMem(op memOp, now uint64) {
+	rdata, extra, st, err := c.env.Access(c.ID, op.store, op.addr, op.size, op.wdata)
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	switch st {
+	case AccessRetry:
+		c.pending = op
+		c.hasPending = true
+		c.Stats.Stall++
+		return
+	case AccessSleepBarrier:
+		c.sleep = SleepBarrier
+		c.Stats.Active++
+		c.Stats.Retired++
+		c.advancePC(c.PC + 4)
+		return
+	}
+
+	c.Stats.Active++
+	c.Stats.Retired++
+	if c.Trace != nil {
+		c.Trace(now, c.PC, op.in)
+	}
+	in := op.in
+
+	if !op.store {
+		var v uint32
+		switch in.Op {
+		case isa.LBZ, isa.LBZP:
+			v = rdata & 0xff
+		case isa.LBS, isa.LBSP:
+			v = uint32(int32(int8(rdata)))
+		case isa.LHZ, isa.LHZP:
+			v = rdata & 0xffff
+		case isa.LHS, isa.LHSP:
+			v = uint32(int32(int16(rdata)))
+		default:
+			v = rdata
+		}
+		c.setReg(in.Rd, v)
+		c.lastLoadReg = in.Rd
+		c.lastLoadArmed = true
+	}
+	if in.Op.IsPostIncr() {
+		c.setReg(in.Ra, c.reg(in.Ra)+uint32(in.Imm))
+	}
+	if op.addr%op.size != 0 {
+		extra++ // unaligned access: second bank cycle
+	}
+	if extra > 0 {
+		c.stallUntil = now + uint64(extra) + 1
+	}
+	c.advancePC(c.PC + 4)
+}

@@ -1,0 +1,493 @@
+// Package devrt emits the device-side runtime that every offloaded binary
+// carries: the C-runtime entry (crt0), the slave dispatch loop, and the
+// OpenMP-style parallel-region plumbing over the hardware synchronizer.
+// This is the "streamlined implementation of the OpenMP runtime library"
+// of the paper, as real code in the binary — its overhead (mailbox
+// dispatch, event send, HW barrier) is measured by the simulator, not
+// assumed.
+//
+// Boot protocol (accelerator mode):
+//
+//  1. The host writes the binary image and the job descriptor (hw.Desc*)
+//     into L2 over SPI, then raises the fetch-enable GPIO.
+//  2. All cores start at _start. Each sets its stack from __stack_top;
+//     cores != 0 park in the slave loop (WFE).
+//  3. Core 0 DMAs the initialized-data image L2->TCDM, DMAs the input
+//     buffer L2->TCDM, copies the descriptor into the TCDM __glob block,
+//     and calls `main` once per descriptor iteration.
+//  4. After the last iteration core 0 DMAs the output TCDM->L2, stores 1
+//     to the EOC register (raising the GPIO toward the host) and sleeps.
+//
+// Host mode (MCU baseline) uses the same kernel code but a thin crt0: the
+// loader pre-places data, there is no DMA and no EOC; the core traps at
+// the end. This mirrors the paper's methodology of running the same
+// portable benchmark on both sides.
+package devrt
+
+import (
+	"hetsim/internal/asm"
+	"hetsim/internal/hw"
+	"hetsim/internal/isa"
+)
+
+// Mode selects which crt0 variant is emitted.
+type Mode int
+
+const (
+	// Accel is the offloaded-binary runtime (DMA staging, EOC, slaves).
+	Accel Mode = iota
+	// Host is the MCU-baseline runtime (pre-placed data, trap at end).
+	Host
+)
+
+func (m Mode) String() string {
+	if m == Host {
+		return "host"
+	}
+	return "accel"
+}
+
+// Offsets into the __glob TCDM block where crt0 publishes the descriptor
+// for kernel code (single-cycle access instead of L2 loads).
+const (
+	GlobIn      = 0  // input buffer address (TCDM)
+	GlobOut     = 4  // output buffer address (TCDM)
+	GlobThreads = 8  // team size
+	GlobArg0    = 12 // kernel-specific scalars
+	GlobArg1    = 16
+	GlobArg2    = 20
+	GlobArg3    = 24
+	GlobFn      = 28 // parallel-region function pointer (dispatch mailbox)
+	GlobSize    = 32
+)
+
+// EmitCRT0 emits the runtime entry at the current (necessarily first)
+// position of b. The kernel must define a `main` label; crt0 calls it once
+// per descriptor iteration on core 0.
+func EmitCRT0(b *asm.Builder, mode Mode) {
+	b.Space("__glob", GlobSize, 8)
+
+	b.Label("_start")
+	// sp = __stack_top - coreid*StackSize
+	b.MFSPR(isa.T0, isa.SprCoreID)
+	b.LA(isa.T1, "__stack_top")
+	b.SLLI(isa.T2, isa.T0, log2(hw.StackSize))
+	b.SUB(isa.SP, isa.T1, isa.T2)
+	b.SFI(isa.SFNEI, isa.T0, 0)
+	b.BF("__slave_entry")
+
+	// ---- master (core 0) ----
+	b.LI(isa.S0, int32(hw.DescBase))
+
+	if mode == Accel {
+		// DMA the initialized-data image L2 -> TCDM (if any).
+		b.LW(isa.A2, isa.S0, int32(hw.DescDataLen))
+		b.SFI(isa.SFEQI, isa.A2, 0)
+		skip := b.Uniq("no_data")
+		b.BF(skip)
+		b.LW(isa.A0, isa.S0, int32(hw.DescDataLMA))
+		b.LW(isa.A1, isa.S0, int32(hw.DescDataVMA))
+		emitDMAStart(b, 0)
+		b.Label(skip)
+
+		// DMA the input buffer L2 -> TCDM (if any).
+		b.LW(isa.A2, isa.S0, int32(hw.DescInLen))
+		b.SFI(isa.SFEQI, isa.A2, 0)
+		skipIn := b.Uniq("no_in")
+		b.BF(skipIn)
+		b.LW(isa.A0, isa.S0, int32(hw.DescInLMA))
+		b.LW(isa.A1, isa.S0, int32(hw.DescIn))
+		emitDMAStart(b, 1)
+		b.Label(skipIn)
+
+		emitDMAWait(b)
+	}
+
+	// Publish the descriptor into __glob.
+	b.LA(isa.S1, "__glob")
+	for _, cp := range [][2]uint32{
+		{hw.DescIn, GlobIn},
+		{hw.DescOut, GlobOut},
+		{hw.DescThreads, GlobThreads},
+		{hw.DescArg0, GlobArg0},
+		{hw.DescArg1, GlobArg1},
+		{hw.DescArg2, GlobArg2},
+		{hw.DescArg3, GlobArg3},
+	} {
+		b.LW(isa.T3, isa.S0, int32(cp[0]))
+		b.SW(isa.S1, isa.T3, int32(cp[1]))
+	}
+	b.SW(isa.S1, isa.R0, GlobFn) // clear the dispatch mailbox
+
+	// Iteration loop: call main DescIters times.
+	b.LW(isa.S2, isa.S0, int32(hw.DescIters))
+	b.SFI(isa.SFEQI, isa.S2, 0)
+	done := b.Uniq("iters_done")
+	b.BF(done)
+	loop := b.Uniq("iter_loop")
+	b.Label(loop)
+	b.JAL("main")
+	b.ADDI(isa.S2, isa.S2, -1)
+	b.SFI(isa.SFGTSI, isa.S2, 0)
+	b.BF(loop)
+	b.Label(done)
+
+	if mode == Accel {
+		// DMA the output buffer TCDM -> L2 (if any).
+		b.LI(isa.S0, int32(hw.DescBase))
+		b.LW(isa.A2, isa.S0, int32(hw.DescOutLen))
+		b.SFI(isa.SFEQI, isa.A2, 0)
+		skipOut := b.Uniq("no_out")
+		b.BF(skipOut)
+		b.LW(isa.A0, isa.S0, int32(hw.DescOut))
+		b.LW(isa.A1, isa.S0, int32(hw.DescOutLMA))
+		emitDMAStart(b, 2)
+		emitDMAWait(b)
+		b.Label(skipOut)
+
+		// Signal end of computation and sleep forever.
+		b.LI(isa.T0, int32(hw.SoCCtlBase+hw.SoCEOC))
+		b.LI(isa.T1, 1)
+		b.SW(isa.T0, isa.T1, 0)
+		park := b.Uniq("park")
+		b.Label(park)
+		b.WFE()
+		b.J(park)
+	} else {
+		b.TRAP(0)
+	}
+
+	// ---- slaves ----
+	b.Label("__slave_entry")
+	b.LA(isa.S1, "__glob")
+	b.LI(isa.S2, int32(hw.EvtBase+hw.EvtBarrierArrive))
+	sl := "__slave_loop"
+	b.Label(sl)
+	b.WFE()
+	b.LW(isa.T1, isa.S1, GlobFn)
+	b.SFI(isa.SFEQI, isa.T1, 0)
+	b.BF(sl)
+	b.JALR(isa.LR, isa.T1)
+	// Arrive at the region-end barrier with the team size.
+	b.LW(isa.T2, isa.S1, GlobThreads)
+	b.SW(isa.S2, isa.T2, 0)
+	b.J(sl)
+}
+
+// emitDMAStart emits a channel start: src in A0, dst in A1, len in A2.
+func emitDMAStart(b *asm.Builder, ch int32) {
+	b.LI(isa.T4, int32(hw.DMABase))
+	b.SW(isa.T4, isa.A0, int32(hw.DMASrc))
+	b.SW(isa.T4, isa.A1, int32(hw.DMADst))
+	b.SW(isa.T4, isa.A2, int32(hw.DMALen))
+	b.LI(isa.T5, ch)
+	b.SW(isa.T4, isa.T5, int32(hw.DMAStart))
+}
+
+// emitDMAWait spins until all DMA channels are idle.
+func emitDMAWait(b *asm.Builder) {
+	b.LI(isa.T4, int32(hw.DMABase))
+	l := b.Uniq("dma_wait")
+	b.Label(l)
+	b.LW(isa.T5, isa.T4, int32(hw.DMAStatus))
+	b.SFI(isa.SFNEI, isa.T5, 0)
+	b.BF(l)
+}
+
+// EmitParallel emits an OpenMP-style parallel region at the master's
+// current position: it publishes bodyLabel in the dispatch mailbox, wakes
+// the team's slave cores, runs the body itself, and closes with the HW
+// barrier. bodyLabel must be a function (returns via jr lr) that derives
+// its slice of work from SprCoreID and __glob/GlobThreads. Clobbers T0-T4
+// and LR, like any call.
+//
+// ABI: the body (like every function, `main` included) must preserve the
+// callee-saved registers S0-S9 — the crt0 iteration loop and the slave
+// dispatch loop keep live state in them across calls.
+func EmitParallel(b *asm.Builder, bodyLabel string) {
+	b.LA(isa.T0, "__glob")
+	b.LW(isa.T1, isa.T0, GlobThreads)
+	b.SFI(isa.SFGTSI, isa.T1, 1)
+	solo := b.Uniq("par_solo")
+	b.BNF(solo)
+	// Publish the body and wake cores 1..threads-1.
+	b.LA(isa.T2, bodyLabel)
+	b.SW(isa.T0, isa.T2, GlobFn)
+	b.LI(isa.T3, 1)
+	b.SLL(isa.T3, isa.T3, isa.T1)
+	b.ADDI(isa.T3, isa.T3, -1)
+	b.ANDI(isa.T3, isa.T3, 0x3ffe) // exclude core 0 (self)
+	b.LI(isa.T4, int32(hw.EvtBase+hw.EvtSend))
+	b.SW(isa.T4, isa.T3, 0)
+	b.Label(solo)
+	b.JAL(bodyLabel)
+	// Region-end barrier (only when a team was spawned).
+	b.LA(isa.T0, "__glob")
+	b.LW(isa.T1, isa.T0, GlobThreads)
+	b.SFI(isa.SFGTSI, isa.T1, 1)
+	nobar := b.Uniq("par_nobar")
+	b.BNF(nobar)
+	b.LI(isa.T4, int32(hw.EvtBase+hw.EvtBarrierArrive))
+	b.SW(isa.T4, isa.T1, 0)
+	b.Label(nobar)
+}
+
+// EmitChunk emits the static-schedule bounds computation of an OpenMP
+// `for schedule(static)`: this core's slice [lo, hi) of n total items.
+// lo and hi must be distinct registers; t0..t2-equivalents are clobbered.
+func EmitChunk(b *asm.Builder, n int32, lo, hi isa.Reg) {
+	b.MFSPR(isa.T0, isa.SprCoreID)
+	b.LA(isa.T1, "__glob")
+	b.LW(isa.T1, isa.T1, GlobThreads)
+	// chunk = (n + threads - 1) / threads
+	b.LI(isa.T2, n)
+	b.ADD(isa.T3, isa.T2, isa.T1)
+	b.ADDI(isa.T3, isa.T3, -1)
+	b.DIVU(isa.T3, isa.T3, isa.T1)
+	// lo = min(id*chunk, n); hi = min(lo+chunk, n)
+	b.MUL(lo, isa.T3, isa.T0)
+	b.ADD(hi, lo, isa.T3)
+	b.SF(isa.SFGTS, lo, isa.T2)
+	noClampLo := b.Uniq("chunk_lo")
+	b.BNF(noClampLo)
+	b.MOV(lo, isa.T2)
+	b.Label(noClampLo)
+	b.SF(isa.SFGTS, hi, isa.T2)
+	noClampHi := b.Uniq("chunk_hi")
+	b.BNF(noClampHi)
+	b.MOV(hi, isa.T2)
+	b.Label(noClampHi)
+}
+
+// EmitPrologue saves LR and the given callee-saved registers on the stack.
+func EmitPrologue(b *asm.Builder, saved ...isa.Reg) {
+	frame := 4 * int32(len(saved)+1)
+	b.ADDI(isa.SP, isa.SP, -frame)
+	b.SW(isa.SP, isa.LR, 0)
+	for i, r := range saved {
+		b.SW(isa.SP, r, int32(4*(i+1)))
+	}
+}
+
+// EmitEpilogue restores what EmitPrologue saved and returns.
+func EmitEpilogue(b *asm.Builder, saved ...isa.Reg) {
+	frame := 4 * int32(len(saved)+1)
+	b.LW(isa.LR, isa.SP, 0)
+	for i, r := range saved {
+		b.LW(r, isa.SP, int32(4*(i+1)))
+	}
+	b.ADDI(isa.SP, isa.SP, frame)
+	b.Ret()
+}
+
+func log2(v uint32) int32 {
+	n := int32(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// --- Loop helper -------------------------------------------------------------
+
+// EmitLoop emits a counted loop around body. On hardware-loop targets it
+// uses lp.setup (zero overhead); otherwise it emits the compare-and-branch
+// idiom an optimizing compiler produces, unrolling the body `unroll` times
+// per branch (count must be divisible by unroll on non-HWLoop targets —
+// kernels choose sizes accordingly).
+//
+// countReg is consumed (decremented) on non-HWLoop targets. The body
+// callback is invoked once per unrolled copy with the copy index.
+func EmitLoop(b *asm.Builder, t isa.Target, countReg isa.Reg, loopIdx int, unroll int, body func(u int)) {
+	if unroll < 1 {
+		unroll = 1
+	}
+	if t.Feat.HWLoop {
+		end := b.Uniq("hwl_end")
+		b.LPSetup(loopIdx, countReg, end)
+		body(0)
+		b.Label(end)
+		return
+	}
+	if unroll > 1 {
+		b.SRLI(countReg, countReg, uint32ToShift(unroll))
+	}
+	top := b.Uniq("loop_top")
+	done := b.Uniq("loop_done")
+	b.SFI(isa.SFEQI, countReg, 0)
+	b.BF(done)
+	b.Label(top)
+	for u := 0; u < unroll; u++ {
+		body(u)
+	}
+	b.ADDI(countReg, countReg, -1)
+	b.SFI(isa.SFGTSI, countReg, 0)
+	b.BF(top)
+	b.Label(done)
+}
+
+func uint32ToShift(unroll int) int32 {
+	s := int32(0)
+	for v := 1; v < unroll; v <<= 1 {
+		s++
+	}
+	return s
+}
+
+// --- 64-bit soft arithmetic ---------------------------------------------------
+
+// Acc64 abstracts a 64-bit multiply-accumulate chain across targets.
+//
+// On Mac64 targets (Cortex-M3/M4) Mac is a single SMLAL-style instruction
+// into the hardware accumulator, so long accumulation loops cost one cycle
+// per element. On everything else (OR10N included — the paper's point) the
+// accumulator lives in the Lo/Hi register pair and every Mac expands to
+// the software 16x16 decomposition with carry fix-up: the "SW-emulated
+// 64-bit variables for accumulation" that cause hog's architectural
+// slowdown on PULP in Fig. 4.
+type Acc64 struct {
+	T      isa.Target
+	Lo, Hi isa.Reg    // soft-path accumulator registers
+	Tmp    [5]isa.Reg // scratch, distinct from Lo/Hi and operands
+}
+
+// Clear zeroes the accumulator.
+func (a Acc64) Clear(b *asm.Builder) {
+	if a.T.Feat.Mac64 {
+		b.MACCLR()
+		return
+	}
+	b.LI(a.Lo, 0)
+	b.LI(a.Hi, 0)
+}
+
+// Mac emits acc += sext64(x) * sext64(y). x and y are preserved.
+func (a Acc64) Mac(b *asm.Builder, x, y isa.Reg) {
+	if a.T.Feat.Mac64 {
+		b.MACS(x, y)
+		return
+	}
+	xl, xh, yl, yh, p := a.Tmp[0], a.Tmp[1], a.Tmp[2], a.Tmp[3], a.Tmp[4]
+	// Unsigned 16-bit split (xl = x & 0xffff via shifts: ANDI is 14-bit).
+	b.SLLI(xl, x, 16)
+	b.SRLI(xl, xl, 16)
+	b.SRLI(xh, x, 16) // unsigned 32x32 first, sign-fix at the end
+	b.SLLI(yl, y, 16)
+	b.SRLI(yl, yl, 16)
+	b.SRLI(yh, y, 16)
+
+	// ll = xl*yl: lo += ll, carry into hi.
+	b.MUL(p, xl, yl)
+	b.ADD(a.Lo, a.Lo, p)
+	b.SF(isa.SFLTU, a.Lo, p)
+	nc1 := b.Uniq("mac64_c1")
+	b.BNF(nc1)
+	b.ADDI(a.Hi, a.Hi, 1)
+	b.Label(nc1)
+
+	// Cross terms: lo += (cross<<16) with carry, hi += cross>>16.
+	// The first cross product frees xh as scratch, the second frees yl.
+	for _, trip := range [][3]isa.Reg{{xh, yl, xh}, {xl, yh, yl}} {
+		b.MUL(p, trip[0], trip[1])
+		hiPart := trip[2]
+		b.SRLI(hiPart, p, 16)
+		b.SLLI(p, p, 16)
+		b.ADD(a.Lo, a.Lo, p)
+		b.SF(isa.SFLTU, a.Lo, p)
+		nc := b.Uniq("mac64_cm")
+		b.BNF(nc)
+		b.ADDI(a.Hi, a.Hi, 1)
+		b.Label(nc)
+		b.ADD(a.Hi, a.Hi, hiPart)
+	}
+
+	// hh = xh*yh into hi (xh/yh were clobbered: recompute).
+	b.SRLI(xh, x, 16)
+	b.SRLI(yh, y, 16)
+	b.MUL(p, xh, yh)
+	b.ADD(a.Hi, a.Hi, p)
+
+	// Sign corrections: if x<0 hi -= y; if y<0 hi -= x.
+	sx := b.Uniq("mac64_sx")
+	b.SFI(isa.SFGESI, x, 0)
+	b.BF(sx)
+	b.SUB(a.Hi, a.Hi, y)
+	b.Label(sx)
+	sy := b.Uniq("mac64_sy")
+	b.SFI(isa.SFGESI, y, 0)
+	b.BF(sy)
+	b.SUB(a.Hi, a.Hi, x)
+	b.Label(sy)
+}
+
+// Read moves the accumulator into lo/hi registers.
+func (a Acc64) Read(b *asm.Builder, lo, hi isa.Reg) {
+	if a.T.Feat.Mac64 {
+		b.MACRDL(lo)
+		b.MACRDH(hi)
+		return
+	}
+	b.MOV(lo, a.Lo)
+	b.MOV(hi, a.Hi)
+}
+
+// EmitMulFixQ emits dst = (x*y) >> q computed in 64-bit precision — the
+// Q-format multiply of the hog kernel's 32-bit fixed-point data. dst may
+// alias x or y. Clobbers the Acc64 state.
+func EmitMulFixQ(b *asm.Builder, t isa.Target, dst, x, y isa.Reg, q int32, a Acc64) {
+	a.Clear(b)
+	a.Mac(b, x, y)
+	lo, hi := a.Lo, a.Hi
+	if t.Feat.Mac64 {
+		lo, hi = a.Tmp[0], a.Tmp[1]
+	}
+	a.Read(b, lo, hi)
+	b.SRLI(lo, lo, q)
+	b.SLLI(hi, hi, 32-q)
+	b.OR(dst, lo, hi)
+}
+
+// EmitSqrt32Fn emits the shared integer square-root library function
+// `__sqrt32` (a0 -> rv, floor(sqrt)), the digit-by-digit method matching
+// fixed.ISqrt32 bit-for-bit. Emitted once per binary; targets differ only
+// in loop/branch costs. Clobbers t0-t3.
+func EmitSqrt32Fn(b *asm.Builder) {
+	b.Label("__sqrt32")
+	// res=t0, bit=t1, v=a0
+	b.LI(isa.T0, 0)
+	b.MOVHI(isa.T1, 0x4000) // bit = 1<<30
+	// while bit > v: bit >>= 2
+	adj := b.Uniq("sq_adj")
+	body := b.Uniq("sq_body")
+	b.Label(adj)
+	b.SF(isa.SFLEU, isa.T1, isa.A0)
+	b.BF(body)
+	b.SRLI(isa.T1, isa.T1, 2)
+	b.SFI(isa.SFNEI, isa.T1, 0)
+	b.BF(adj)
+	b.Label(body)
+	// while bit != 0
+	loop := b.Uniq("sq_loop")
+	noSub := b.Uniq("sq_nosub")
+	next := b.Uniq("sq_next")
+	done := b.Uniq("sq_done")
+	b.Label(loop)
+	b.SFI(isa.SFEQI, isa.T1, 0)
+	b.BF(done)
+	b.ADD(isa.T2, isa.T0, isa.T1) // res+bit
+	b.SF(isa.SFLTU, isa.A0, isa.T2)
+	b.BF(noSub)
+	b.SUB(isa.A0, isa.A0, isa.T2)
+	b.SRLI(isa.T0, isa.T0, 1)
+	b.ADD(isa.T0, isa.T0, isa.T1)
+	b.J(next)
+	b.Label(noSub)
+	b.SRLI(isa.T0, isa.T0, 1)
+	b.Label(next)
+	b.SRLI(isa.T1, isa.T1, 2)
+	b.J(loop)
+	b.Label(done)
+	b.MOV(isa.RV, isa.T0)
+	b.Ret()
+}

@@ -1,0 +1,336 @@
+package devrt_test
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"hetsim/internal/asm"
+	"hetsim/internal/cluster"
+	"hetsim/internal/devrt"
+	"hetsim/internal/fixed"
+	"hetsim/internal/isa"
+	"hetsim/internal/loader"
+)
+
+// buildCopyKernel builds a kernel whose parallel body copies arg0 words
+// from in to out, adding coreid*1000 to each word it handles. It exercises
+// crt0 staging, the dispatch mailbox, chunking and the end barrier.
+func buildCopyKernel(t *testing.T, mode devrt.Mode, tcdmSize uint32) *asm.Program {
+	t.Helper()
+	b := asm.NewBuilder("copy")
+	devrt.EmitCRT0(b, mode)
+
+	b.Label("main")
+	devrt.EmitPrologue(b)
+	devrt.EmitParallel(b, "copy_body")
+	devrt.EmitEpilogue(b)
+
+	b.Label("copy_body")
+	devrt.EmitPrologue(b, isa.S0, isa.S1, isa.S2)
+	b.LA(isa.S0, "__glob")
+	b.LW(isa.A3, isa.S0, devrt.GlobArg0) // n
+	// [lo,hi) for this core; EmitChunk needs n as immediate: read n at
+	// runtime instead, so inline the same computation with a register n.
+	b.MFSPR(isa.T0, isa.SprCoreID)
+	b.LW(isa.T1, isa.S0, devrt.GlobThreads)
+	b.ADD(isa.T3, isa.A3, isa.T1)
+	b.ADDI(isa.T3, isa.T3, -1)
+	b.DIVU(isa.T3, isa.T3, isa.T1) // chunk
+	b.MUL(isa.S1, isa.T3, isa.T0)  // lo
+	b.ADD(isa.S2, isa.S1, isa.T3)  // hi
+	b.SF(isa.SFGTS, isa.S2, isa.A3)
+	noclamp := "cb_noclamp"
+	b.BNF(noclamp)
+	b.MOV(isa.S2, isa.A3)
+	b.Label(noclamp)
+	// pointers
+	b.LW(isa.A0, isa.S0, devrt.GlobIn)
+	b.LW(isa.A1, isa.S0, devrt.GlobOut)
+	b.SLLI(isa.T4, isa.S1, 2)
+	b.ADD(isa.A0, isa.A0, isa.T4)
+	b.ADD(isa.A1, isa.A1, isa.T4)
+	// bias = coreid * 1000
+	b.LI(isa.T5, 1000)
+	b.MUL(isa.T5, isa.T5, isa.T0)
+	// count = hi - lo (may be 0)
+	b.SUB(isa.T6, isa.S2, isa.S1)
+	b.SFI(isa.SFLESI, isa.T6, 0)
+	done := "cb_done"
+	b.BF(done)
+	loop := "cb_loop"
+	b.Label(loop)
+	b.Load(isa.LWP, isa.T7, isa.A0, 4)
+	b.ADD(isa.T7, isa.T7, isa.T5)
+	b.Store(isa.SWP, isa.A1, isa.T7, 4)
+	b.ADDI(isa.T6, isa.T6, -1)
+	b.SFI(isa.SFGTSI, isa.T6, 0)
+	b.BF(loop)
+	b.Label(done)
+	devrt.EmitEpilogue(b, isa.S0, isa.S1, isa.S2)
+
+	p, err := b.Build(asm.Layout{TCDMSize: tcdmSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCRT0AccelEndToEnd(t *testing.T) {
+	const n = 64
+	for _, threads := range []uint32{1, 2, 3, 4} {
+		cfg := cluster.PULPConfig()
+		p := buildCopyKernel(t, devrt.Accel, cfg.TCDMSize)
+		in := make([]byte, 4*n)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(in[4*i:], uint32(i))
+		}
+		job := loader.Job{Prog: p, In: in, OutLen: 4 * n, Iters: 1, Threads: threads, Args: [4]uint32{n}}
+		res, err := cluster.RunJob(cfg, devrt.Accel, job, 10_000_000)
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		chunk := (n + int(threads) - 1) / int(threads)
+		for i := 0; i < n; i++ {
+			core := i / chunk
+			want := uint32(i + core*1000)
+			got := binary.LittleEndian.Uint32(res.Out[4*i:])
+			if got != want {
+				t.Fatalf("threads=%d out[%d] = %d, want %d", threads, i, got, want)
+			}
+		}
+	}
+}
+
+func TestCRT0HostEndToEnd(t *testing.T) {
+	const n = 32
+	cfg := cluster.MCUConfig(isa.CortexM4)
+	p := buildCopyKernel(t, devrt.Host, cfg.TCDMSize)
+	in := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(in[4*i:], uint32(7*i))
+	}
+	job := loader.Job{Prog: p, In: in, OutLen: 4 * n, Iters: 1, Threads: 1, Args: [4]uint32{n}}
+	res, err := cluster.RunJob(cfg, devrt.Host, job, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got := binary.LittleEndian.Uint32(res.Out[4*i:]); got != uint32(7*i) {
+			t.Fatalf("out[%d] = %d, want %d", i, got, 7*i)
+		}
+	}
+}
+
+func TestCRT0IterationsAccumulate(t *testing.T) {
+	// A kernel that increments out[0] once per main call: iters must be
+	// honoured. BSS is not zeroed, so main initializes on arg1==iteration
+	// tracking via in[0].
+	b := asm.NewBuilder("iters")
+	devrt.EmitCRT0(b, devrt.Accel)
+	b.Label("main")
+	b.LA(isa.S0, "__glob")
+	b.LW(isa.A1, isa.S0, devrt.GlobOut)
+	b.LW(isa.A2, isa.A1, 0)
+	b.ADDI(isa.A2, isa.A2, 1)
+	b.SW(isa.A1, isa.A2, 0)
+	b.Ret()
+	p, err := b.Build(asm.Layout{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed out[0]=0 via input then copy? Simpler: out starts as whatever is
+	// in TCDM (zero on a fresh cluster), so the count equals iters.
+	job := loader.Job{Prog: p, OutLen: 4, Iters: 7, Threads: 1}
+	res, err := cluster.RunJob(cluster.PULPConfig(), devrt.Accel, job, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(res.Out); got != 7 {
+		t.Fatalf("main ran %d times, want 7", got)
+	}
+}
+
+// TestAcc64AgainstGolden runs the target-specific 64-bit MAC chain over
+// random operand pairs and compares with int64 arithmetic.
+func TestAcc64AgainstGolden(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(42))
+	in := make([]byte, 8*n)
+	var want int64
+	for i := 0; i < n; i++ {
+		x := int32(rng.Uint32())
+		y := int32(rng.Uint32())
+		if i < 4 { // include edge cases
+			edge := []int32{0, -1, -0x80000000, 0x7fffffff}
+			x = edge[i]
+			y = edge[(i+1)%4]
+		}
+		binary.LittleEndian.PutUint32(in[8*i:], uint32(x))
+		binary.LittleEndian.PutUint32(in[8*i+4:], uint32(y))
+		want += int64(x) * int64(y)
+	}
+
+	for _, tgt := range []isa.Target{isa.PULPFull, isa.PULPPlain, isa.CortexM3, isa.CortexM4} {
+		b := asm.NewBuilder("acc64")
+		devrt.EmitCRT0(b, devrt.Host)
+		b.Label("main")
+		devrt.EmitPrologue(b, isa.S0, isa.S1, isa.S2)
+		b.LA(isa.S0, "__glob")
+		b.LW(isa.A0, isa.S0, devrt.GlobIn)
+		b.LW(isa.A1, isa.S0, devrt.GlobOut)
+		b.LW(isa.A3, isa.S0, devrt.GlobArg0) // n
+		acc := devrt.Acc64{T: tgt, Lo: isa.S1, Hi: isa.S2, Tmp: [5]isa.Reg{isa.T0, isa.T1, isa.T2, isa.T3, isa.T4}}
+		acc.Clear(b)
+		loop := b.Uniq("acc_loop")
+		b.Label(loop)
+		b.LW(isa.A4, isa.A0, 0)
+		b.LW(isa.A5, isa.A0, 4)
+		b.ADDI(isa.A0, isa.A0, 8)
+		acc.Mac(b, isa.A4, isa.A5)
+		b.ADDI(isa.A3, isa.A3, -1)
+		b.SFI(isa.SFGTSI, isa.A3, 0)
+		b.BF(loop)
+		acc.Read(b, isa.T5, isa.T6)
+		b.SW(isa.A1, isa.T5, 0)
+		b.SW(isa.A1, isa.T6, 4)
+		devrt.EmitEpilogue(b, isa.S0, isa.S1, isa.S2)
+		p, err := b.Build(asm.Layout{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(tgt); err != nil {
+			t.Fatalf("%s: %v", tgt.Name, err)
+		}
+		cfg := cluster.MCUConfig(tgt)
+		job := loader.Job{Prog: p, In: in, OutLen: 8, Iters: 1, Threads: 1, Args: [4]uint32{n}}
+		res, err := cluster.RunJob(cfg, devrt.Host, job, 10_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", tgt.Name, err)
+		}
+		got := int64(binary.LittleEndian.Uint64(res.Out))
+		if got != want {
+			t.Errorf("%s: acc64 = %d, want %d", tgt.Name, got, want)
+		}
+	}
+}
+
+func TestMulFixQAgainstGolden(t *testing.T) {
+	const q = 16
+	rng := rand.New(rand.NewSource(7))
+	cases := make([][2]int32, 0, 20)
+	for i := 0; i < 16; i++ {
+		cases = append(cases, [2]int32{int32(rng.Uint32()) >> 4, int32(rng.Uint32()) >> 4})
+	}
+	cases = append(cases, [2]int32{1 << 16, 1 << 16}, [2]int32{-(1 << 20), 3 << 16})
+
+	for _, tgt := range []isa.Target{isa.PULPFull, isa.CortexM4} {
+		in := make([]byte, 8*len(cases))
+		for i, c := range cases {
+			binary.LittleEndian.PutUint32(in[8*i:], uint32(c[0]))
+			binary.LittleEndian.PutUint32(in[8*i+4:], uint32(c[1]))
+		}
+		b := asm.NewBuilder("mulfix")
+		devrt.EmitCRT0(b, devrt.Host)
+		b.Label("main")
+		devrt.EmitPrologue(b, isa.S0, isa.S1, isa.S2)
+		b.LA(isa.S0, "__glob")
+		b.LW(isa.A0, isa.S0, devrt.GlobIn)
+		b.LW(isa.A1, isa.S0, devrt.GlobOut)
+		b.LW(isa.A3, isa.S0, devrt.GlobArg0)
+		acc := devrt.Acc64{T: tgt, Lo: isa.S1, Hi: isa.S2, Tmp: [5]isa.Reg{isa.T0, isa.T1, isa.T2, isa.T3, isa.T4}}
+		loop := b.Uniq("mf_loop")
+		b.Label(loop)
+		b.LW(isa.A4, isa.A0, 0)
+		b.LW(isa.A5, isa.A0, 4)
+		b.ADDI(isa.A0, isa.A0, 8)
+		devrt.EmitMulFixQ(b, tgt, isa.T5, isa.A4, isa.A5, q, acc)
+		b.Store(isa.SWP, isa.A1, isa.T5, 4)
+		b.ADDI(isa.A3, isa.A3, -1)
+		b.SFI(isa.SFGTSI, isa.A3, 0)
+		b.BF(loop)
+		devrt.EmitEpilogue(b, isa.S0, isa.S1, isa.S2)
+		p, err := b.Build(asm.Layout{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := cluster.MCUConfig(tgt)
+		job := loader.Job{Prog: p, In: in, OutLen: uint32(4 * len(cases)), Iters: 1, Threads: 1, Args: [4]uint32{uint32(len(cases))}}
+		res, err := cluster.RunJob(cfg, devrt.Host, job, 10_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", tgt.Name, err)
+		}
+		for i, c := range cases {
+			want := int32((int64(c[0]) * int64(c[1])) >> q)
+			got := int32(binary.LittleEndian.Uint32(res.Out[4*i:]))
+			if got != want {
+				t.Errorf("%s: mulfix(%d,%d) = %d, want %d", tgt.Name, c[0], c[1], got, want)
+			}
+		}
+	}
+}
+
+func TestSqrt32Function(t *testing.T) {
+	inputs := []uint32{0, 1, 2, 3, 4, 10, 99, 100, 65535, 65536, 1 << 30, 0x7fffffff, 0x80000000, 0xffffffff}
+	in := make([]byte, 4*len(inputs))
+	for i, v := range inputs {
+		binary.LittleEndian.PutUint32(in[4*i:], v)
+	}
+	for _, tgt := range []isa.Target{isa.PULPFull, isa.CortexM3} {
+		b := asm.NewBuilder("sqrt")
+		devrt.EmitCRT0(b, devrt.Host)
+		b.Label("main")
+		devrt.EmitPrologue(b, isa.S0, isa.S1, isa.S2, isa.S3)
+		b.LA(isa.S0, "__glob")
+		b.LW(isa.S1, isa.S0, devrt.GlobIn)
+		b.LW(isa.S2, isa.S0, devrt.GlobOut)
+		b.LW(isa.S3, isa.S0, devrt.GlobArg0)
+		loop := b.Uniq("sq_main")
+		b.Label(loop)
+		b.Load(isa.LWP, isa.A0, isa.S1, 4)
+		b.JAL("__sqrt32")
+		b.Store(isa.SWP, isa.S2, isa.RV, 4)
+		b.ADDI(isa.S3, isa.S3, -1)
+		b.SFI(isa.SFGTSI, isa.S3, 0)
+		b.BF(loop)
+		devrt.EmitEpilogue(b, isa.S0, isa.S1, isa.S2, isa.S3)
+		devrt.EmitSqrt32Fn(b)
+		p, err := b.Build(asm.Layout{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := loader.Job{Prog: p, In: in, OutLen: uint32(4 * len(inputs)), Iters: 1, Threads: 1, Args: [4]uint32{uint32(len(inputs))}}
+		res, err := cluster.RunJob(cluster.MCUConfig(tgt), devrt.Host, job, 10_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", tgt.Name, err)
+		}
+		for i, v := range inputs {
+			want := fixed.ISqrt32(v)
+			got := binary.LittleEndian.Uint32(res.Out[4*i:])
+			if got != want {
+				t.Errorf("%s: sqrt(%d) = %d, want %d", tgt.Name, v, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelSpeedup: the copy kernel must get faster with more threads.
+func TestParallelSpeedup(t *testing.T) {
+	const n = 2048
+	cfg := cluster.PULPConfig()
+	in := make([]byte, 4*n)
+	cycles := map[uint32]uint64{}
+	for _, threads := range []uint32{1, 4} {
+		p := buildCopyKernel(t, devrt.Accel, cfg.TCDMSize)
+		job := loader.Job{Prog: p, In: in, OutLen: 4 * n, Iters: 1, Threads: threads, Args: [4]uint32{n}}
+		res, err := cluster.RunJob(cfg, devrt.Accel, job, 50_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[threads] = res.Cycles
+	}
+	sp := float64(cycles[1]) / float64(cycles[4])
+	if sp < 1.5 {
+		t.Fatalf("4-thread copy speedup = %.2f (1t=%d 4t=%d), expected > 1.5", sp, cycles[1], cycles[4])
+	}
+}

@@ -1,0 +1,171 @@
+// Package dma models the PULP cluster's lightweight multi-channel DMA
+// (Rossi et al., CF'14): word-granular transfers between L2 and the TCDM
+// with a direct connection to the TCDM banks (so DMA traffic competes with
+// core accesses at bank granularity), moving one word per cycle.
+package dma
+
+import (
+	"fmt"
+
+	"hetsim/internal/hw"
+)
+
+// Memory is the subset of the memory system the DMA needs: direct word
+// moves plus TCDM bank arbitration for the L1 side of each beat.
+type Memory interface {
+	// ClaimTCDM arbitrates one TCDM access at addr for this cycle.
+	ClaimTCDM(addr uint32) bool
+	// ReadWord / WriteWord move data; addr may be in TCDM or L2.
+	ReadWord(addr uint32) (uint32, error)
+	WriteWord(addr uint32, v uint32) error
+	// IsTCDM reports whether addr falls in the TCDM.
+	IsTCDM(addr uint32) bool
+}
+
+type channel struct {
+	src, dst uint32
+	length   uint32
+	pos      uint32
+	busy     bool
+}
+
+// Engine is the DMA controller.
+type Engine struct {
+	mem  Memory
+	ch   [hw.NumDMAChannels]channel
+	rr   int // round-robin pointer across busy channels
+	busy int // busy-channel count (fast path for the per-cycle Step)
+
+	// Programming latches (written via the register interface, committed
+	// by a write to DMAStart).
+	src, dst, length uint32
+
+	// BusyCycles counts cycles in which the engine moved (or tried to
+	// move) data; feeds the chi_dma term of the power model.
+	BusyCycles uint64
+	// Beats counts words actually moved.
+	Beats uint64
+	// Err records the first transfer error (bad address/alignment).
+	Err error
+}
+
+// New builds a DMA engine over the given memory system.
+func New(mem Memory) *Engine { return &Engine{mem: mem} }
+
+// WriteReg handles a store to a DMA register (offset from hw.DMABase).
+func (e *Engine) WriteReg(off uint32, v uint32) error {
+	switch off {
+	case hw.DMASrc:
+		e.src = v
+	case hw.DMADst:
+		e.dst = v
+	case hw.DMALen:
+		e.length = v
+	case hw.DMAStart:
+		if v >= hw.NumDMAChannels {
+			return fmt.Errorf("dma: start of invalid channel %d", v)
+		}
+		return e.Start(int(v), e.src, e.dst, e.length)
+	default:
+		return fmt.Errorf("dma: write to unknown register %#x", off)
+	}
+	return nil
+}
+
+// ReadReg handles a load from a DMA register.
+func (e *Engine) ReadReg(off uint32) (uint32, error) {
+	switch off {
+	case hw.DMAStatus:
+		return e.BusyMask(), nil
+	case hw.DMASrc:
+		return e.src, nil
+	case hw.DMADst:
+		return e.dst, nil
+	case hw.DMALen:
+		return e.length, nil
+	}
+	return 0, fmt.Errorf("dma: read of unknown register %#x", off)
+}
+
+// Start programs and launches a channel. Transfers must be word-aligned
+// and word-granular, as on the real lightweight DMA.
+func (e *Engine) Start(ch int, src, dst, length uint32) error {
+	if ch < 0 || ch >= hw.NumDMAChannels {
+		return fmt.Errorf("dma: invalid channel %d", ch)
+	}
+	if e.ch[ch].busy {
+		return fmt.Errorf("dma: channel %d already busy", ch)
+	}
+	if src%4 != 0 || dst%4 != 0 || length%4 != 0 {
+		return fmt.Errorf("dma: unaligned transfer src=%#x dst=%#x len=%d", src, dst, length)
+	}
+	if length == 0 {
+		return nil
+	}
+	e.ch[ch] = channel{src: src, dst: dst, length: length, busy: true}
+	e.busy++
+	return nil
+}
+
+// BusyMask returns the bitmask of busy channels (DMAStatus register).
+func (e *Engine) BusyMask() uint32 {
+	var m uint32
+	for i := range e.ch {
+		if e.ch[i].busy {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// Busy reports whether any channel is active.
+func (e *Engine) Busy() bool { return e.BusyMask() != 0 }
+
+// Step advances the engine by one cycle: it picks the next busy channel
+// round-robin and moves one word if the TCDM bank arbitration allows it.
+func (e *Engine) Step() {
+	if e.busy == 0 || e.Err != nil {
+		return
+	}
+	// Pick the next busy channel.
+	idx := -1
+	for i := 0; i < hw.NumDMAChannels; i++ {
+		c := (e.rr + i) % hw.NumDMAChannels
+		if e.ch[c].busy {
+			idx = c
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	e.BusyCycles++
+	c := &e.ch[idx]
+	src := c.src + c.pos
+	dst := c.dst + c.pos
+
+	// Claim the TCDM side(s) of this beat; on denial, retry next cycle.
+	if e.mem.IsTCDM(src) && !e.mem.ClaimTCDM(src) {
+		return
+	}
+	if e.mem.IsTCDM(dst) && !e.mem.ClaimTCDM(dst) {
+		return
+	}
+	v, err := e.mem.ReadWord(src)
+	if err == nil {
+		err = e.mem.WriteWord(dst, v)
+	}
+	if err != nil {
+		e.Err = fmt.Errorf("dma: channel %d at +%#x: %w", idx, c.pos, err)
+		c.busy = false
+		e.busy--
+		return
+	}
+	e.Beats++
+	c.pos += 4
+	if c.pos >= c.length {
+		c.busy = false
+		e.busy--
+		e.rr = (idx + 1) % hw.NumDMAChannels
+	}
+}

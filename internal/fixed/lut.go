@@ -1,0 +1,91 @@
+package fixed
+
+import "math"
+
+// The svm(RBF) and cnn kernels need exp(-x) and tanh(x) in fixed point.
+// On the device these are piecewise-linear table lookups whose tables are
+// embedded in the binary's data section. The golden models use the same
+// tables through EvalLUT so that device and reference results are
+// bit-identical. Table construction uses math.Exp/math.Tanh once, offline —
+// exactly like the constant tables a C port of libsvm/CConvNet would ship.
+
+// LUT is a piecewise-linear fixed-point lookup table over [0, Span) in the
+// input format InQ, producing values in OutQ. Inputs beyond the span clamp
+// to the last entry (the asymptote of exp/tanh).
+type LUT struct {
+	Name    string
+	Values  []int32 // N+1 knot values, OutQ format
+	InQ     Q       // format of the input argument
+	OutQ    Q       // format of the table values
+	Span    int32   // covered input range, InQ format
+	LogStep uint8   // log2 of the knot step in InQ units
+}
+
+// NewExpNegLUT builds a table for f(x) = exp(-x), x in [0, span), with 2^logN
+// intervals. Used by the RBF kernel exp(-gamma*||x-z||^2).
+func NewExpNegLUT(inQ, outQ Q, span float64, logN uint8) *LUT {
+	return build("expneg", inQ, outQ, span, logN, func(x float64) float64 { return math.Exp(-x) })
+}
+
+// NewTanhLUT builds a table for f(x) = tanh(x), x in [0, span). Negative
+// inputs use the odd symmetry tanh(-x) = -tanh(x) (see EvalOdd).
+func NewTanhLUT(inQ, outQ Q, span float64, logN uint8) *LUT {
+	return build("tanh", inQ, outQ, span, logN, math.Tanh)
+}
+
+func build(name string, inQ, outQ Q, span float64, logN uint8, f func(float64) float64) *LUT {
+	n := 1 << logN
+	spanFx := FromFloat(span, inQ)
+	// Step must be a power of two in fixed-point units so the device can
+	// index with a shift; round the span up to make it so.
+	logStep := uint8(0)
+	for (int32(1) << logStep << logN) < spanFx {
+		logStep++
+	}
+	spanFx = int32(1) << logStep << logN
+	vals := make([]int32, n+1)
+	for i := 0; i <= n; i++ {
+		x := Float(int32(i)<<logStep, inQ)
+		vals[i] = FromFloat(f(x), outQ)
+	}
+	return &LUT{Name: name, Values: vals, InQ: inQ, OutQ: outQ, Span: spanFx, LogStep: logStep}
+}
+
+// Eval evaluates the table at x (InQ format) with linear interpolation,
+// clamping x to [0, Span]. The arithmetic (index shift, fractional mask,
+// 32-bit interpolation) is the same sequence the device kernel executes.
+func (t *LUT) Eval(x int32) int32 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= t.Span {
+		return t.Values[len(t.Values)-1]
+	}
+	idx := x >> t.LogStep
+	frac := x & ((1 << t.LogStep) - 1)
+	v0 := t.Values[idx]
+	v1 := t.Values[idx+1]
+	return v0 + ((v1-v0)*frac)>>t.LogStep
+}
+
+// EvalOdd evaluates an odd function table (tanh) for any-signed x.
+func (t *LUT) EvalOdd(x int32) int32 {
+	if x < 0 {
+		return -t.Eval(-x)
+	}
+	return t.Eval(x)
+}
+
+// Bytes serializes the table values as little-endian int32 words, the layout
+// the assembler places in the binary's data section.
+func (t *LUT) Bytes() []byte {
+	out := make([]byte, 4*len(t.Values))
+	for i, v := range t.Values {
+		u := uint32(v)
+		out[4*i] = byte(u)
+		out[4*i+1] = byte(u >> 8)
+		out[4*i+2] = byte(u >> 16)
+		out[4*i+3] = byte(u >> 24)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+// Package hwsync models the PULP cluster's hardware synchronizer (event
+// unit): the block that lets cores arrive at a barrier and be put to sleep
+// and woken "in just a few cycles" (Section III-B of the paper), plus an
+// event latch per core (for WFE-based dispatch) and a hardware mutex.
+//
+// The unit is a pure state machine; the cluster translates its outputs
+// (wake lists) into core wake-ups with the target's wake-up latency. That
+// latency, together with the dispatch cost of the device runtime, is what
+// produces the measured ~6% OpenMP overhead of Fig. 4.
+package hwsync
+
+// EventUnit is the cluster's hardware synchronizer.
+type EventUnit struct {
+	n int
+
+	latch       []bool // per-core event latch (set by Send)
+	sleepingEvt []bool // core is asleep in WFE
+	sleepingBar []bool // core is asleep at the barrier
+
+	barrierArrived int
+	barrierTeam    int
+
+	mutexHeld  bool
+	mutexOwner int
+
+	// Stats.
+	Barriers uint64
+	Sends    uint64
+}
+
+// New builds an event unit for n cores.
+func New(n int) *EventUnit {
+	return &EventUnit{
+		n:           n,
+		latch:       make([]bool, n),
+		sleepingEvt: make([]bool, n),
+		sleepingBar: make([]bool, n),
+	}
+}
+
+// Arrive registers core's arrival at a barrier with the given team size.
+// If the core completes the barrier, it returns the list of cores to wake
+// (the other participants; the arriving core itself never slept). If not,
+// ok is false and the arriving core must be put to sleep by the caller.
+func (e *EventUnit) Arrive(core, team int) (wake []int, last bool) {
+	if team <= 1 {
+		return nil, true
+	}
+	if e.barrierTeam == 0 {
+		e.barrierTeam = team
+	}
+	e.barrierArrived++
+	if e.barrierArrived < e.barrierTeam {
+		e.sleepingBar[core] = true
+		return nil, false
+	}
+	// Barrier complete: wake everyone who slept on it.
+	e.Barriers++
+	e.barrierArrived = 0
+	e.barrierTeam = 0
+	for i := 0; i < e.n; i++ {
+		if e.sleepingBar[i] {
+			e.sleepingBar[i] = false
+			wake = append(wake, i)
+		}
+	}
+	return wake, true
+}
+
+// Send sets the event latch of every core in mask, returning the cores that
+// were asleep in WFE and must now be woken (their latch is consumed by the
+// wake, mirroring the PULP event unit's sticky event buffer).
+func (e *EventUnit) Send(mask uint32) (wake []int) {
+	e.Sends++
+	for i := 0; i < e.n; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if e.sleepingEvt[i] {
+			e.sleepingEvt[i] = false
+			wake = append(wake, i)
+		} else {
+			e.latch[i] = true
+		}
+	}
+	return wake
+}
+
+// WFE is called when a core executes a wait-for-event. If the core's latch
+// is set it is consumed and the core continues; otherwise the core must
+// sleep (sleep=true) until a Send targets it.
+func (e *EventUnit) WFE(core int) (sleep bool) {
+	if e.latch[core] {
+		e.latch[core] = false
+		return false
+	}
+	e.sleepingEvt[core] = true
+	return true
+}
+
+// TryLock attempts to take the hardware mutex for core. The cluster retries
+// a denied attempt every cycle, modelling the single-cycle spin of the
+// hardware test-and-set register.
+func (e *EventUnit) TryLock(core int) bool {
+	if e.mutexHeld {
+		return false
+	}
+	e.mutexHeld = true
+	e.mutexOwner = core
+	return true
+}
+
+// Unlock releases the hardware mutex.
+func (e *EventUnit) Unlock() {
+	e.mutexHeld = false
+}
+
+// SleepMask returns the bitmask of sleeping cores (EvtStatus register).
+func (e *EventUnit) SleepMask() uint32 {
+	var m uint32
+	for i := 0; i < e.n; i++ {
+		if e.sleepingEvt[i] || e.sleepingBar[i] {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}

@@ -1,0 +1,138 @@
+package hwsync
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBarrierLastArriverWakesAll(t *testing.T) {
+	e := New(4)
+	for core := 0; core < 3; core++ {
+		wake, last := e.Arrive(core, 4)
+		if last || wake != nil {
+			t.Fatalf("core %d should sleep at the barrier", core)
+		}
+	}
+	if e.SleepMask() != 0b0111 {
+		t.Fatalf("sleep mask %04b", e.SleepMask())
+	}
+	wake, last := e.Arrive(3, 4)
+	if !last {
+		t.Fatal("4th arrival must complete the barrier")
+	}
+	sort.Ints(wake)
+	if len(wake) != 3 || wake[0] != 0 || wake[2] != 2 {
+		t.Fatalf("wake list %v", wake)
+	}
+	if e.SleepMask() != 0 {
+		t.Fatal("barrier sleepers not cleared")
+	}
+	if e.Barriers != 1 {
+		t.Fatalf("barrier count %d", e.Barriers)
+	}
+}
+
+func TestBarrierTeamOfOne(t *testing.T) {
+	e := New(4)
+	if _, last := e.Arrive(0, 1); !last {
+		t.Fatal("team of one completes immediately")
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	e := New(2)
+	for round := 0; round < 5; round++ {
+		if _, last := e.Arrive(0, 2); last {
+			t.Fatalf("round %d: first arriver completed", round)
+		}
+		if wake, last := e.Arrive(1, 2); !last || len(wake) != 1 {
+			t.Fatalf("round %d: second arriver did not complete", round)
+		}
+	}
+	if e.Barriers != 5 {
+		t.Fatalf("barrier count %d", e.Barriers)
+	}
+}
+
+func TestEventLatchSemantics(t *testing.T) {
+	e := New(4)
+	// Send to an awake core: latch; its next WFE returns immediately.
+	if wake := e.Send(0b0010); wake != nil {
+		t.Fatalf("no one was asleep: %v", wake)
+	}
+	if e.WFE(1) {
+		t.Fatal("latched event must satisfy WFE without sleeping")
+	}
+	// Second WFE with no event: sleeps.
+	if !e.WFE(1) {
+		t.Fatal("WFE without latch must sleep")
+	}
+	// Send while asleep: wake, latch consumed.
+	wake := e.Send(0b0010)
+	if len(wake) != 1 || wake[0] != 1 {
+		t.Fatalf("wake list %v", wake)
+	}
+	if !e.WFE(1) {
+		t.Fatal("latch must have been consumed by the wake")
+	}
+}
+
+func TestSendMasksMultipleCores(t *testing.T) {
+	e := New(4)
+	e.WFE(1)
+	e.WFE(2)
+	e.WFE(3)
+	wake := e.Send(0b1110)
+	sort.Ints(wake)
+	if len(wake) != 3 || wake[0] != 1 || wake[2] != 3 {
+		t.Fatalf("wake %v", wake)
+	}
+}
+
+func TestMutex(t *testing.T) {
+	e := New(4)
+	if !e.TryLock(0) {
+		t.Fatal("free mutex must lock")
+	}
+	if e.TryLock(1) || e.TryLock(0) {
+		t.Fatal("held mutex must deny everyone, including the owner")
+	}
+	e.Unlock()
+	if !e.TryLock(1) {
+		t.Fatal("released mutex must lock again")
+	}
+}
+
+// Property: arrivals in any order complete exactly once per round and wake
+// exactly the sleepers.
+func TestBarrierPermutationProperty(t *testing.T) {
+	prop := func(perm []int) bool {
+		n := len(perm)
+		e := New(n)
+		woken := 0
+		for i, core := range perm {
+			wake, last := e.Arrive(core, n)
+			if i < n-1 {
+				if last || wake != nil {
+					return false
+				}
+			} else {
+				if !last || len(wake) != n-1 {
+					return false
+				}
+				woken = len(wake)
+			}
+		}
+		return woken == n-1 && e.SleepMask() == 0
+	}
+	cfg := &quick.Config{MaxCount: 200, Values: func(v []reflect.Value, r *rand.Rand) {
+		n := 2 + r.Intn(7)
+		v[0] = reflect.ValueOf(r.Perm(n))
+	}}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+package isa
+
+import "fmt"
+
+// Binary encoding: fixed 32-bit words, little-endian in memory.
+//
+//	[31:24] major opcode
+//	[23:19] rd   (FmtR/I/IH/LP; base register ra for FmtS)
+//	[18:14] ra   (source rb for FmtS)
+//	[13:9]  rb   (FmtR)
+//	[13:0]  imm14 (FmtI/S/LP; sign- or zero-extended per opcode)
+//	[15:0]  imm16 (FmtIH)
+//	[23:0]  imm24 (FmtB, signed word offset relative to the next instruction)
+//
+// The encoding exists so that the program image offloaded over the SPI link
+// is a real byte stream (Table I binary sizes, Fig. 5b offload cost). The
+// simulator pre-decodes the text segment once and interprets []Inst.
+
+const (
+	imm14Mask = (1 << 14) - 1
+	imm16Mask = (1 << 16) - 1
+	imm24Mask = (1 << 24) - 1
+	// Imm14Min/Max bound the signed 14-bit immediate field.
+	Imm14Min = -(1 << 13)
+	Imm14Max = (1 << 13) - 1
+	// Imm24Min/Max bound the signed 24-bit branch offset field.
+	Imm24Min = -(1 << 23)
+	Imm24Max = (1 << 23) - 1
+)
+
+// zeroExtImm reports whether the opcode's imm14 field is zero-extended
+// (logical immediates and shift amounts) rather than sign-extended.
+func zeroExtImm(op Op) bool {
+	switch op {
+	case ANDI, ORI, XORI, SLLI, SRLI, SRAI, MFSPR, TRAP, LPSETUP, SFLTUI, SFGEUI:
+		return true
+	}
+	return false
+}
+
+// Encode packs the instruction into its 32-bit word. It returns an error if
+// an operand does not fit its field.
+func Encode(in Inst) (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: invalid opcode %d", in.Op)
+	}
+	if in.Rd >= NumRegs || in.Ra >= NumRegs || in.Rb >= NumRegs {
+		return 0, fmt.Errorf("isa: register out of range in %v", in)
+	}
+	w := uint32(in.Op) << 24
+	switch in.Op.Format() {
+	case FmtN:
+	case FmtR, FmtJR:
+		w |= uint32(in.Rd)<<19 | uint32(in.Ra)<<14 | uint32(in.Rb)<<9
+	case FmtI, FmtLP:
+		if err := checkImm14(in); err != nil {
+			return 0, err
+		}
+		w |= uint32(in.Rd)<<19 | uint32(in.Ra)<<14 | uint32(in.Imm)&imm14Mask
+	case FmtS:
+		if err := checkImm14(in); err != nil {
+			return 0, err
+		}
+		// Stores carry base in the rd field and source in the ra field.
+		w |= uint32(in.Ra)<<19 | uint32(in.Rb)<<14 | uint32(in.Imm)&imm14Mask
+	case FmtIH:
+		if in.Imm < 0 || in.Imm > imm16Mask {
+			return 0, fmt.Errorf("isa: imm16 out of range in %v", in)
+		}
+		w |= uint32(in.Rd)<<19 | uint32(in.Imm)&imm16Mask
+	case FmtB:
+		if in.Imm < Imm24Min || in.Imm > Imm24Max {
+			return 0, fmt.Errorf("isa: imm24 out of range in %v", in)
+		}
+		w |= uint32(in.Imm) & imm24Mask
+	}
+	return w, nil
+}
+
+func checkImm14(in Inst) error {
+	if zeroExtImm(in.Op) {
+		if in.Imm < 0 || in.Imm > imm14Mask {
+			return fmt.Errorf("isa: unsigned imm14 out of range in %v", in)
+		}
+		return nil
+	}
+	if in.Imm < Imm14Min || in.Imm > Imm14Max {
+		return fmt.Errorf("isa: signed imm14 out of range in %v", in)
+	}
+	return nil
+}
+
+// Decode unpacks a 32-bit instruction word.
+func Decode(w uint32) (Inst, error) {
+	op := Op(w >> 24)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: invalid opcode byte 0x%02x", w>>24)
+	}
+	in := Inst{Op: op}
+	switch op.Format() {
+	case FmtN:
+	case FmtR, FmtJR:
+		in.Rd = Reg(w >> 19 & 31)
+		in.Ra = Reg(w >> 14 & 31)
+		in.Rb = Reg(w >> 9 & 31)
+	case FmtI, FmtLP:
+		in.Rd = Reg(w >> 19 & 31)
+		in.Ra = Reg(w >> 14 & 31)
+		in.Imm = extractImm14(op, w)
+	case FmtS:
+		in.Ra = Reg(w >> 19 & 31)
+		in.Rb = Reg(w >> 14 & 31)
+		in.Imm = extractImm14(op, w)
+	case FmtIH:
+		in.Rd = Reg(w >> 19 & 31)
+		in.Imm = int32(w & imm16Mask)
+	case FmtB:
+		v := int32(w&imm24Mask) << 8 >> 8 // sign-extend 24 bits
+		in.Imm = v
+	}
+	return in, nil
+}
+
+func extractImm14(op Op, w uint32) int32 {
+	v := int32(w & imm14Mask)
+	if !zeroExtImm(op) {
+		v = v << 18 >> 18 // sign-extend 14 bits
+	}
+	return v
+}
+
+// EncodeProgram encodes a sequence of instructions as little-endian bytes.
+func EncodeProgram(insts []Inst) ([]byte, error) {
+	out := make([]byte, 4*len(insts))
+	for i, in := range insts {
+		w, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i, err)
+		}
+		out[4*i] = byte(w)
+		out[4*i+1] = byte(w >> 8)
+		out[4*i+2] = byte(w >> 16)
+		out[4*i+3] = byte(w >> 24)
+	}
+	return out, nil
+}
+
+// DecodeProgram decodes little-endian instruction bytes. len(b) must be a
+// multiple of 4.
+func DecodeProgram(b []byte) ([]Inst, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("isa: text length %d not a multiple of 4", len(b))
+	}
+	out := make([]Inst, len(b)/4)
+	for i := range out {
+		w := uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24
+		in, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("word %d: %w", i, err)
+		}
+		out[i] = in
+	}
+	return out, nil
+}

@@ -1,0 +1,238 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpTableComplete(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		if op.String() == "" || strings.HasPrefix(op.String(), "op") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+}
+
+func TestMemClassifiers(t *testing.T) {
+	cases := []struct {
+		op            Op
+		load, store   bool
+		postIncr      bool
+		size          uint8
+		wantSignedExt bool
+	}{
+		{LBZ, true, false, false, 1, false},
+		{LBS, true, false, false, 1, true},
+		{LHSP, true, false, true, 2, true},
+		{LW, true, false, false, 4, false},
+		{LWP, true, false, true, 4, false},
+		{SB, false, true, false, 1, false},
+		{SWP, false, true, true, 4, false},
+		{ADD, false, false, false, 0, false},
+		{DOTP4B, false, false, false, 0, false},
+	}
+	for _, c := range cases {
+		if c.op.IsLoad() != c.load {
+			t.Errorf("%v IsLoad = %v", c.op, c.op.IsLoad())
+		}
+		if c.op.IsStore() != c.store {
+			t.Errorf("%v IsStore = %v", c.op, c.op.IsStore())
+		}
+		if c.op.IsPostIncr() != c.postIncr {
+			t.Errorf("%v IsPostIncr = %v", c.op, c.op.IsPostIncr())
+		}
+		if c.op.MemSize() != c.size {
+			t.Errorf("%v MemSize = %d, want %d", c.op, c.op.MemSize(), c.size)
+		}
+	}
+}
+
+func TestCompareClassifier(t *testing.T) {
+	for _, op := range []Op{SFEQ, SFNE, SFLTS, SFGEU, SFEQI, SFGEUI} {
+		if !op.IsCompare() {
+			t.Errorf("%v should be a compare", op)
+		}
+	}
+	for _, op := range []Op{ADD, BF, LW, MFSPR} {
+		if op.IsCompare() {
+			t.Errorf("%v should not be a compare", op)
+		}
+	}
+}
+
+// randInst builds a random but encodable instruction for the roundtrip test.
+func randInst(r *rand.Rand) Inst {
+	op := Op(r.Intn(NumOps))
+	in := Inst{Op: op}
+	switch op.Format() {
+	case FmtR, FmtJR:
+		in.Rd = Reg(r.Intn(32))
+		in.Ra = Reg(r.Intn(32))
+		in.Rb = Reg(r.Intn(32))
+	case FmtI, FmtLP:
+		in.Rd = Reg(r.Intn(32))
+		in.Ra = Reg(r.Intn(32))
+		if zeroExtImm(op) {
+			in.Imm = int32(r.Intn(imm14Mask + 1))
+		} else {
+			in.Imm = int32(r.Intn(Imm14Max-Imm14Min+1)) + Imm14Min
+		}
+	case FmtS:
+		in.Ra = Reg(r.Intn(32))
+		in.Rb = Reg(r.Intn(32))
+		in.Imm = int32(r.Intn(Imm14Max-Imm14Min+1)) + Imm14Min
+	case FmtIH:
+		in.Rd = Reg(r.Intn(32))
+		in.Imm = int32(r.Intn(imm16Mask + 1))
+	case FmtB:
+		in.Imm = int32(r.Intn(Imm24Max-Imm24Min+1)) + Imm24Min
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundtripProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 5000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randInst(r))
+		},
+	}
+	prop := func(in Inst) bool {
+		w, err := Encode(in)
+		if err != nil {
+			t.Logf("encode %v: %v", in, err)
+			return false
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Logf("decode %v: %v", in, err)
+			return false
+		}
+		return got == in
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	bad := []Inst{
+		{Op: ADDI, Rd: A0, Ra: A1, Imm: Imm14Max + 1},
+		{Op: ADDI, Rd: A0, Ra: A1, Imm: Imm14Min - 1},
+		{Op: ANDI, Rd: A0, Ra: A1, Imm: -1},
+		{Op: MOVHI, Rd: A0, Imm: 1 << 16},
+		{Op: BF, Imm: Imm24Max + 1},
+		{Op: Op(NumOps), Rd: A0},
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%v) should fail", in)
+		}
+	}
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	if _, err := Decode(0xff000000); err == nil {
+		t.Fatal("decoding invalid opcode byte should fail")
+	}
+}
+
+func TestEncodeDecodeProgram(t *testing.T) {
+	prog := []Inst{
+		{Op: MOVHI, Rd: A0, Imm: 0x1000},
+		{Op: ORI, Rd: A0, Ra: A0, Imm: 0x234},
+		{Op: LW, Rd: A1, Ra: A0, Imm: 4},
+		{Op: ADD, Rd: RV, Ra: A1, Rb: A0},
+		{Op: SW, Ra: A0, Rb: RV, Imm: 8},
+		{Op: BNF, Imm: -5},
+		{Op: JR, Ra: LR},
+	}
+	b, err := EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 4*len(prog) {
+		t.Fatalf("len = %d", len(b))
+	}
+	back, err := DecodeProgram(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prog {
+		if back[i] != prog[i] {
+			t.Errorf("inst %d: got %v want %v", i, back[i], prog[i])
+		}
+	}
+	if _, err := DecodeProgram(b[:5]); err == nil {
+		t.Error("odd-length program should fail to decode")
+	}
+}
+
+func TestTargetSupports(t *testing.T) {
+	if PULPFull.Supports(MACS) {
+		t.Error("OR10N must not support the 64-bit accumulator MAC (that is the M-profile advantage hog exploits)")
+	}
+	if !CortexM4.Supports(MACS) || !CortexM3.Supports(MACS) {
+		t.Error("M profiles must support 64-bit MAC")
+	}
+	if CortexM4.Supports(DOTP4B) || CortexM4.Supports(LPSETUP) {
+		t.Error("M profiles must not support SIMD or hardware loops")
+	}
+	if PULPPlain.Supports(MAC) || PULPPlain.Supports(LWP) || PULPPlain.Supports(MIN) {
+		t.Error("plain-RISC profile must reject all extensions")
+	}
+	for _, op := range []Op{ADD, LW, SW, BF, MUL, DIV, MFSPR, WFE} {
+		for _, tg := range Targets {
+			if !tg.Supports(op) {
+				t.Errorf("%s must support baseline op %v", tg.Name, op)
+			}
+		}
+	}
+}
+
+func TestOpCycles(t *testing.T) {
+	if c := PULPFull.OpCycles(MAC); c != 1 {
+		t.Errorf("OR10N MAC cycles = %d, want 1", c)
+	}
+	if c := CortexM3.OpCycles(MACS); c != 5 {
+		t.Errorf("M3 long-MAC cycles = %d, want 5", c)
+	}
+	if c := CortexM4.OpCycles(MACS); c != 1 {
+		t.Errorf("M4 long-MAC cycles = %d, want 1", c)
+	}
+	if c := PULPFull.OpCycles(DIV); c != 32 {
+		t.Errorf("OR10N DIV cycles = %d, want 32", c)
+	}
+	if c := PULPPlain.OpCycles(MUL); c != 5 {
+		t.Errorf("plain MUL cycles = %d, want 5", c)
+	}
+	if c := CortexM4.OpCycles(ADD); c != 1 {
+		t.Errorf("ADD cycles = %d, want 1", c)
+	}
+}
+
+func TestTargetByName(t *testing.T) {
+	tg, err := TargetByName("pulp-or10n")
+	if err != nil || tg.Name != "pulp-or10n" {
+		t.Fatalf("TargetByName: %v %v", tg, err)
+	}
+	if _, err := TargetByName("z80"); err == nil {
+		t.Fatal("unknown target should fail")
+	}
+}
+
+func TestInstStringSmoke(t *testing.T) {
+	// Every opcode must disassemble to something containing its mnemonic.
+	r := rand.New(rand.NewSource(1))
+	for op := Op(0); op < Op(NumOps); op++ {
+		in := randInst(r)
+		in.Op = op
+		s := in.String()
+		if !strings.Contains(s, op.String()) {
+			t.Errorf("String of %v = %q lacks mnemonic", op, s)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package isa
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(0); op < Op(NumOps); op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// OpByName resolves a mnemonic to its opcode.
+func OpByName(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}

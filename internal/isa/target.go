@@ -1,0 +1,141 @@
+package isa
+
+import "fmt"
+
+// Features is the set of optional ISA capabilities of a target core. The
+// code generator in internal/kernels queries these to decide which
+// instruction sequence to emit (e.g. SIMD dot-product loop vs. scalar loop),
+// which is exactly how the paper's portable-C benchmarks specialize per
+// target through compiler flags.
+type Features struct {
+	HWLoop    bool // zero-overhead hardware loops (OR10N)
+	SIMD      bool // pseudo-SIMD char/short vector ops (OR10N)
+	MacRR     bool // single register-register 32-bit MAC (OR10N, M3/M4 MLA)
+	Mac64     bool // 64-bit accumulator MAC (M3/M4 SMLAL/UMLAL)
+	PostIncr  bool // post-increment addressing (OR10N; ARM has it too)
+	Unaligned bool // unaligned load/store support (OR10N)
+	MinMax    bool // single-cycle min/max (OR10N extension)
+}
+
+// Timing holds the per-target cycle-cost deltas relative to the 1-cycle
+// baseline of a simple in-order pipeline. Memory-system effects (TCDM bank
+// conflicts, I-cache misses) are modelled separately by the cluster; these
+// numbers cover only what the core pipeline itself adds.
+type Timing struct {
+	LoadUse     int // extra cycles when the next instruction uses a load result
+	BranchTaken int // pipeline refill after a taken branch
+	Jump        int // penalty of unconditional J/JAL/JR/JALR
+	Mul         int // total cycles of MUL
+	Mac         int // total cycles of MAC/MSU (if MacRR)
+	Mac64       int // total cycles of MACS/MACU (if Mac64)
+	Div         int // total cycles of DIV/DIVU
+	WakeUp      int // cycles from event arrival to first instruction
+}
+
+// Target couples a feature set with its timing model.
+type Target struct {
+	Name string
+	Feat Features
+	Time Timing
+}
+
+func (t Target) String() string { return t.Name }
+
+// The four target configurations used throughout the reproduction.
+var (
+	// PULPFull is the OR10N core with every microarchitectural extension
+	// enabled: the accelerator configuration of the paper. Single-cycle
+	// TCDM gives loads with no load-use penalty (4-stage pipeline with the
+	// memory access resolved before use), 1-cycle MAC and SIMD dot product,
+	// hardware loops, and a short branch shadow.
+	PULPFull = Target{
+		Name: "pulp-or10n",
+		Feat: Features{HWLoop: true, SIMD: true, MacRR: true, PostIncr: true, Unaligned: true, MinMax: true},
+		Time: Timing{LoadUse: 0, BranchTaken: 1, Jump: 1, Mul: 1, Mac: 1, Div: 32, WakeUp: 2},
+	}
+
+	// PULPPlain is the footnote-1 configuration: "all microarchitectural
+	// improvements deactivated ... essentially equal to the OpenRISC 1000
+	// ISA ... a very simple 5-stage pipeline and a reduced instruction set,
+	// comparable to that of the original MIPS". It defines the RISC-op
+	// count of Table I: RISC ops = instructions retired on this core.
+	PULPPlain = Target{
+		Name: "pulp-plain",
+		Feat: Features{},
+		Time: Timing{LoadUse: 1, BranchTaken: 2, Jump: 2, Mul: 5, Div: 34, WakeUp: 2},
+	}
+
+	// CortexM3 models the ARM Cortex-M3 hosts: Thumb-2 with post-increment
+	// addressing and a 2-cycle MLA, a 3..7-cycle long multiply (we use 5),
+	// 2-cycle taken branches, and a load-use bubble that compilers mostly
+	// schedule around (pipelined back-to-back loads are 1 cycle each).
+	CortexM3 = Target{
+		Name: "cortex-m3",
+		Feat: Features{MacRR: true, Mac64: true, PostIncr: true, Unaligned: true},
+		Time: Timing{LoadUse: 1, BranchTaken: 2, Jump: 2, Mul: 1, Mac: 2, Mac64: 5, Div: 8, WakeUp: 8},
+	}
+
+	// CortexM4 is the M3 plus the DSP extension's single-cycle MAC and
+	// single-cycle long MAC (SMLAL), as on the STM32-L476/F407/F446.
+	CortexM4 = Target{
+		Name: "cortex-m4",
+		Feat: Features{MacRR: true, Mac64: true, PostIncr: true, Unaligned: true},
+		Time: Timing{LoadUse: 1, BranchTaken: 2, Jump: 2, Mul: 1, Mac: 1, Mac64: 1, Div: 6, WakeUp: 8},
+	}
+)
+
+// Targets lists every defined target by name.
+var Targets = map[string]Target{
+	PULPFull.Name:  PULPFull,
+	PULPPlain.Name: PULPPlain,
+	CortexM3.Name:  CortexM3,
+	CortexM4.Name:  CortexM4,
+}
+
+// TargetByName looks up a target configuration.
+func TargetByName(name string) (Target, error) {
+	t, ok := Targets[name]
+	if !ok {
+		return Target{}, fmt.Errorf("isa: unknown target %q", name)
+	}
+	return t, nil
+}
+
+// Supports reports whether the target can execute the opcode. The simulator
+// refuses (traps) instructions outside the target's feature set, which is
+// how tests guarantee the code generator honoured the feature flags.
+func (t Target) Supports(op Op) bool {
+	f := t.Feat
+	switch op {
+	case MAC, MSU:
+		return f.MacRR
+	case MACS, MACU, MACCLR, MACRDL, MACRDH:
+		return f.Mac64
+	case DOTP4B, DOTP2H, ADD4B, SUB4B, ADD2H, SUB2H, SRA2H:
+		return f.SIMD
+	case MIN, MAX, MINU, MAXU:
+		return f.MinMax
+	case LPSETUP:
+		return f.HWLoop
+	case LBZP, LBSP, LHZP, LHSP, LWP, SBP, SHP, SWP:
+		return f.PostIncr
+	}
+	return true
+}
+
+// OpCycles returns the number of cycles the core pipeline spends on op,
+// excluding memory-system stalls and branch penalties (those depend on
+// runtime state). Minimum 1.
+func (t Target) OpCycles(op Op) int {
+	switch op {
+	case MUL:
+		return t.Time.Mul
+	case MAC, MSU:
+		return t.Time.Mac
+	case MACS, MACU:
+		return t.Time.Mac64
+	case DIV, DIVU:
+		return t.Time.Div
+	}
+	return 1
+}

@@ -1,0 +1,265 @@
+package kernels
+
+import (
+	"hetsim/internal/asm"
+	"hetsim/internal/devrt"
+	"hetsim/internal/isa"
+)
+
+// This file holds the target-aware emitter idioms shared by the kernels:
+// streaming loads/stores (post-increment where the target has it), clamps
+// (min/max where available), and the three dot-product inner loops that
+// dominate matmul/strassen/svm/cnn.
+
+// emitLoadInc emits rd = mem[ptr]; ptr += step, using post-increment
+// addressing when the target supports it.
+func emitLoadInc(b *asm.Builder, t isa.Target, op isa.Op, rd, ptr isa.Reg, step int32) {
+	if t.Feat.PostIncr {
+		b.Load(postIncLoad(op), rd, ptr, step)
+		return
+	}
+	b.Load(op, rd, ptr, 0)
+	b.ADDI(ptr, ptr, step)
+}
+
+// emitStoreInc emits mem[ptr] = src; ptr += step.
+func emitStoreInc(b *asm.Builder, t isa.Target, op isa.Op, ptr, src isa.Reg, step int32) {
+	if t.Feat.PostIncr {
+		b.Store(postIncStore(op), ptr, src, step)
+		return
+	}
+	b.Store(op, ptr, src, 0)
+	b.ADDI(ptr, ptr, step)
+}
+
+func postIncLoad(op isa.Op) isa.Op {
+	switch op {
+	case isa.LBZ:
+		return isa.LBZP
+	case isa.LBS:
+		return isa.LBSP
+	case isa.LHZ:
+		return isa.LHZP
+	case isa.LHS:
+		return isa.LHSP
+	case isa.LW:
+		return isa.LWP
+	}
+	return op
+}
+
+func postIncStore(op isa.Op) isa.Op {
+	switch op {
+	case isa.SB:
+		return isa.SBP
+	case isa.SH:
+		return isa.SHP
+	case isa.SW:
+		return isa.SWP
+	}
+	return op
+}
+
+// emitClamp saturates reg to [lo, hi] using single-cycle MIN/MAX on OR10N
+// or the compare-and-branch idiom on M profiles. tmp is clobbered.
+func emitClamp(b *asm.Builder, t isa.Target, reg, tmp isa.Reg, lo, hi int32) {
+	if t.Feat.MinMax {
+		b.LI(tmp, hi)
+		b.MIN(reg, reg, tmp)
+		b.LI(tmp, lo)
+		b.MAX(reg, reg, tmp)
+		return
+	}
+	// Bounds may exceed the 14-bit immediate range: compare via a register.
+	b.LI(tmp, hi)
+	okHi := b.Uniq("cl_hi")
+	b.SF(isa.SFLES, reg, tmp)
+	b.BF(okHi)
+	b.MOV(reg, tmp)
+	b.Label(okHi)
+	b.LI(tmp, lo)
+	okLo := b.Uniq("cl_lo")
+	b.SF(isa.SFGES, reg, tmp)
+	b.BF(okLo)
+	b.MOV(reg, tmp)
+	b.Label(okLo)
+}
+
+// dotRegs is the scratch bundle of the dot-product emitters. cnt, x, y are
+// clobbered; acc accumulates (caller zeroes it).
+type dotRegs struct {
+	acc  isa.Reg
+	aPtr isa.Reg // advanced by the element count times element size
+	bPtr isa.Reg
+	cnt  isa.Reg
+	x, y isa.Reg
+}
+
+// emitDotChar emits acc += sum_{k<n} a[k]*b[k] over signed bytes.
+// On SIMD targets this is the 4-way dotp4b stream (n must be a multiple of
+// 4); with a register-register MAC it is the byte-stream MAC loop
+// (unrolled where there are no hardware loops); otherwise mul+add.
+func emitDotChar(b *asm.Builder, t isa.Target, r dotRegs, n int32, loopIdx int) {
+	switch {
+	case t.Feat.SIMD:
+		// Vectorized form as the era's auto-vectorizer emits it: plain
+		// word loads with explicit pointer increments. (Hand-written
+		// assembly would fuse the increments into post-increment loads;
+		// the paper's portable-C methodology forbids that, and its 2-2.5x
+		// integer speedups match this conservative code shape.)
+		b.LI(r.cnt, n/4)
+		devrt.EmitLoop(b, t, r.cnt, loopIdx, 1, func(int) {
+			b.LW(r.x, r.aPtr, 0)
+			b.LW(r.y, r.bPtr, 0)
+			b.DOTP4B(r.acc, r.x, r.y)
+			b.ADDI(r.aPtr, r.aPtr, 4)
+			b.ADDI(r.bPtr, r.bPtr, 4)
+		})
+	case t.Feat.MacRR:
+		b.LI(r.cnt, n)
+		devrt.EmitLoop(b, t, r.cnt, loopIdx, 4, func(int) {
+			emitLoadInc(b, t, isa.LBS, r.x, r.aPtr, 1)
+			emitLoadInc(b, t, isa.LBS, r.y, r.bPtr, 1)
+			b.MAC(r.acc, r.x, r.y)
+		})
+	default:
+		b.LI(r.cnt, n)
+		devrt.EmitLoop(b, t, r.cnt, loopIdx, 1, func(int) {
+			emitLoadInc(b, t, isa.LBS, r.x, r.aPtr, 1)
+			emitLoadInc(b, t, isa.LBS, r.y, r.bPtr, 1)
+			b.MUL(r.x, r.x, r.y)
+			b.ADD(r.acc, r.acc, r.x)
+		})
+	}
+}
+
+// emitDotShort emits acc += sum_{k<n} a[k]*b[k] over signed halfwords
+// (2-way dotp2h on SIMD targets; n must be even there).
+func emitDotShort(b *asm.Builder, t isa.Target, r dotRegs, n int32, loopIdx int) {
+	switch {
+	case t.Feat.SIMD:
+		// Same conservative auto-vectorized shape as emitDotChar.
+		b.LI(r.cnt, n/2)
+		devrt.EmitLoop(b, t, r.cnt, loopIdx, 1, func(int) {
+			b.LW(r.x, r.aPtr, 0)
+			b.LW(r.y, r.bPtr, 0)
+			b.DOTP2H(r.acc, r.x, r.y)
+			b.ADDI(r.aPtr, r.aPtr, 4)
+			b.ADDI(r.bPtr, r.bPtr, 4)
+		})
+	case t.Feat.MacRR:
+		b.LI(r.cnt, n)
+		devrt.EmitLoop(b, t, r.cnt, loopIdx, 4, func(int) {
+			emitLoadInc(b, t, isa.LHS, r.x, r.aPtr, 2)
+			emitLoadInc(b, t, isa.LHS, r.y, r.bPtr, 2)
+			b.MAC(r.acc, r.x, r.y)
+		})
+	default:
+		b.LI(r.cnt, n)
+		devrt.EmitLoop(b, t, r.cnt, loopIdx, 1, func(int) {
+			emitLoadInc(b, t, isa.LHS, r.x, r.aPtr, 2)
+			emitLoadInc(b, t, isa.LHS, r.y, r.bPtr, 2)
+			b.MUL(r.x, r.x, r.y)
+			b.ADD(r.acc, r.acc, r.x)
+		})
+	}
+}
+
+// emitDotFixed emits acc += sum_{k<n} (a[k]*b[k] >> q) over Q-format
+// halfwords. The per-product shift keeps the 32-bit accumulator in range —
+// and it is exactly why fixed-point kernels cannot use the MAC or the SIMD
+// dot product ("no multiply-shift-add operation", Section IV-B): every
+// target runs the same mul/shift/add stream, differing only in load and
+// loop costs.
+func emitDotFixed(b *asm.Builder, t isa.Target, r dotRegs, n int32, q int32, loopIdx int) {
+	b.LI(r.cnt, n)
+	unroll := 1
+	if !t.Feat.HWLoop {
+		unroll = 4
+	}
+	devrt.EmitLoop(b, t, r.cnt, loopIdx, unroll, func(int) {
+		emitLoadInc(b, t, isa.LHS, r.x, r.aPtr, 2)
+		emitLoadInc(b, t, isa.LHS, r.y, r.bPtr, 2)
+		b.MUL(r.x, r.x, r.y)
+		b.SRAI(r.x, r.x, q)
+		b.ADD(r.acc, r.acc, r.x)
+	})
+}
+
+// emitSqDiffFixed emits acc += sum_{k<n} ((a[k]-b[k])^2 >> q), the squared
+// Euclidean distance loop of the RBF kernel.
+func emitSqDiffFixed(b *asm.Builder, t isa.Target, r dotRegs, n int32, q int32, loopIdx int) {
+	b.LI(r.cnt, n)
+	unroll := 1
+	if !t.Feat.HWLoop {
+		unroll = 4
+	}
+	devrt.EmitLoop(b, t, r.cnt, loopIdx, unroll, func(int) {
+		emitLoadInc(b, t, isa.LHS, r.x, r.aPtr, 2)
+		emitLoadInc(b, t, isa.LHS, r.y, r.bPtr, 2)
+		b.SUB(r.x, r.x, r.y)
+		b.MUL(r.x, r.x, r.x)
+		b.SRAI(r.x, r.x, q)
+		b.ADD(r.acc, r.acc, r.x)
+	})
+}
+
+// emitGlobLoads loads the standard kernel context: base points at __glob
+// afterwards, and each requested field is loaded into its register.
+type globCtx struct {
+	base    isa.Reg
+	in      isa.Reg // 0 = skip
+	out     isa.Reg
+	threads isa.Reg
+}
+
+func emitGlob(b *asm.Builder, g globCtx) {
+	b.LA(g.base, "__glob")
+	if g.in != 0 {
+		b.LW(g.in, g.base, devrt.GlobIn)
+	}
+	if g.out != 0 {
+		b.LW(g.out, g.base, devrt.GlobOut)
+	}
+	if g.threads != 0 {
+		b.LW(g.threads, g.base, devrt.GlobThreads)
+	}
+}
+
+// emitLUTEval emits the piecewise-linear LUT evaluation matching
+// fixed.LUT.Eval: idx = x>>logStep (clamped to [0, span)), then linear
+// interpolation between knots. x is clobbered and receives the result.
+// tblPtr must hold the table base address.
+func emitLUTEval(b *asm.Builder, t isa.Target, x, tblPtr, t1, t2, t3 isa.Reg, span int32, logStep int32) {
+	// Clamp below at 0.
+	pos := b.Uniq("lut_pos")
+	b.SFI(isa.SFGESI, x, 0)
+	b.BF(pos)
+	b.LI(x, 0)
+	b.Label(pos)
+	// Clamp above: x >= span -> last entry.
+	inr := b.Uniq("lut_in")
+	done := b.Uniq("lut_done")
+	b.LI(t1, span)
+	b.SF(isa.SFLTS, x, t1)
+	b.BF(inr)
+	b.LI(t1, span>>logStep)
+	b.SLLI(t1, t1, 2)
+	b.ADD(t1, t1, tblPtr)
+	b.LW(x, t1, 0)
+	b.J(done)
+	b.Label(inr)
+	// idx = x >> logStep; frac = x & (step-1)
+	b.SRLI(t1, x, logStep)
+	b.SLLI(t2, t1, logStep)
+	b.SUB(t2, x, t2) // frac
+	b.SLLI(t1, t1, 2)
+	b.ADD(t1, t1, tblPtr)
+	b.LW(t3, t1, 0) // v0
+	b.LW(t1, t1, 4) // v1
+	b.SUB(t1, t1, t3)
+	b.MUL(t1, t1, t2)
+	b.SRAI(t1, t1, logStep)
+	b.ADD(x, t3, t1)
+	b.Label(done)
+}

@@ -1,0 +1,161 @@
+package kernels
+
+import (
+	"bytes"
+	"testing"
+
+	"hetsim/internal/asm"
+	"hetsim/internal/cluster"
+	"hetsim/internal/devrt"
+	"hetsim/internal/isa"
+	"hetsim/internal/loader"
+)
+
+// Cross-cutting properties every kernel in the suite must satisfy.
+
+func TestSuiteSecondSeedGolden(t *testing.T) {
+	// The golden equivalence must hold for more than the default seed: run
+	// the full small suite against a second input set on the accelerator.
+	for _, k := range SmallSuite() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			checkKernel(t, k, isa.PULPFull, devrt.Accel, 4, 0xBEEF)
+		})
+	}
+}
+
+func TestSuiteBinaryDeterminism(t *testing.T) {
+	// Building the same kernel twice must produce identical images: the
+	// EXPERIMENTS.md binary sizes and the SPI byte streams are stable.
+	for _, k := range SmallSuite() {
+		p1, err := k.Build(isa.PULPFull, devrt.Accel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := k.Build(isa.PULPFull, devrt.Accel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i1, err := p1.Image()
+		if err != nil {
+			t.Fatal(err)
+		}
+		i2, err := p2.Image()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(i1, i2) {
+			t.Errorf("%s: binary image not deterministic", k.Name)
+		}
+	}
+}
+
+func TestSuiteTargetIsolation(t *testing.T) {
+	// Every kernel must build for every target without feature leaks, and
+	// the four builds must genuinely differ where features matter.
+	for _, k := range SmallSuite() {
+		var sizes []int
+		for _, tgt := range []isa.Target{isa.PULPFull, isa.PULPPlain, isa.CortexM3, isa.CortexM4} {
+			p, err := k.Build(tgt, devrt.Host)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", k.Name, tgt.Name, err)
+			}
+			if err := p.Validate(tgt); err != nil {
+				t.Fatalf("%s/%s: feature leak: %v", k.Name, tgt.Name, err)
+			}
+			sizes = append(sizes, len(p.Text))
+		}
+		// The plain-RISC build must not be smaller than the full build
+		// (it replaces every extension with longer sequences).
+		if sizes[1] < sizes[0] {
+			t.Errorf("%s: plain build (%d) smaller than full build (%d)",
+				k.Name, sizes[1], sizes[0])
+		}
+	}
+}
+
+func TestSuiteGoldenLengthMatchesOutLen(t *testing.T) {
+	for _, k := range SmallSuite() {
+		in := k.Input(1)
+		if got := len(k.Golden(in)); got != int(k.OutLen()) {
+			t.Errorf("%s: golden length %d, OutLen %d", k.Name, got, k.OutLen())
+		}
+	}
+}
+
+func TestSuiteTableOneMetadata(t *testing.T) {
+	fields := map[string]bool{"linear algebra": true, "learning / vision": true, "vision": true}
+	for _, k := range PaperSuite() {
+		if !fields[k.Field] {
+			t.Errorf("%s: unexpected field %q", k.Name, k.Field)
+		}
+		if k.Desc == "" || k.ParamDesc == "" || k.MaxThreads < 1 {
+			t.Errorf("%s: incomplete metadata", k.Name)
+		}
+	}
+}
+
+// The accelerator result must be independent of the team size — a strong
+// check that chunking covers the index space exactly once for any split.
+func TestSuiteThreadCountInvariance(t *testing.T) {
+	for _, k := range SmallSuite() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			in := k.Input(3)
+			want := k.Golden(in)
+			for threads := uint32(1); threads <= 4; threads++ {
+				prog, err := k.Build(isa.PULPFull, devrt.Accel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := runOnce(t, prog, k, in, threads)
+				if !bytes.Equal(res, want) {
+					t.Fatalf("threads=%d: output differs", threads)
+				}
+			}
+		})
+	}
+}
+
+// runOnce is a light helper for invariance checks: run the pre-built
+// program once on the accelerator with the given team size.
+func runOnce(t *testing.T, prog *asm.Program, k *Instance, in []byte, threads uint32) []byte {
+	t.Helper()
+	cfg := cluster.PULPConfig()
+	job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: threads, Args: k.Args()}
+	res, err := cluster.RunJob(cfg, devrt.Accel, job, 2_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Out
+}
+
+// TestKernelAsmSourceRoundtrip reassembles a real kernel's generated
+// source and checks the text reproduces exactly — the assembler, the
+// disassembler and the code generators agree end-to-end.
+func TestKernelAsmSourceRoundtrip(t *testing.T) {
+	for _, k := range []*Instance{MatMulChar(16), FIR(64, 16)} {
+		p1, err := k.Build(isa.PULPFull, devrt.Accel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := p1.AsmSource()
+		p2, err := asm.Assemble(k.Name, src, asm.Layout{})
+		if err != nil {
+			t.Fatalf("%s: reassembly failed: %v", k.Name, err)
+		}
+		if len(p1.Text) != len(p2.Text) {
+			t.Fatalf("%s: text %d vs %d instructions", k.Name, len(p1.Text), len(p2.Text))
+		}
+		for i := range p1.Text {
+			if p1.Text[i] != p2.Text[i] {
+				t.Fatalf("%s: instruction %d differs: %v vs %v", k.Name, i, p1.Text[i], p2.Text[i])
+			}
+		}
+		if !bytes.Equal(p1.Data, p2.Data) {
+			t.Fatalf("%s: data image differs", k.Name)
+		}
+	}
+}

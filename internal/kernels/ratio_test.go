@@ -1,0 +1,56 @@
+package kernels
+
+import (
+	"testing"
+
+	"hetsim/internal/devrt"
+	"hetsim/internal/isa"
+)
+
+// TestPaperRatios checks the Fig. 4 bands at the paper's full sizes (the
+// small-suite shape tests live in internal/paper): integer kernels clearly
+// above the fixed-point family, hog below 1x, parallel speedups near ideal.
+func TestPaperRatios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size suite")
+	}
+	bands := map[string][2]float64{ // arch-vs-M4 [lo, hi]
+		"matmul":         {3.0, 5.0},
+		"matmul (short)": {1.8, 2.8},
+		"matmul (fixed)": {1.2, 1.8},
+		"strassen":       {3.0, 5.0},
+		"svm (linear)":   {1.2, 1.8},
+		"svm (poly)":     {1.2, 1.8},
+		"svm (RBF)":      {1.2, 1.8},
+		"cnn":            {1.0, 1.6},
+		"cnn (approx)":   {1.4, 2.4},
+		"hog":            {0.7, 1.0},
+	}
+	for _, k := range PaperSuite() {
+		pulp1 := checkKernel(t, k, isa.PULPFull, devrt.Accel, 1, 1)
+		pulp2 := checkKernel(t, k, isa.PULPFull, devrt.Accel, 2, 1)
+		pulp4 := checkKernel(t, k, isa.PULPFull, devrt.Accel, 4, 1)
+		m4 := checkKernel(t, k, isa.CortexM4, devrt.Host, 1, 1)
+		m3 := checkKernel(t, k, isa.CortexM3, devrt.Host, 1, 1)
+		plain := checkKernel(t, k, isa.PULPPlain, devrt.Host, 1, 1)
+		archM4 := float64(m4.Cycles) / float64(pulp1.Cycles)
+		archM3 := float64(m3.Cycles) / float64(pulp1.Cycles)
+		par2 := float64(pulp1.Cycles) / float64(pulp2.Cycles)
+		par4 := float64(pulp1.Cycles) / float64(pulp4.Cycles)
+		t.Logf("%-16s riscops=%8d pulp1=%8d arch(m4)=%.2f arch(m3)=%.2f par2=%.2f par4=%.2f ops/cyc4=%.2f",
+			k.Name, plain.Stats.Retired(), pulp1.Cycles, archM4, archM3, par2, par4,
+			float64(plain.Stats.Retired())/float64(pulp4.Cycles))
+		if b, ok := bands[k.Name]; ok {
+			if archM4 < b[0] || archM4 > b[1] {
+				t.Errorf("%s: arch speedup vs M4 = %.2f outside band [%v, %v]",
+					k.Name, archM4, b[0], b[1])
+			}
+		}
+		if archM3 < archM4*0.95 {
+			t.Errorf("%s: M3 should not beat M4 (%.2f vs %.2f)", k.Name, archM3, archM4)
+		}
+		if par2 < 1.8 || par2 > 2.05 || par4 < 3.3 || par4 > 4.05 {
+			t.Errorf("%s: parallel speedups out of band: x2=%.2f x4=%.2f", k.Name, par2, par4)
+		}
+	}
+}

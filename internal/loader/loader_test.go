@@ -1,0 +1,144 @@
+package loader
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"hetsim/internal/asm"
+	"hetsim/internal/hw"
+	"hetsim/internal/isa"
+)
+
+func testProg(t *testing.T, bssBytes uint32) *asm.Program {
+	t.Helper()
+	b := asm.NewBuilder("t")
+	b.Words("tbl", []int32{1, 2, 3, 4})
+	if bssBytes > 0 {
+		b.Space("buf", bssBytes, 8)
+	}
+	b.Label("main")
+	b.Ret()
+	p, err := b.Build(asm.Layout{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlanLayout(t *testing.T) {
+	p := testProg(t, 64)
+	job := Job{Prog: p, In: make([]byte, 100), OutLen: 200, Iters: 1, Threads: 4}
+	l, err := Plan(job, hw.DefaultTCDMSize, hw.DefaultL2Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := p.MustSym("__heap")
+	if l.InVMA < heap || l.InVMA%8 != 0 {
+		t.Errorf("InVMA %#x not aligned after heap %#x", l.InVMA, heap)
+	}
+	if l.OutVMA < l.InVMA+100 || l.OutVMA%8 != 0 {
+		t.Errorf("OutVMA %#x overlaps input", l.OutVMA)
+	}
+	dataEnd := p.DataLMA + uint32(len(p.Data))
+	if l.InLMA < dataEnd || l.OutLMA < l.InLMA+100 {
+		t.Errorf("L2 staging overlaps the image: in %#x out %#x dataEnd %#x",
+			l.InLMA, l.OutLMA, dataEnd)
+	}
+	if l.Entry != p.Entry || l.ImageSize != uint32(p.Size()) {
+		t.Error("entry/image size wrong")
+	}
+}
+
+func TestPlanRejectsOversizedJobs(t *testing.T) {
+	p := testProg(t, 0)
+	// TCDM overflow: input larger than the scratchpad.
+	if _, err := Plan(Job{Prog: p, In: make([]byte, 70_000)}, hw.DefaultTCDMSize, hw.DefaultL2Size); err == nil ||
+		!strings.Contains(err.Error(), "TCDM") {
+		t.Error("TCDM overflow must be rejected")
+	}
+	// L2 overflow: fits TCDM (barely) but in+out exceed L2 staging.
+	if _, err := Plan(Job{Prog: p, In: make([]byte, 40_000), OutLen: 40_000},
+		hw.DefaultTCDMSize+64*1024, hw.DefaultL2Size); err == nil ||
+		!strings.Contains(err.Error(), "L2") {
+		t.Error("L2 overflow must be rejected")
+	}
+	// Stacks must be protected.
+	if _, err := Plan(Job{Prog: p, In: make([]byte, int(hw.DefaultTCDMSize)-1500)},
+		hw.DefaultTCDMSize, hw.DefaultL2Size); err == nil {
+		t.Error("jobs reaching into the stacks must be rejected")
+	}
+	if _, err := Plan(Job{}, hw.DefaultTCDMSize, hw.DefaultL2Size); err == nil {
+		t.Error("job without a program must be rejected")
+	}
+}
+
+func TestDescriptorFields(t *testing.T) {
+	p := testProg(t, 0)
+	job := Job{Prog: p, In: make([]byte, 64), OutLen: 32, Iters: 3, Threads: 2,
+		Args: [4]uint32{10, 20, 30, 40}}
+	l, err := Plan(job, hw.DefaultTCDMSize, hw.DefaultL2Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Descriptor(job, l)
+	if len(d) != int(hw.DescSize) {
+		t.Fatalf("descriptor length %d", len(d))
+	}
+	get := func(off uint32) uint32 { return binary.LittleEndian.Uint32(d[off:]) }
+	checks := map[uint32]uint32{
+		hw.DescEntry:   p.Entry,
+		hw.DescIn:      l.InVMA,
+		hw.DescInLen:   64,
+		hw.DescOut:     l.OutVMA,
+		hw.DescOutLen:  32,
+		hw.DescIters:   3,
+		hw.DescThreads: 2,
+		hw.DescArg0:    10,
+		hw.DescArg3:    40,
+		hw.DescInLMA:   l.InLMA,
+		hw.DescOutLMA:  l.OutLMA,
+		hw.DescDataLMA: p.DataLMA,
+		hw.DescDataLen: uint32(len(p.Data)),
+		hw.DescDataVMA: p.DataVMA,
+	}
+	for off, want := range checks {
+		if got := get(off); got != want {
+			t.Errorf("desc[%#x] = %#x, want %#x", off, got, want)
+		}
+	}
+}
+
+func TestDescriptorDefaults(t *testing.T) {
+	p := testProg(t, 0)
+	l, err := Plan(Job{Prog: p}, hw.DefaultTCDMSize, hw.DefaultL2Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Descriptor(Job{Prog: p}, l) // Threads/Iters unset
+	if binary.LittleEndian.Uint32(d[hw.DescThreads:]) != 1 {
+		t.Error("threads must default to 1")
+	}
+	if binary.LittleEndian.Uint32(d[hw.DescIters:]) != 1 {
+		t.Error("iters must default to 1")
+	}
+}
+
+func TestPlanIsaIndependent(t *testing.T) {
+	// Layout is a property of the binary, not the target: both builds of
+	// the same empty kernel have the same heap if their data agrees.
+	_ = isa.PULPFull
+	p := testProg(t, 128)
+	j := Job{Prog: p, In: make([]byte, 16), OutLen: 16}
+	l1, err := Plan(j, hw.DefaultTCDMSize, hw.DefaultL2Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Plan(j, hw.DefaultTCDMSize, hw.DefaultL2Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Error("Plan must be deterministic")
+	}
+}

@@ -1,0 +1,71 @@
+// Package mcu models the host microcontroller of the heterogeneous pair: a
+// commercial Cortex-M-class device (by default the STM32-L476 of the
+// paper's prototype) at a chosen clock frequency. The host executes
+// benchmark kernels natively through the M-profile core model (the MCU
+// baseline of every comparison) and drives the SPI link and the GPIO
+// handshake when offloading.
+package mcu
+
+import (
+	"fmt"
+
+	"hetsim/internal/cluster"
+	"hetsim/internal/devrt"
+	"hetsim/internal/loader"
+	"hetsim/internal/power"
+)
+
+// Host is a host MCU instance.
+type Host struct {
+	Model  power.MCUModel
+	FreqHz float64
+}
+
+// New builds a host; freq must not exceed the device's maximum.
+func New(model power.MCUModel, freqHz float64) (*Host, error) {
+	if freqHz <= 0 || freqHz > model.FMax {
+		return nil, fmt.Errorf("mcu: %s cannot run at %.1f MHz (max %.1f)",
+			model.Name, freqHz/1e6, model.FMax/1e6)
+	}
+	return &Host{Model: model, FreqHz: freqHz}, nil
+}
+
+// SPIClock returns the SPI peripheral clock (half the core clock, as on
+// the STM32 SPI/QSPI prescaler).
+func (h *Host) SPIClock() float64 { return h.FreqHz / 2 }
+
+// RunPowerW is the active power at the configured frequency.
+func (h *Host) RunPowerW() float64 { return h.Model.RunPowerW(h.FreqHz) }
+
+// Seconds converts host cycles (after the model's cycle penalty) to time.
+func (h *Host) Seconds(simCycles uint64) float64 {
+	return h.Model.Cycles(simCycles) / h.FreqHz
+}
+
+// BaselineResult is a native (non-offloaded) kernel execution on the host.
+type BaselineResult struct {
+	Out     []byte
+	Cycles  float64 // penalized cycles
+	Seconds float64
+	EnergyJ float64
+}
+
+// RunBaseline executes the job natively on the MCU: the same kernel binary
+// built for the host profile, single core, data in local SRAM. This is the
+// reference every speedup in the paper is measured against.
+func (h *Host) RunBaseline(job loader.Job, maxCycles uint64) (*BaselineResult, error) {
+	cfg := cluster.MCUConfig(h.Model.Target)
+	job.Threads = 1
+	res, err := cluster.RunJob(cfg, devrt.Host, job, maxCycles)
+	if err != nil {
+		return nil, fmt.Errorf("mcu: baseline on %s: %w", h.Model.Name, err)
+	}
+	cyc := h.Model.Cycles(res.Cycles)
+	sec := cyc / h.FreqHz
+	return &BaselineResult{
+		Out:     res.Out,
+		Cycles:  cyc,
+		Seconds: sec,
+		EnergyJ: sec * h.RunPowerW(),
+	}, nil
+}

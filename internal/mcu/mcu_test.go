@@ -1,0 +1,78 @@
+package mcu
+
+import (
+	"bytes"
+	"testing"
+
+	"hetsim/internal/devrt"
+	"hetsim/internal/isa"
+	"hetsim/internal/kernels"
+	"hetsim/internal/loader"
+	"hetsim/internal/power"
+)
+
+func TestNewValidatesFrequency(t *testing.T) {
+	if _, err := New(power.STM32L476, 80e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(power.STM32L476, 81e6); err == nil {
+		t.Error("above-fmax frequency must be rejected")
+	}
+	if _, err := New(power.STM32L476, 0); err == nil {
+		t.Error("zero frequency must be rejected")
+	}
+}
+
+func TestClockAndPowerDerivation(t *testing.T) {
+	h, err := New(power.STM32L476, 16e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SPIClock() != 8e6 {
+		t.Errorf("SPI clock %v", h.SPIClock())
+	}
+	if got := h.RunPowerW(); got != power.STM32L476.RunPowerW(16e6) {
+		t.Errorf("run power %v", got)
+	}
+	if got := h.Seconds(16_000_000); got != 1.0 {
+		t.Errorf("16M cycles at 16MHz = %v s", got)
+	}
+}
+
+func TestMSP430CyclePenaltyInSeconds(t *testing.T) {
+	h, err := New(power.MSP430, 25e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1.4x penalty: 25M simulated cycles take 1.4 s at 25 MHz.
+	if got := h.Seconds(25_000_000); got != 1.4 {
+		t.Errorf("penalized seconds %v", got)
+	}
+}
+
+func TestRunBaselineMatchesGolden(t *testing.T) {
+	h, err := New(power.STM32L476, 32e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernels.MatMulChar(16)
+	prog, err := k.Build(isa.CortexM4, devrt.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := k.Input(9)
+	res, err := h.RunBaseline(loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Args: k.Args()}, 0)
+	if err == nil {
+		t.Fatal("maxCycles=0 must fail fast (no budget)")
+	}
+	res, err = h.RunBaseline(loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Args: k.Args()}, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Out, k.Golden(in)) {
+		t.Fatal("baseline output mismatch")
+	}
+	if res.Seconds <= 0 || res.EnergyJ <= 0 {
+		t.Fatal("no time/energy accounted")
+	}
+}

@@ -1,0 +1,263 @@
+// Package mem models the cluster memory system of the PULP3 SoC: the
+// word-interleaved multi-banked TCDM (L1 scratchpad) with single-cycle
+// access and per-bank arbitration, the SoC L2 memory, and the shared
+// instruction cache that refills from L2.
+//
+// The TCDM arbitration is what makes the parallel speedup of Fig. 4 come
+// out below the ideal 4x: when two cores (or a core and the DMA) hit the
+// same bank in the same cycle, one of them stalls. The interconnect's
+// word-level interleaving (Rahimi et al., DATE'11) spreads sequential
+// accesses across banks, which is modelled exactly: bank = word index mod
+// number of banks.
+package mem
+
+import (
+	"fmt"
+
+	"hetsim/internal/hw"
+)
+
+// SRAM is a flat byte-addressable memory with little-endian word access.
+type SRAM struct {
+	Base uint32
+	Buf  []byte
+}
+
+// NewSRAM allocates a memory of the given size at the given base address.
+func NewSRAM(base, size uint32) *SRAM {
+	return &SRAM{Base: base, Buf: make([]byte, size)}
+}
+
+// Contains reports whether [addr, addr+n) falls inside this memory.
+func (m *SRAM) Contains(addr, n uint32) bool {
+	return addr >= m.Base && addr-m.Base+n <= uint32(len(m.Buf))
+}
+
+// Read returns an n-byte little-endian value (n in 1,2,4). The caller must
+// have checked Contains.
+func (m *SRAM) Read(addr, n uint32) uint32 {
+	off := addr - m.Base
+	var v uint32
+	for i := uint32(0); i < n; i++ {
+		v |= uint32(m.Buf[off+i]) << (8 * i)
+	}
+	return v
+}
+
+// Write stores the low n bytes of v at addr, little-endian.
+func (m *SRAM) Write(addr, n, v uint32) {
+	off := addr - m.Base
+	for i := uint32(0); i < n; i++ {
+		m.Buf[off+i] = byte(v >> (8 * i))
+	}
+}
+
+// ReadBytes copies out a byte range.
+func (m *SRAM) ReadBytes(addr, n uint32) []byte {
+	out := make([]byte, n)
+	copy(out, m.Buf[addr-m.Base:addr-m.Base+n])
+	return out
+}
+
+// WriteBytes copies a byte slice into memory at addr.
+func (m *SRAM) WriteBytes(addr uint32, b []byte) error {
+	if !m.Contains(addr, uint32(len(b))) {
+		return fmt.Errorf("mem: write of %d bytes at %#x outside memory [%#x,%#x)",
+			len(b), addr, m.Base, m.Base+uint32(len(m.Buf)))
+	}
+	copy(m.Buf[addr-m.Base:], b)
+	return nil
+}
+
+// TCDM is the multi-banked tightly-coupled data memory. Storage is a single
+// SRAM; the banking structure exists for arbitration: each bank can serve
+// one request per cycle, and word-level interleaving maps word w to bank
+// w mod NumBanks.
+type TCDM struct {
+	*SRAM
+	NumBanks int
+
+	// Per-cycle arbitration state: which banks have been granted this
+	// cycle. Reset by BeginCycle.
+	granted []bool
+
+	// Stats.
+	Accesses  uint64 // granted requests
+	Conflicts uint64 // denied requests (bank busy)
+}
+
+// NewTCDM builds a TCDM with the given size and bank count.
+func NewTCDM(size uint32, banks int) *TCDM {
+	if banks <= 0 {
+		banks = hw.DefaultTCDMBanks
+	}
+	return &TCDM{
+		SRAM:     NewSRAM(hw.TCDMBase, size),
+		NumBanks: banks,
+		granted:  make([]bool, banks),
+	}
+}
+
+// BeginCycle resets the per-cycle bank grants. The cluster calls it once at
+// the start of every simulated cycle.
+func (t *TCDM) BeginCycle() {
+	for i := range t.granted {
+		t.granted[i] = false
+	}
+}
+
+// Bank returns the bank index serving the given address.
+func (t *TCDM) Bank(addr uint32) int {
+	return int((addr >> 2) % uint32(t.NumBanks))
+}
+
+// Request tries to claim the bank of addr for this cycle. It reports
+// whether the access is granted; a denied requester must retry next cycle.
+// Requests never span banks here: sub-word accesses always fit one bank,
+// and the core splits unaligned word accesses into two requests (which is
+// also where their extra cycle comes from).
+func (t *TCDM) Request(addr uint32) bool {
+	b := t.Bank(addr)
+	if t.granted[b] {
+		t.Conflicts++
+		return false
+	}
+	t.granted[b] = true
+	t.Accesses++
+	return true
+}
+
+// ConflictRate returns the fraction of requests that were denied.
+func (t *TCDM) ConflictRate() float64 {
+	tot := t.Accesses + t.Conflicts
+	if tot == 0 {
+		return 0
+	}
+	return float64(t.Conflicts) / float64(tot)
+}
+
+// ICache models the cluster's shared instruction cache: 2-way
+// set-associative (like the multi-ported shared I$ of PULP clusters),
+// LineSize-byte lines, refilled from L2 by a single refill engine. A hit
+// costs nothing (fetch is pipelined); a miss stalls the fetching core until
+// the line lands. Concurrent misses to the same line coalesce; misses to
+// different lines queue behind the single refill port.
+//
+// A line whose refill is still in flight cannot be evicted: the evicting
+// core waits until one cycle past the refill, so the original requester is
+// guaranteed to consume its line first. (Without this, two cores whose hot
+// code maps to the same set can evict each other's in-flight lines forever
+// — a livelock a real cache cannot exhibit.)
+type ICache struct {
+	LineSize  uint32 // bytes per line (power of two)
+	Ways      int
+	NumSets   int
+	MissSetup uint64 // cycles before the refill starts (L2 + bus latency)
+	PerWord   uint64 // cycles per refilled word
+
+	tags   [][]uint32 // [set][way] line tag; 0xffffffff = invalid
+	ready  [][]uint64 // [set][way] cycle at which the line becomes usable
+	victim []int      // [set] round-robin victim pointer
+
+	refillFree uint64 // next cycle the refill engine is available
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewICache builds a 2-way instruction cache of the given total size.
+func NewICache(size, lineSize uint32) *ICache {
+	const ways = 2
+	sets := int(size / lineSize / ways)
+	if sets < 1 {
+		sets = 1
+	}
+	c := &ICache{
+		LineSize:  lineSize,
+		Ways:      ways,
+		NumSets:   sets,
+		MissSetup: 6,
+		PerWord:   1,
+		tags:      make([][]uint32, sets),
+		ready:     make([][]uint64, sets),
+		victim:    make([]int, sets),
+	}
+	for i := range c.tags {
+		c.tags[i] = make([]uint32, ways)
+		c.ready[i] = make([]uint64, ways)
+		for w := range c.tags[i] {
+			c.tags[i][w] = 0xffffffff
+		}
+	}
+	return c
+}
+
+// Fetch checks whether the instruction at pc is available at cycle now.
+// It returns the cycle at which the fetch can be retried or completed; if
+// that is > now, the core must stall until then and fetch again.
+func (c *ICache) Fetch(pc uint32, now uint64) uint64 {
+	line := pc / c.LineSize
+	set := int(line) % c.NumSets
+	tags, ready := c.tags[set], c.ready[set]
+	for w := 0; w < c.Ways; w++ {
+		if tags[w] == line {
+			if ready[w] <= now {
+				c.Hits++
+				return now
+			}
+			// Refill in flight (possibly from another core): coalesce.
+			c.Misses++
+			return ready[w]
+		}
+	}
+	c.Misses++
+	// Pick a victim way: invalid first, then any settled way (round-robin).
+	way := -1
+	for w := 0; w < c.Ways; w++ {
+		if tags[w] == 0xffffffff {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		for i := 0; i < c.Ways; i++ {
+			w := (c.victim[set] + i) % c.Ways
+			// Strictly settled: the owning core consumes its line at the
+			// refill-completion cycle; eviction is possible only after.
+			if ready[w] < now {
+				way = w
+				c.victim[set] = (w + 1) % c.Ways
+				break
+			}
+		}
+	}
+	if way < 0 {
+		// Every way is mid-refill: retry after the earliest one lands (its
+		// requester consumes it at that exact cycle; we come one later).
+		min := ready[0]
+		for w := 1; w < c.Ways; w++ {
+			if ready[w] < min {
+				min = ready[w]
+			}
+		}
+		return min + 1
+	}
+	start := now
+	if c.refillFree > start {
+		start = c.refillFree
+	}
+	done := start + c.MissSetup + c.PerWord*uint64(c.LineSize/4)
+	c.refillFree = done
+	tags[way] = line
+	ready[way] = done
+	return done
+}
+
+// MissRate returns the fraction of fetches that missed.
+func (c *ICache) MissRate() float64 {
+	tot := c.Hits + c.Misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(tot)
+}

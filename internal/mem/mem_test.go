@@ -1,0 +1,199 @@
+package mem
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hetsim/internal/hw"
+)
+
+func TestSRAMReadWrite(t *testing.T) {
+	m := NewSRAM(0x1000, 256)
+	m.Write(0x1000, 4, 0xA1B2C3D4)
+	if got := m.Read(0x1000, 4); got != 0xA1B2C3D4 {
+		t.Errorf("word: %#x", got)
+	}
+	// Little-endian byte order.
+	if got := m.Read(0x1000, 1); got != 0xD4 {
+		t.Errorf("byte0: %#x", got)
+	}
+	if got := m.Read(0x1001, 2); got != 0xB2C3 {
+		t.Errorf("half at 1: %#x", got)
+	}
+	m.Write(0x1002, 1, 0xFF)
+	if got := m.Read(0x1000, 4); got != 0xA1FFC3D4 {
+		t.Errorf("after byte poke: %#x", got)
+	}
+}
+
+func TestSRAMContains(t *testing.T) {
+	m := NewSRAM(0x1000, 256)
+	if !m.Contains(0x1000, 256) || m.Contains(0x1000, 257) ||
+		m.Contains(0xFFF, 1) || !m.Contains(0x10FF, 1) {
+		t.Error("Contains bounds wrong")
+	}
+}
+
+func TestSRAMBytesRoundtrip(t *testing.T) {
+	m := NewSRAM(0x2000, 128)
+	data := []byte{1, 2, 3, 4, 5}
+	if err := m.WriteBytes(0x2010, data); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadBytes(0x2010, 5); string(got) != string(data) {
+		t.Errorf("roundtrip: %v", got)
+	}
+	if err := m.WriteBytes(0x2070, make([]byte, 32)); err == nil {
+		t.Error("overflowing WriteBytes must fail")
+	}
+}
+
+func TestTCDMInterleaving(t *testing.T) {
+	tc := NewTCDM(hw.DefaultTCDMSize, 8)
+	// Word-level interleaving: consecutive words hit consecutive banks.
+	for i := uint32(0); i < 16; i++ {
+		want := int(i % 8)
+		if got := tc.Bank(hw.TCDMBase + i*4); got != want {
+			t.Errorf("word %d -> bank %d, want %d", i, got, want)
+		}
+	}
+	// Sub-word addresses stay in their word's bank.
+	if tc.Bank(hw.TCDMBase+5) != tc.Bank(hw.TCDMBase+4) {
+		t.Error("sub-word bank mismatch")
+	}
+}
+
+func TestTCDMArbitration(t *testing.T) {
+	tc := NewTCDM(hw.DefaultTCDMSize, 8)
+	tc.BeginCycle()
+	if !tc.Request(hw.TCDMBase) {
+		t.Fatal("first request must be granted")
+	}
+	if tc.Request(hw.TCDMBase + 32) { // word 8 -> bank 0 again
+		t.Fatal("same-bank request in the same cycle must be denied")
+	}
+	if !tc.Request(hw.TCDMBase + 4) { // bank 1
+		t.Fatal("different bank must be granted")
+	}
+	tc.BeginCycle()
+	if !tc.Request(hw.TCDMBase) {
+		t.Fatal("new cycle must reset grants")
+	}
+	if tc.Accesses != 3 || tc.Conflicts != 1 {
+		t.Errorf("stats: %d/%d", tc.Accesses, tc.Conflicts)
+	}
+	if r := tc.ConflictRate(); r != 0.25 {
+		t.Errorf("conflict rate %v", r)
+	}
+}
+
+// Property: within one cycle, at most one grant per bank; across cycles,
+// every bank can be granted again.
+func TestTCDMGrantInvariant(t *testing.T) {
+	prop := func(addrs []uint32) bool {
+		tc := NewTCDM(hw.DefaultTCDMSize, 8)
+		tc.BeginCycle()
+		granted := map[int]int{}
+		for _, a := range addrs {
+			addr := hw.TCDMBase + a%hw.DefaultTCDMSize
+			if tc.Request(addr) {
+				granted[tc.Bank(addr)]++
+			}
+		}
+		for _, n := range granted {
+			if n > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Values: func(v []reflect.Value, r *rand.Rand) {
+		n := 1 + r.Intn(32)
+		addrs := make([]uint32, n)
+		for i := range addrs {
+			addrs[i] = uint32(r.Intn(1 << 14))
+		}
+		v[0] = reflect.ValueOf(addrs)
+	}}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestICacheHitAfterRefill(t *testing.T) {
+	c := NewICache(4096, 32)
+	pc := uint32(0x1C000100)
+	done := c.Fetch(pc, 0)
+	if done <= 0 {
+		t.Fatal("cold fetch must miss")
+	}
+	// At the completion cycle the line must hit.
+	if got := c.Fetch(pc, done); got != done {
+		t.Fatalf("fetch at completion: %d vs %d", got, done)
+	}
+	// Within the same line, later words hit too.
+	if got := c.Fetch(pc+28, done+1); got != done+1 {
+		t.Fatal("same-line word must hit")
+	}
+	if c.Hits != 2 || c.Misses != 1 {
+		t.Errorf("stats: %d/%d", c.Hits, c.Misses)
+	}
+}
+
+func TestICacheCoalescesConcurrentMisses(t *testing.T) {
+	c := NewICache(4096, 32)
+	pc := uint32(0x1C000200)
+	d1 := c.Fetch(pc, 10)
+	d2 := c.Fetch(pc+4, 11) // other core, same line, while in flight
+	if d2 != d1 {
+		t.Fatalf("same-line in-flight fetch should coalesce: %d vs %d", d2, d1)
+	}
+}
+
+func TestICacheRefillSerialization(t *testing.T) {
+	c := NewICache(4096, 32)
+	d1 := c.Fetch(0x1C000000, 0)
+	d2 := c.Fetch(0x1C001000, 0) // different set, concurrent miss
+	if d2 <= d1 {
+		t.Fatalf("single refill engine must serialize: %d then %d", d1, d2)
+	}
+}
+
+// The livelock regression: two cores whose lines collide in the same set
+// must both make progress (the in-flight line cannot be evicted).
+func TestICacheNoEvictionOfInflightLines(t *testing.T) {
+	c := NewICache(64, 32) // 1 set x 2 ways: maximum pressure
+	lineA := uint32(0x1C000000)
+	lineB := lineA + 64  // same set (2 ways: both fit)
+	lineC := lineA + 128 // same set: must wait for a settled way
+
+	dA := c.Fetch(lineA, 0)
+	dB := c.Fetch(lineB, 0)
+	dC := c.Fetch(lineC, 1)
+	// C cannot evict A or B while their refills are in flight; it retries.
+	if dC <= dA && dC <= dB {
+		t.Fatalf("third line must wait: A=%d B=%d C=%d", dA, dB, dC)
+	}
+	// A and B must be consumable at their completion cycles.
+	if c.Fetch(lineA, dA) != dA {
+		t.Error("line A lost before its requester consumed it")
+	}
+	if c.Fetch(lineB, dB) != dB {
+		t.Error("line B lost before its requester consumed it")
+	}
+}
+
+func TestICacheMissRate(t *testing.T) {
+	c := NewICache(4096, 32)
+	if c.MissRate() != 0 {
+		t.Error("empty cache miss rate")
+	}
+	c.Fetch(0x1C000000, 0)
+	done := c.Fetch(0x1C000000, 100)
+	_ = done
+	if r := c.MissRate(); r != 0.5 {
+		t.Errorf("miss rate %v, want 0.5", r)
+	}
+}

@@ -1,0 +1,136 @@
+// Package omp is the host-side programming model of the paper: an OpenMP
+// v4.0-flavoured offload API. The paper outlines accelerated regions with
+// `#pragma omp target` plus `map` clauses; this package expresses the same
+// contract in Go — a target region is a device binary plus data-movement
+// clauses — and lowers it onto the core.System offload machinery, hiding
+// the link protocol, the descriptor layout and the GPIO handshake exactly
+// as the paper's runtime hides them behind the pragma.
+//
+//	dev := omp.NewDevice(sys)
+//	res, err := dev.Target(prog,
+//	    omp.MapTo(input),          // map(to: ...)
+//	    omp.MapFrom(outputBytes),  // map(from: ...)
+//	    omp.NumThreads(4),
+//	    omp.Args(n, shift),
+//	)
+package omp
+
+import (
+	"fmt"
+
+	"hetsim/internal/asm"
+	"hetsim/internal/core"
+	"hetsim/internal/loader"
+)
+
+// Device is an offload target (the PULP accelerator of a System).
+type Device struct {
+	sys *core.System
+}
+
+// NewDevice wraps a heterogeneous system as an OpenMP device.
+func NewDevice(sys *core.System) *Device { return &Device{sys: sys} }
+
+// Clause configures a target region.
+type Clause func(*regionCfg) error
+
+type regionCfg struct {
+	job  loader.Job
+	opts core.Options
+}
+
+// MapTo declares host data copied to the device before the region runs
+// (OpenMP `map(to: ...)`).
+func MapTo(data []byte) Clause {
+	return func(c *regionCfg) error {
+		c.job.In = data
+		return nil
+	}
+}
+
+// MapFrom declares a device output buffer of n bytes copied back to the
+// host after the region (OpenMP `map(from: ...)`).
+func MapFrom(n uint32) Clause {
+	return func(c *regionCfg) error {
+		c.job.OutLen = n
+		return nil
+	}
+}
+
+// NumThreads sets the team size of the device-side parallel regions.
+func NumThreads(n int) Clause {
+	return func(c *regionCfg) error {
+		if n < 1 || n > 16 {
+			return fmt.Errorf("omp: num_threads(%d) out of range", n)
+		}
+		c.job.Threads = uint32(n)
+		return nil
+	}
+}
+
+// Args passes up to four scalar firstprivate arguments to the region.
+func Args(args ...uint32) Clause {
+	return func(c *regionCfg) error {
+		if len(args) > 4 {
+			return fmt.Errorf("omp: at most 4 scalar args, got %d", len(args))
+		}
+		copy(c.job.Args[:], args)
+		return nil
+	}
+}
+
+// Iterations repeats the region on fresh data n times per offload (the
+// amortization axis of Fig. 5b).
+func Iterations(n int) Clause {
+	return func(c *regionCfg) error {
+		if n < 1 {
+			return fmt.Errorf("omp: iterations must be positive")
+		}
+		c.opts.Iterations = n
+		c.job.Iters = 1
+		return nil
+	}
+}
+
+// DoubleBuffer overlaps data transfers with computation.
+func DoubleBuffer() Clause {
+	return func(c *regionCfg) error {
+		c.opts.DoubleBuffer = true
+		return nil
+	}
+}
+
+// FromSensor feeds the mapped-to input from a sensor each iteration
+// instead of from host memory (see internal/sensor and core.SensorFeed).
+func FromSensor(feed *core.SensorFeed) Clause {
+	return func(c *regionCfg) error {
+		if feed == nil {
+			return fmt.Errorf("omp: nil sensor feed")
+		}
+		c.opts.Sensor = feed
+		return nil
+	}
+}
+
+// Result is the outcome of a target region.
+type Result struct {
+	Out    []byte
+	Report *core.Report
+}
+
+// Target offloads a region: the device binary plus its clauses. It blocks
+// until the device signals end-of-computation and the mapped-from data is
+// back on the host (the synchronous semantics of `#pragma omp target`).
+func (d *Device) Target(prog *asm.Program, clauses ...Clause) (*Result, error) {
+	cfg := regionCfg{job: loader.Job{Prog: prog, Iters: 1}}
+	for _, cl := range clauses {
+		if err := cl(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	out, rep, err := d.sys.Offload(cfg.job, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Out: out, Report: rep}, nil
+}

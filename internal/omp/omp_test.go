@@ -1,0 +1,135 @@
+package omp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hetsim/internal/core"
+	"hetsim/internal/devrt"
+	"hetsim/internal/isa"
+	"hetsim/internal/kernels"
+	"hetsim/internal/omp"
+	"hetsim/internal/power"
+)
+
+func device(t *testing.T) *omp.Device {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{
+		Host: power.STM32L476, HostFreqHz: 16e6, Lanes: 4,
+		AccVdd: 0.8, AccFreqHz: 200e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return omp.NewDevice(sys)
+}
+
+func TestTargetRegionEndToEnd(t *testing.T) {
+	dev := device(t)
+	k := kernels.MatMulShort(16)
+	prog, err := k.Build(isa.PULPFull, devrt.Accel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := k.Input(11)
+	args := k.Args()
+	res, err := dev.Target(prog,
+		omp.MapTo(in),
+		omp.MapFrom(k.OutLen()),
+		omp.NumThreads(4),
+		omp.Args(args[0], args[1]),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Out, k.Golden(in)) {
+		t.Fatal("target region output differs from golden")
+	}
+	if res.Report.Activity.CoreRun <= 1 {
+		t.Errorf("4-thread region should keep several cores busy: %+v", res.Report.Activity)
+	}
+}
+
+func TestTargetSingleThreadClause(t *testing.T) {
+	dev := device(t)
+	k := kernels.MatMulChar(16)
+	prog, err := k.Build(isa.PULPFull, devrt.Accel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := k.Input(12)
+	res, err := dev.Target(prog, omp.MapTo(in), omp.MapFrom(k.OutLen()), omp.NumThreads(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Out, k.Golden(in)) {
+		t.Fatal("single-thread region output differs from golden")
+	}
+}
+
+func TestTargetIterationsAndDoubleBuffer(t *testing.T) {
+	dev := device(t)
+	k := kernels.MatMulChar(16)
+	prog, err := k.Build(isa.PULPFull, devrt.Accel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := k.Input(13)
+	res, err := dev.Target(prog, omp.MapTo(in), omp.MapFrom(k.OutLen()),
+		omp.Iterations(32), omp.DoubleBuffer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Iterations != 32 || !res.Report.DoubleBuffer {
+		t.Fatalf("clauses not applied: %+v", res.Report)
+	}
+}
+
+func TestClauseValidation(t *testing.T) {
+	dev := device(t)
+	k := kernels.MatMulChar(16)
+	prog, err := k.Build(isa.PULPFull, devrt.Accel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]omp.Clause{
+		{omp.NumThreads(0)},
+		{omp.NumThreads(99)},
+		{omp.Args(1, 2, 3, 4, 5)},
+		{omp.Iterations(0)},
+	}
+	for i, cls := range cases {
+		if _, err := dev.Target(prog, cls...); err == nil {
+			t.Errorf("clause set %d should fail", i)
+		}
+	}
+}
+
+func TestFromSensorClause(t *testing.T) {
+	dev := device(t)
+	k := kernels.MatMulChar(16)
+	prog, err := k.Build(isa.PULPFull, devrt.Accel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Target(prog, omp.FromSensor(nil)); err == nil {
+		t.Error("nil sensor feed must be rejected")
+	}
+	in := k.Input(3)
+	res, err := dev.Target(prog,
+		omp.MapTo(in), omp.MapFrom(k.OutLen()), omp.NumThreads(2),
+		omp.FromSensor(&core.SensorFeed{AcquireTime: 1e-3, SampleEnergyJ: 1e-6, ViaLink: true}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Out, k.Golden(in)) {
+		t.Fatal("sensor-fed region output mismatch")
+	}
+	if res.Report.Energy.SensorJ != 1e-6 {
+		t.Errorf("sensor energy %v", res.Report.Energy.SensorJ)
+	}
+	if res.Report.InTime < 1e-3 {
+		t.Errorf("acquisition time not charged: %v", res.Report.InTime)
+	}
+}

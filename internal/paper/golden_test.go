@@ -1,0 +1,62 @@
+package paper
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hetsim/internal/kernels"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the full-size experiment golden file")
+
+// TestFullReproductionGolden regenerates every table and figure at the
+// paper's sizes and compares the rendered output byte-for-byte against the
+// recorded golden file — the same content quoted in EXPERIMENTS.md. The
+// simulation is deterministic, so any diff is a real change in reproduced
+// results. Run with -update to re-record after an intentional model change.
+//
+// Skipped under -short (it simulates the full-size suite, ~10 s).
+func TestFullReproductionGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size suite")
+	}
+	m, err := Measure(kernels.PaperSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderTable1(&buf, m.Table1())
+	buf.WriteByte('\n')
+	pts, err := m.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderFigure3(&buf, pts)
+	buf.WriteByte('\n')
+	RenderFigure4(&buf, m.Figure4())
+	buf.WriteByte('\n')
+	RenderFigure5a(&buf, m.Figure5a())
+
+	path := filepath.Join("testdata", "full_reproduction.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %d bytes", buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no golden file (run with -update to record): %v", err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Errorf("full reproduction output changed; run with -update if intentional.\n--- got ---\n%s\n--- want ---\n%s",
+			buf.String(), want)
+	}
+}

@@ -1,0 +1,145 @@
+// Package paper regenerates every table and figure of the DATE'16 paper's
+// evaluation from the simulator: Table I (benchmark summary), Fig. 3
+// (energy efficiency landscape on matmul), Fig. 4 (architectural and
+// parallel speedups), Fig. 5a (speedup within a 10 mW envelope) and
+// Fig. 5b (offload-cost amortization). Each generator returns structured
+// rows (consumed by the benchmarks and the hetexp tool) and has a Render
+// function producing the ASCII form recorded in EXPERIMENTS.md.
+package paper
+
+import (
+	"fmt"
+	"sync"
+
+	"hetsim/internal/cluster"
+	"hetsim/internal/devrt"
+	"hetsim/internal/isa"
+	"hetsim/internal/kernels"
+	"hetsim/internal/loader"
+	"hetsim/internal/power"
+)
+
+// configKey identifies a measurement configuration.
+type configKey string
+
+const (
+	cfgPlain configKey = "plain" // single plain-RISC core (RISC-op counting)
+	cfgM3    configKey = "m3"    // Cortex-M3 host profile
+	cfgM4    configKey = "m4"    // Cortex-M4 host profile
+	cfgPULP1 configKey = "pulp1" // OR10N cluster, team of 1
+	cfgPULP2 configKey = "pulp2" // team of 2
+	cfgPULP4 configKey = "pulp4" // team of 4
+)
+
+// kernelMeasurement holds everything the figures need about one kernel.
+type kernelMeasurement struct {
+	K        *kernels.Instance
+	Cycles   map[configKey]uint64
+	RISCOps  uint64 // instructions retired on the plain-RISC core
+	Activity power.Activity
+	BinBytes int // accelerator binary size (Table I)
+	InBytes  int
+	OutBytes int
+}
+
+// Measurements caches the per-kernel simulation results shared by all
+// generators so each kernel/config pair is simulated exactly once.
+type Measurements struct {
+	Suite []*kernels.Instance
+	ByK   map[string]*kernelMeasurement
+	seed  uint64
+}
+
+// Measure runs the whole suite on every configuration. With the paper
+// suite this simulates ~100M core cycles; the per-kernel simulations are
+// independent, so they run concurrently.
+func Measure(suite []*kernels.Instance) (*Measurements, error) {
+	m := &Measurements{Suite: suite, ByK: make(map[string]*kernelMeasurement), seed: 1}
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		firstEr error
+	)
+	for _, k := range suite {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			km, err := m.measureKernel(k)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstEr == nil {
+				firstEr = err
+				return
+			}
+			m.ByK[k.Name] = km
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return m, nil
+}
+
+func (m *Measurements) measureKernel(k *kernels.Instance) (*kernelMeasurement, error) {
+	km := &kernelMeasurement{K: k, Cycles: make(map[configKey]uint64)}
+	in := k.Input(m.seed)
+	km.InBytes = len(in)
+	km.OutBytes = int(k.OutLen())
+
+	type runCfg struct {
+		key     configKey
+		tgt     isa.Target
+		mode    devrt.Mode
+		threads uint32
+	}
+	runs := []runCfg{
+		{cfgPlain, isa.PULPPlain, devrt.Host, 1},
+		{cfgM3, isa.CortexM3, devrt.Host, 1},
+		{cfgM4, isa.CortexM4, devrt.Host, 1},
+		{cfgPULP1, isa.PULPFull, devrt.Accel, 1},
+		{cfgPULP2, isa.PULPFull, devrt.Accel, 2},
+		{cfgPULP4, isa.PULPFull, devrt.Accel, 4},
+	}
+	for _, rc := range runs {
+		prog, err := k.Build(rc.tgt, rc.mode)
+		if err != nil {
+			return nil, err
+		}
+		var cfg cluster.Config
+		if rc.mode == devrt.Accel {
+			cfg = cluster.PULPConfig()
+		} else {
+			cfg = cluster.MCUConfig(rc.tgt)
+		}
+		job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: rc.threads, Args: k.Args()}
+		res, err := cluster.RunJob(cfg, rc.mode, job, 4_000_000_000)
+		if err != nil {
+			return nil, fmt.Errorf("paper: measuring %s on %s: %w", k.Name, rc.key, err)
+		}
+		km.Cycles[rc.key] = res.Cycles
+		switch rc.key {
+		case cfgPlain:
+			km.RISCOps = res.Stats.Retired()
+		case cfgPULP4:
+			km.Activity = power.ActivityOf(res.Stats)
+			img, err := prog.Image()
+			if err != nil {
+				return nil, err
+			}
+			km.BinBytes = len(img)
+		}
+	}
+	return km, nil
+}
+
+// OpsPerCycle returns RISC operations per cycle for a configuration (the
+// annotation of Fig. 5a).
+func (km *kernelMeasurement) OpsPerCycle(key configKey) float64 {
+	c := km.Cycles[key]
+	if c == 0 {
+		return 0
+	}
+	return float64(km.RISCOps) / float64(c)
+}

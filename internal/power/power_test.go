@@ -1,0 +1,204 @@
+package power
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hetsim/internal/cluster"
+	"hetsim/internal/cpu"
+)
+
+// matmulActivity approximates the measured chi profile of the 4-core
+// matmul: all cores busy, ~1.4 TCDM accesses per cycle, DMA negligible.
+func matmulActivity() Activity {
+	return Activity{CoreRun: 4, TCDM: 1.43, DMA: 0.01}
+}
+
+func TestCalibrationAnchor(t *testing.T) {
+	// The paper's anchor: PULP running matmul at the 0.6 V point (~50 MHz)
+	// burns about 1.48 mW.
+	p := PULPPowerW(0.6, 50e6, matmulActivity())
+	if p < 1.25e-3 || p > 1.7e-3 {
+		t.Fatalf("matmul power at 0.6V/50MHz = %.3f mW, want ~1.48", p*1e3)
+	}
+}
+
+func TestL476BaselineIsTenMilliwatts(t *testing.T) {
+	// The Fig. 5 baseline: the STM32-L476 at 32 MHz consumes ~10 mW, which
+	// is why 10 mW is the envelope.
+	p := STM32L476.RunPowerW(32e6)
+	if p < 9.5e-3 || p > 11.5e-3 {
+		t.Fatalf("L476 @ 32 MHz = %.2f mW, want ~10.6", p*1e3)
+	}
+}
+
+func TestFMaxInterpolation(t *testing.T) {
+	if f := FMaxAt(0.4); f != OpPoints[0].FMax {
+		t.Errorf("below range: %v", f)
+	}
+	if f := FMaxAt(1.2); f != OpPoints[len(OpPoints)-1].FMax {
+		t.Errorf("above range: %v", f)
+	}
+	for _, op := range OpPoints {
+		if f := FMaxAt(op.VDD); f != op.FMax {
+			t.Errorf("FMaxAt(%v) = %v, want %v", op.VDD, f, op.FMax)
+		}
+	}
+	// Monotone non-decreasing (property).
+	prop := func(a, b float64) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return FMaxAt(a) <= FMaxAt(b)
+	}
+	cfg := &quick.Config{MaxCount: 2000, Values: func(v []reflect.Value, r *rand.Rand) {
+		v[0] = reflect.ValueOf(0.4 + r.Float64()*0.8)
+		v[1] = reflect.ValueOf(0.4 + r.Float64()*0.8)
+	}}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerMonotoneInVoltageAndFrequency(t *testing.T) {
+	a := matmulActivity()
+	prop := func(v1, v2, f1, f2 float64) bool {
+		if v1 > v2 {
+			v1, v2 = v2, v1
+		}
+		if f1 > f2 {
+			f1, f2 = f2, f1
+		}
+		return PULPPowerW(v1, f1, a) <= PULPPowerW(v2, f2, a)+1e-15
+	}
+	cfg := &quick.Config{MaxCount: 2000, Values: func(v []reflect.Value, r *rand.Rand) {
+		v[0] = reflect.ValueOf(0.5 + r.Float64()*0.5)
+		v[1] = reflect.ValueOf(0.5 + r.Float64()*0.5)
+		v[2] = reflect.ValueOf(1e6 + r.Float64()*449e6)
+		v[3] = reflect.ValueOf(1e6 + r.Float64()*449e6)
+	}}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdleMuchCheaperThanRun(t *testing.T) {
+	run := PULPPowerW(0.8, 200e6, matmulActivity())
+	idle := PULPPowerW(0.8, 200e6, IdleActivity(4))
+	if idle >= run/3 {
+		t.Fatalf("idle %.3f mW not well below run %.3f mW", idle*1e3, run*1e3)
+	}
+}
+
+func TestBestOpEnvelope(t *testing.T) {
+	a := matmulActivity()
+	// The Fig. 5a sweet spot: with the MCU at 1 MHz, ~9+ mW are left for
+	// PULP, which should clock well above 150 MHz.
+	v, f, ok := BestOp(9.3e-3, a)
+	if !ok {
+		t.Fatal("9.3 mW must be feasible")
+	}
+	if f < 150e6 {
+		t.Errorf("budget 9.3 mW gives only %.1f MHz at %.2f V", f/1e6, v)
+	}
+	if got := PULPPowerW(v, f, a); got > 9.3e-3*1.001 {
+		t.Errorf("solution exceeds budget: %.3f mW", got*1e3)
+	}
+	// ~1.4 mW (MCU at 26 MHz) still buys tens of MHz.
+	_, f2, ok := BestOp(1.4e-3, a)
+	if !ok || f2 < 20e6 || f2 > 120e6 {
+		t.Errorf("budget 1.4 mW gives %.1f MHz, want tens of MHz", f2/1e6)
+	}
+	// Infeasible budget.
+	if _, _, ok := BestOp(1e-6, a); ok {
+		t.Error("1 uW cannot power the cluster")
+	}
+}
+
+func TestBestOpMonotoneInBudget(t *testing.T) {
+	a := matmulActivity()
+	prop := func(b1, b2 float64) bool {
+		if b1 > b2 {
+			b1, b2 = b2, b1
+		}
+		_, f1, ok1 := BestOp(b1, a)
+		_, f2, ok2 := BestOp(b2, a)
+		if !ok1 {
+			return true
+		}
+		return ok2 && f2 >= f1-1
+	}
+	cfg := &quick.Config{MaxCount: 500, Values: func(v []reflect.Value, r *rand.Rand) {
+		v[0] = reflect.ValueOf(0.2e-3 + r.Float64()*15e-3)
+		v[1] = reflect.ValueOf(0.2e-3 + r.Float64()*15e-3)
+	}}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActivityOf(t *testing.T) {
+	s := cluster.Stats{
+		Cycles: 1000,
+		Cores: []cpu.Stats{
+			{Active: 800, Stall: 100, Sleep: 100},
+			{Active: 400, Stall: 0, Sleep: 600},
+		},
+		DMABusy:    250,
+		TCDMAccess: 1500,
+	}
+	a := ActivityOf(s)
+	if a.CoreRun != 1.3 || a.CoreIdle != 0.7 {
+		t.Errorf("core chi = %v/%v", a.CoreRun, a.CoreIdle)
+	}
+	if a.TCDM != 1.5 || a.DMA != 0.25 {
+		t.Errorf("tcdm/dma chi = %v/%v", a.TCDM, a.DMA)
+	}
+	if got := ActivityOf(cluster.Stats{}); got != (Activity{}) {
+		t.Errorf("empty stats must give zero activity")
+	}
+}
+
+func TestMCUTable(t *testing.T) {
+	if len(AllMCUs) != 7 {
+		t.Fatalf("Fig. 3 compares 7 MCUs, table has %d", len(AllMCUs))
+	}
+	for _, m := range AllMCUs {
+		if m.RunWHz <= 0 || m.FMax <= 0 {
+			t.Errorf("%s has invalid characteristics", m.Name)
+		}
+		// The Apollo is the efficiency outlier of Fig. 3.
+		if m.Name != "Ambiq Apollo" && m.RunWHz < 2*AmbiqApollo.RunWHz {
+			t.Errorf("%s (%.2f nW/Hz) should be far less efficient than the Apollo", m.Name, m.RunWHz*1e9)
+		}
+	}
+	if _, err := MCUByName("STM32-L476"); err != nil {
+		t.Error(err)
+	}
+	if _, err := MCUByName("Z80"); err == nil {
+		t.Error("unknown MCU must fail")
+	}
+	if c := MSP430.Cycles(1000); c != 1400 {
+		t.Errorf("MSP430 cycle penalty: %v", c)
+	}
+	if c := STM32L476.Cycles(1000); c != 1000 {
+		t.Errorf("L476 cycle penalty: %v", c)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	var e Energy
+	e.Add(Energy{MCUJ: 1, PULPJ: 2, SPIJ: 3})
+	e.Add(Energy{MCUJ: 0.5})
+	if e.TotalJ() != 6.5 {
+		t.Fatalf("total = %v", e.TotalJ())
+	}
+	if g := EfficiencyGOPSW(1e9, 1, 1); g != 1 {
+		t.Errorf("1 Gop in 1 s at 1 W should be 1 GOPS/W, got %v", g)
+	}
+	if g := EfficiencyGOPSW(1e9, 1, 0); g != 0 {
+		t.Errorf("zero power guard failed: %v", g)
+	}
+}

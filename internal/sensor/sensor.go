@@ -1,0 +1,122 @@
+// Package sensor models the data source of the paper's Figure 1: "the
+// typical purpose of an IoT node is to elaborate data coming from a
+// sensor". A Sensor produces fixed-size samples (frames, signal windows)
+// at a configurable rate over a dedicated interface (DCMI/I2S-class).
+//
+// Two wirings are modelled, matching Section III (baseline) and the
+// Section V variant:
+//
+//   - HostPath: the sensor streams into MCU RAM; the MCU forwards each
+//     sample to the accelerator over the SPI link (the baseline model —
+//     the sample crosses two interfaces).
+//   - DirectPath: "bring data from the sensor directly to the internal
+//     memory of the accelerator" — a dedicated sensor-to-L2 interface
+//     removes the sample from the SPI link entirely, at the cost of a more
+//     expensive board design.
+//
+// The Path abstraction returns the per-sample transfer time and energy
+// each wiring adds to an offload, which internal/core composes into the
+// pipeline timeline.
+package sensor
+
+import "fmt"
+
+// Sensor is a periodic data source.
+type Sensor struct {
+	Name        string
+	SampleBytes int
+	RateHz      float64 // sample production rate
+	// IfaceByteRate is the throughput of the sensor's own interface
+	// (bytes/second); a DCMI-class camera port is far faster than SPI.
+	IfaceByteRate float64
+	// IfaceEnergyPerByte is the transfer energy on the sensor interface.
+	IfaceEnergyPerByte float64
+	// ActiveW is the sensor's own acquisition power (charged per sample
+	// period regardless of wiring).
+	ActiveW float64
+}
+
+// QVGACamera is an 8-bit grayscale imager cropped to the hog kernel's
+// 128x128 input, streaming over a parallel camera interface.
+func QVGACamera() Sensor {
+	return Sensor{
+		Name:               "camera-128x128",
+		SampleBytes:        128 * 128,
+		RateHz:             30,
+		IfaceByteRate:      8e6,
+		IfaceEnergyPerByte: 1e-9,
+		ActiveW:            1.2e-3,
+	}
+}
+
+// BioADC is a multi-channel biosignal front end producing Q15 windows
+// matching the svm kernel's input.
+func BioADC(windowBytes int) Sensor {
+	return Sensor{
+		Name:               "bio-adc",
+		SampleBytes:        windowBytes,
+		RateHz:             8,
+		IfaceByteRate:      1e6,
+		IfaceEnergyPerByte: 0.5e-9,
+		ActiveW:            0.15e-3,
+	}
+}
+
+// Path is the wiring between sensor, host and accelerator.
+type Path int
+
+const (
+	// HostPath: sensor -> MCU RAM -> SPI link -> accelerator L2.
+	HostPath Path = iota
+	// DirectPath: sensor -> accelerator L2 (dedicated interface).
+	DirectPath
+)
+
+func (p Path) String() string {
+	if p == DirectPath {
+		return "direct"
+	}
+	return "host"
+}
+
+// AcquireTime returns the time to move one sample over the sensor's own
+// interface (paid on both paths; on HostPath it lands in MCU RAM, on
+// DirectPath in accelerator L2).
+func (s Sensor) AcquireTime() float64 {
+	if s.IfaceByteRate <= 0 {
+		return 0
+	}
+	return float64(s.SampleBytes) / s.IfaceByteRate
+}
+
+// AcquireEnergy returns the interface energy of one sample.
+func (s Sensor) AcquireEnergy() float64 {
+	return float64(s.SampleBytes) * s.IfaceEnergyPerByte
+}
+
+// SampleEnergy returns the acquisition energy of one sample period (sensor
+// active power over one period plus interface energy).
+func (s Sensor) SampleEnergy() float64 {
+	if s.RateHz <= 0 {
+		return s.AcquireEnergy()
+	}
+	return s.ActiveW/s.RateHz + s.AcquireEnergy()
+}
+
+// Validate checks the sensor's parameters.
+func (s Sensor) Validate() error {
+	if s.SampleBytes <= 0 {
+		return fmt.Errorf("sensor %s: sample size must be positive", s.Name)
+	}
+	if s.IfaceByteRate <= 0 {
+		return fmt.Errorf("sensor %s: interface rate must be positive", s.Name)
+	}
+	return nil
+}
+
+// Feed converts the sensor+wiring into the core offload option.
+// (Returned as the anonymous field bundle to avoid an import cycle; the
+// caller passes it to core.Options.Sensor.)
+func (s Sensor) Feed(p Path) (acquireTime, sampleEnergyJ float64, viaLink bool) {
+	return s.AcquireTime(), s.SampleEnergy(), p == HostPath
+}

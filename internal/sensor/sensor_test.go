@@ -1,0 +1,65 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCameraParameters(t *testing.T) {
+	c := QVGACamera()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.SampleBytes != 128*128 {
+		t.Errorf("frame size %d", c.SampleBytes)
+	}
+	// 16 kB over 8 MB/s = 2.048 ms per frame.
+	if got := c.AcquireTime(); math.Abs(got-2.048e-3) > 1e-6 {
+		t.Errorf("acquire time %v", got)
+	}
+	if c.AcquireEnergy() <= 0 || c.SampleEnergy() <= c.AcquireEnergy() {
+		t.Error("sample energy must include active power over the period")
+	}
+}
+
+func TestBioADC(t *testing.T) {
+	b := BioADC(6912)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.AcquireTime() <= 0 {
+		t.Error("acquire time")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Sensor{Name: "x", SampleBytes: 0, IfaceByteRate: 1}).Validate(); err == nil {
+		t.Error("zero sample size must fail")
+	}
+	if err := (Sensor{Name: "x", SampleBytes: 1, IfaceByteRate: 0}).Validate(); err == nil {
+		t.Error("zero interface rate must fail")
+	}
+}
+
+func TestFeedWiring(t *testing.T) {
+	c := QVGACamera()
+	at, ej, via := c.Feed(HostPath)
+	if !via || at != c.AcquireTime() || ej != c.SampleEnergy() {
+		t.Error("host path feed wrong")
+	}
+	_, _, via = c.Feed(DirectPath)
+	if via {
+		t.Error("direct path must bypass the link")
+	}
+	if HostPath.String() != "host" || DirectPath.String() != "direct" {
+		t.Error("path names")
+	}
+}
+
+func TestZeroRateSensor(t *testing.T) {
+	s := Sensor{Name: "s", SampleBytes: 100, IfaceByteRate: 1e6, ActiveW: 1}
+	// RateHz == 0: SampleEnergy falls back to interface energy only.
+	if s.SampleEnergy() != s.AcquireEnergy() {
+		t.Error("zero-rate sensor energy fallback")
+	}
+}

@@ -1,0 +1,115 @@
+// Package spilink models the host-accelerator coupling link of the paper:
+// a SPI (1 data lane) or QSPI (4 lanes) connection whose clock is derived
+// from the host MCU clock, carrying a simple framed protocol (command,
+// address, length, payload) into the accelerator's L2 through the QSPI
+// slave port, plus the two GPIO event wires (fetch-enable toward the
+// accelerator, end-of-computation toward the host).
+//
+// The model is transaction-level: every byte that crosses the link is
+// really moved (into the simulated L2), and the time/energy are computed
+// from the clock, lane count and framing overhead. This is the layer whose
+// throughput produces the amortization curves and the bandwidth plateau of
+// Fig. 5b.
+package spilink
+
+import (
+	"fmt"
+
+	"hetsim/internal/mem"
+	"hetsim/internal/power"
+)
+
+// Config describes the physical link configuration.
+type Config struct {
+	Lanes   int     // 1 = SPI, 4 = QSPI
+	ClockHz float64 // SPI clock (typically MCU clock / 2)
+	// CmdBytes is the framing overhead per burst: command byte, 32-bit
+	// address, 32-bit length.
+	CmdBytes int
+	// MaxBurst is the largest payload per transaction; longer transfers
+	// split into bursts, each paying the framing overhead.
+	MaxBurst int
+}
+
+// DefaultConfig returns the QSPI configuration used by the paper's
+// evaluation (QSPI interface of the STM32-L476), clocked at half the MCU
+// clock.
+func DefaultConfig(mcuClockHz float64) Config {
+	return Config{Lanes: 4, ClockHz: mcuClockHz / 2, CmdBytes: 9, MaxBurst: 4096}
+}
+
+// ByteRate returns the payload byte rate of the link in bytes/second.
+func (c Config) ByteRate() float64 {
+	return c.ClockHz * float64(c.Lanes) / 8
+}
+
+// wireBytes returns the total bytes on the wire for a payload of n bytes,
+// including per-burst framing.
+func (c Config) wireBytes(n int) int {
+	if n == 0 {
+		return 0
+	}
+	burst := c.MaxBurst
+	if burst <= 0 {
+		burst = 4096
+	}
+	bursts := (n + burst - 1) / burst
+	return n + bursts*c.CmdBytes
+}
+
+// TransferTime returns the wall-clock seconds needed to move an n-byte
+// payload across the link.
+func (c Config) TransferTime(n int) float64 {
+	return float64(c.wireBytes(n)) / c.ByteRate()
+}
+
+// TransferEnergy returns the link energy of an n-byte payload.
+func (c Config) TransferEnergy(n int) float64 {
+	return float64(c.wireBytes(n)*8) * power.SPIEnergyPerBit
+}
+
+// Link is a stateful link instance bound to the accelerator's L2: Write and
+// Read actually move the bytes (the same bytes the device runtime later
+// consumes), and the counters feed the reports.
+type Link struct {
+	Cfg Config
+
+	// Stats.
+	TxBytes      uint64 // payload bytes host -> accelerator
+	RxBytes      uint64 // payload bytes accelerator -> host
+	Transactions uint64
+	BusySeconds  float64
+	EnergyJ      float64
+}
+
+// New builds a link with the given configuration.
+func New(cfg Config) *Link { return &Link{Cfg: cfg} }
+
+// Write moves a payload into accelerator memory through the QSPI slave,
+// returning the transfer time.
+func (l *Link) Write(dst *mem.SRAM, addr uint32, data []byte) (float64, error) {
+	if err := dst.WriteBytes(addr, data); err != nil {
+		return 0, fmt.Errorf("spilink: %w", err)
+	}
+	t := l.Cfg.TransferTime(len(data))
+	l.TxBytes += uint64(len(data))
+	l.Transactions++
+	l.BusySeconds += t
+	l.EnergyJ += l.Cfg.TransferEnergy(len(data))
+	return t, nil
+}
+
+// Read moves a payload out of accelerator memory, returning the data and
+// the transfer time.
+func (l *Link) Read(src *mem.SRAM, addr uint32, n uint32) ([]byte, float64, error) {
+	if !src.Contains(addr, n) {
+		return nil, 0, fmt.Errorf("spilink: read of %d bytes at %#x outside accelerator memory", n, addr)
+	}
+	data := src.ReadBytes(addr, n)
+	t := l.Cfg.TransferTime(len(data))
+	l.RxBytes += uint64(len(data))
+	l.Transactions++
+	l.BusySeconds += t
+	l.EnergyJ += l.Cfg.TransferEnergy(len(data))
+	return data, t, nil
+}

@@ -1,0 +1,92 @@
+package spilink
+
+import (
+	"bytes"
+	"testing"
+
+	"hetsim/internal/mem"
+)
+
+func TestByteRate(t *testing.T) {
+	spi := Config{Lanes: 1, ClockHz: 8e6, CmdBytes: 9, MaxBurst: 4096}
+	if got := spi.ByteRate(); got != 1e6 {
+		t.Errorf("SPI @8MHz = %v B/s, want 1e6", got)
+	}
+	qspi := Config{Lanes: 4, ClockHz: 8e6, CmdBytes: 9, MaxBurst: 4096}
+	if got := qspi.ByteRate(); got != 4e6 {
+		t.Errorf("QSPI @8MHz = %v B/s, want 4e6", got)
+	}
+}
+
+func TestFramingOverhead(t *testing.T) {
+	c := Config{Lanes: 1, ClockHz: 1e6, CmdBytes: 9, MaxBurst: 100}
+	if got := c.wireBytes(0); got != 0 {
+		t.Errorf("empty transfer: %d", got)
+	}
+	if got := c.wireBytes(100); got != 109 {
+		t.Errorf("one burst: %d, want 109", got)
+	}
+	if got := c.wireBytes(101); got != 101+2*9 {
+		t.Errorf("two bursts: %d, want 119", got)
+	}
+	// Time scales with wire bytes.
+	t1 := c.TransferTime(100)
+	t2 := c.TransferTime(200)
+	if !(t2 > t1 && t1 > 0) {
+		t.Errorf("times not increasing: %v %v", t1, t2)
+	}
+	// QSPI is 4x faster than SPI at the same clock.
+	spi := Config{Lanes: 1, ClockHz: 8e6, CmdBytes: 9, MaxBurst: 4096}
+	qspi := Config{Lanes: 4, ClockHz: 8e6, CmdBytes: 9, MaxBurst: 4096}
+	r := spi.TransferTime(4096) / qspi.TransferTime(4096)
+	if r < 3.9 || r > 4.1 {
+		t.Errorf("SPI/QSPI time ratio = %.2f, want ~4", r)
+	}
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	l2 := mem.NewSRAM(0x1C000000, 64*1024)
+	link := New(DefaultConfig(16e6))
+	payload := make([]byte, 1000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	tw, err := link.Write(l2, 0x1C000400, payload)
+	if err != nil || tw <= 0 {
+		t.Fatalf("write: %v %v", tw, err)
+	}
+	got, tr, err := link.Read(l2, 0x1C000400, 1000)
+	if err != nil || tr <= 0 {
+		t.Fatalf("read: %v %v", tr, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted across the link")
+	}
+	if link.TxBytes != 1000 || link.RxBytes != 1000 || link.Transactions != 2 {
+		t.Errorf("stats: %+v", link)
+	}
+	if link.EnergyJ <= 0 || link.BusySeconds <= 0 {
+		t.Errorf("no energy/time recorded")
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	l2 := mem.NewSRAM(0x1C000000, 1024)
+	link := New(DefaultConfig(16e6))
+	if _, err := link.Write(l2, 0x1C000400, make([]byte, 2048)); err == nil {
+		t.Error("overflowing write must fail")
+	}
+	if _, _, err := link.Read(l2, 0x1C000000, 4096); err == nil {
+		t.Error("overflowing read must fail")
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig(16e6)
+	if c.Lanes != 4 {
+		t.Error("the evaluation uses the QSPI interface")
+	}
+	if c.ClockHz != 8e6 {
+		t.Errorf("SPI clock should be half the MCU clock, got %v", c.ClockHz)
+	}
+}

@@ -1,0 +1,107 @@
+// Package trace provides execution tracing for the simulated cluster: a
+// per-core instruction trace in a readable one-line-per-retirement format,
+// plus cluster-level events (barriers, DMA transfers, EOC). It is the
+// debugging companion of cmd/hetsim's -trace flag and of kernel
+// development with cmd/hetasm.
+//
+// Tracing hooks into the cpu.Core observer callback; with no tracer
+// attached the simulator pays nothing.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"hetsim/internal/isa"
+)
+
+// Event is one traced occurrence.
+type Event struct {
+	Cycle uint64
+	Core  int
+	Kind  Kind
+	PC    uint32
+	Inst  isa.Inst
+	Note  string
+}
+
+// Kind classifies trace events.
+type Kind uint8
+
+const (
+	// KindRetire is an instruction retirement.
+	KindRetire Kind = iota
+	// KindSleep is a core going to sleep (WFE or barrier).
+	KindSleep
+	// KindWake is a core waking up.
+	KindWake
+	// KindNote is a free-form cluster event (DMA start, EOC, ...).
+	KindNote
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRetire:
+		return "retire"
+	case KindSleep:
+		return "sleep"
+	case KindWake:
+		return "wake"
+	case KindNote:
+		return "note"
+	}
+	return "?"
+}
+
+// Tracer collects events. It is safe for use from a single simulation
+// goroutine; Flush may be called from anywhere.
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	n   uint64
+	max uint64
+
+	// Filter limits the trace to one core (-1 = all).
+	CoreFilter int
+}
+
+// New builds a tracer writing formatted events to w, stopping after max
+// events (0 = unlimited).
+func New(w io.Writer, max uint64) *Tracer {
+	return &Tracer{w: w, max: max, CoreFilter: -1}
+}
+
+// Emit records one event.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	if t.CoreFilter >= 0 && e.Core != t.CoreFilter && e.Kind != KindNote {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.max > 0 && t.n >= t.max {
+		return
+	}
+	t.n++
+	switch e.Kind {
+	case KindRetire:
+		fmt.Fprintf(t.w, "%10d c%d  %08x  %v\n", e.Cycle, e.Core, e.PC, e.Inst)
+	case KindNote:
+		fmt.Fprintf(t.w, "%10d --  %s\n", e.Cycle, e.Note)
+	default:
+		fmt.Fprintf(t.w, "%10d c%d  %s %s\n", e.Cycle, e.Core, e.Kind, e.Note)
+	}
+	if t.max > 0 && t.n == t.max {
+		fmt.Fprintf(t.w, "... trace truncated after %d events ...\n", t.max)
+	}
+}
+
+// Count returns the number of events emitted so far.
+func (t *Tracer) Count() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}

@@ -1,0 +1,92 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"hetsim/internal/asm"
+	"hetsim/internal/cluster"
+	"hetsim/internal/isa"
+	"hetsim/internal/trace"
+)
+
+func TestTracerCapturesRetirements(t *testing.T) {
+	p, err := asm.Assemble("t", `
+    mfspr a0, 0
+    sfeqi a0, 0
+    bnf park
+    addi a1, r0, 7
+    trap 0
+park:
+    wfe
+    j park
+`, asm.Layout{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tr := trace.New(&sb, 0)
+	cl := cluster.New(cluster.PULPConfig())
+	if err := cl.LoadProgram(p, true); err != nil {
+		t.Fatal(err)
+	}
+	cl.AttachTracer(tr)
+	cl.Start(p.Entry)
+	if _, err := cl.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"mfspr", "sfeqi", "addi", "c0", "c3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace lacks %q", want)
+		}
+	}
+	if tr.Count() == 0 {
+		t.Fatal("no events")
+	}
+}
+
+func TestTracerTruncation(t *testing.T) {
+	var sb strings.Builder
+	tr := trace.New(&sb, 3)
+	for i := 0; i < 10; i++ {
+		tr.Emit(trace.Event{Cycle: uint64(i), Kind: trace.KindRetire, Inst: isa.Inst{Op: isa.NOP}})
+	}
+	if tr.Count() != 3 {
+		t.Fatalf("count = %d", tr.Count())
+	}
+	if !strings.Contains(sb.String(), "truncated") {
+		t.Error("no truncation marker")
+	}
+}
+
+func TestTracerCoreFilter(t *testing.T) {
+	var sb strings.Builder
+	tr := trace.New(&sb, 0)
+	tr.CoreFilter = 2
+	tr.Emit(trace.Event{Core: 1, Kind: trace.KindRetire, Inst: isa.Inst{Op: isa.NOP}})
+	tr.Emit(trace.Event{Core: 2, Kind: trace.KindRetire, Inst: isa.Inst{Op: isa.ADD}})
+	tr.Emit(trace.Event{Core: 0, Kind: trace.KindNote, Note: "EOC"}) // notes pass the filter
+	if strings.Contains(sb.String(), "nop") || !strings.Contains(sb.String(), "add") {
+		t.Errorf("core filter failed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "EOC") {
+		t.Error("notes should pass the core filter")
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *trace.Tracer
+	tr.Emit(trace.Event{Kind: trace.KindNote, Note: "x"}) // must not panic
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[trace.Kind]string{
+		trace.KindRetire: "retire", trace.KindSleep: "sleep",
+		trace.KindWake: "wake", trace.KindNote: "note",
+	} {
+		if k.String() != want {
+			t.Errorf("%v", k)
+		}
+	}
+}
