@@ -1,0 +1,36 @@
+# hetsim build / CI entry points. Everything is plain `go` underneath;
+# the targets only bundle the invocations CI runs.
+
+GO ?= go
+
+.PHONY: ci vet build test race fault-drill bench
+
+ci: vet build race fault-drill
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Seeded fault-injection drills: every run injects deterministic faults
+# (the seeds below), recovers through CRC retransmission, watchdog
+# retries or host fallback, and must still verify against the bit-exact
+# golden model (cmd/hetsim exits non-zero otherwise). These complement
+# the fixed-seed unit tests in internal/fault, internal/spilink,
+# internal/core and internal/omp, which `race` already runs.
+fault-drill:
+	$(GO) run ./cmd/hetsim -kernel matmul -faults seed=7,rate=0.5,max=4 -crc -watchdog 2000000 -retries 3 >/dev/null
+	$(GO) run ./cmd/hetsim -kernel matmul -faults seed=7,hang=1,max=2 -watchdog 2000000 -retries 3 >/dev/null
+	$(GO) run ./cmd/hetsim -kernel matmul -faults seed=7,hang=1 -watchdog 2000000 -retries 1 -fallback >/dev/null
+	$(GO) run ./cmd/hetsim -kernel "svm (RBF)" -faults seed=13,rate=0.2,max=6 -crc -watchdog 2000000 -retries 2 -fallback >/dev/null
+	@echo "fault drills passed"
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -10,6 +10,15 @@
 //
 // With -budget-mw the accelerator operating point is derived from the
 // power envelope instead of -vdd/-acc-mhz (the Fig. 5a configuration).
+//
+// Fault injection and the resilient runtime are driven by:
+//
+//	hetsim -kernel "matmul" -faults seed=3,rate=0.01 -crc \
+//	       -watchdog 2000000 -retries 2 -fallback
+//
+// which corrupts ~1% of link bursts and offload attempts under seed 3,
+// recovers them through CRC retransmission, the EOC watchdog and retry
+// backoff, and degrades to native host execution if recovery runs out.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 
 	"hetsim/internal/core"
 	"hetsim/internal/devrt"
+	"hetsim/internal/fault"
 	"hetsim/internal/isa"
 	"hetsim/internal/kernels"
 	"hetsim/internal/loader"
@@ -38,6 +48,11 @@ func main() {
 	db := flag.Bool("db", false, "double-buffer transfers with computation")
 	lanes := flag.Int("lanes", 4, "link lanes (1=SPI, 4=QSPI)")
 	seed := flag.Uint64("seed", 1, "input generator seed")
+	faults := flag.String("faults", "", "fault injection spec, e.g. seed=3,rate=0.01 (keys: seed,rate,corrupt,drop,hang,desc,max)")
+	crc := flag.Bool("crc", false, "enable CRC-32 link framing (detect+retransmit link faults)")
+	watchdog := flag.Uint64("watchdog", 0, "EOC watchdog in accelerator cycles (0 = off)")
+	retries := flag.Int("retries", 0, "recovery attempts after a watchdog trip")
+	fallback := flag.Bool("fallback", false, "fall back to native host execution when recovery is exhausted")
 	flag.Parse()
 
 	k, err := kernels.ByName(*name)
@@ -64,10 +79,19 @@ func main() {
 
 	sys, err := core.NewSystem(core.Config{
 		Host: hostModel, HostFreqHz: *mcuMHz * 1e6, Lanes: *lanes,
-		AccVdd: accVdd, AccFreqHz: accHz,
+		AccVdd: accVdd, AccFreqHz: accHz, LinkCRC: *crc,
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	var inject *fault.Injector
+	if *faults != "" {
+		fcfg, err := fault.ParseSpec(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		inject = fault.New(fcfg)
 	}
 
 	// Build both sides.
@@ -100,7 +124,14 @@ func main() {
 	// Offload.
 	job := loader.Job{Prog: accProg, In: in, OutLen: k.OutLen(), Iters: 1,
 		Threads: uint32(*threads), Args: k.Args()}
-	out, rep, err := sys.Offload(job, core.Options{Iterations: *iters, DoubleBuffer: *db})
+	opts := core.Options{
+		Iterations: *iters, DoubleBuffer: *db,
+		WatchdogCycles: *watchdog, Retries: *retries, Faults: inject,
+	}
+	if *fallback {
+		opts.HostFallback = hostProg
+	}
+	out, rep, err := sys.Offload(job, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -108,6 +139,15 @@ func main() {
 		fatal(fmt.Errorf("offloaded output does not match the golden model"))
 	}
 	fmt.Printf("offload     : verified against golden model\n")
+	if inject != nil {
+		fmt.Printf("faults      : injected %d (%s)\n", inject.Injected(), inject)
+		fmt.Printf("recovery    : %d retransmit(s), %d watchdog trip(s), %d retry(ies), fallback=%v\n",
+			rep.Retransmits, rep.WatchdogTrips, rep.Retries, rep.FallbackUsed)
+		if rep.RecoveryTime > 0 {
+			fmt.Printf("              %.3f ms / %.2f uJ spent on recovery\n",
+				rep.RecoveryTime*1e3, rep.RecoveryEnergyJ*1e6)
+		}
+	}
 	fmt.Printf("accelerator : %d cycles on %d threads @ %.1f MHz (%.2f V) = %.3f ms\n",
 		rep.ComputeCycles, *threads, accHz/1e6, accVdd, rep.ComputeTime*1e3)
 	fmt.Printf("transfers   : binary %.3f ms, in %.3f ms, out %.3f ms per iteration\n",

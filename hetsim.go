@@ -31,6 +31,7 @@ import (
 	"hetsim/internal/asm"
 	"hetsim/internal/core"
 	"hetsim/internal/devrt"
+	"hetsim/internal/fault"
 	"hetsim/internal/isa"
 	"hetsim/internal/kernels"
 	"hetsim/internal/loader"
@@ -146,10 +147,55 @@ var (
 	DoubleBuffer = omp.DoubleBuffer
 )
 
+// Resilience clauses (EOC watchdog, retry/backoff, host fallback,
+// descriptor write-verify, fault injection).
+var (
+	Timeout          = omp.Timeout
+	Retries          = omp.Retries
+	Backoff          = omp.Backoff
+	HostFallback     = omp.HostFallback
+	VerifyDescriptor = omp.VerifyDescriptor
+	Inject           = omp.Inject
+)
+
 // FromSensor feeds the region's input from a sensor over the given wiring.
 func FromSensor(s Sensor, p SensorPath) Clause {
 	return omp.FromSensor(FeedFrom(s, p))
 }
+
+// --- Fault injection and error taxonomy ---------------------------------------------
+
+// FaultConfig sets the seeded per-decision fault probabilities.
+type FaultConfig = fault.Config
+
+// FaultInjector is a deterministic seeded fault source attachable to an
+// offload via OffloadOptions.Faults or the Inject clause.
+type FaultInjector = fault.Injector
+
+// NewFaultInjector builds an injector (invalid rates panic; validate via
+// ParseFaultSpec for user input).
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return fault.New(cfg) }
+
+// ParseFaultSpec parses a "seed=3,rate=0.01,max=5" fault specification
+// (the cmd/hetsim -faults syntax).
+func ParseFaultSpec(spec string) (FaultConfig, error) { return fault.ParseSpec(spec) }
+
+// Typed offload failures, matchable with errors.Is.
+var (
+	// ErrLinkCRC: a link burst kept failing its CRC beyond the
+	// retransmission limit.
+	ErrLinkCRC = core.ErrLinkCRC
+	// ErrLinkDropped: a link burst kept vanishing beyond the
+	// retransmission limit.
+	ErrLinkDropped = core.ErrLinkDropped
+	// ErrEOCTimeout: an offload attempt ended without a usable EOC before
+	// the watchdog expired.
+	ErrEOCTimeout = core.ErrEOCTimeout
+	// ErrDeviceHang: the accelerator stayed unresponsive after every retry.
+	ErrDeviceHang = core.ErrDeviceHang
+	// ErrDescriptorCorrupt: the descriptor readback kept mismatching.
+	ErrDescriptorCorrupt = core.ErrDescriptorCorrupt
+)
 
 // --- Power model ------------------------------------------------------------------
 

@@ -86,6 +86,13 @@ type Cluster struct {
 	eoc      bool
 	eocValue uint32
 
+	// SuppressEOC models a stuck end-of-computation wire (fault
+	// injection, see internal/fault): the program's EOC store is accepted
+	// but the latch never raises, so the host-visible signal is lost and
+	// the run ends in deadlock or halt instead. The offload runtime sets
+	// it per attempt.
+	SuppressEOC bool
+
 	tracer *trace.Tracer
 
 	err error
@@ -161,10 +168,16 @@ func (cl *Cluster) LoadProgram(p *asm.Program, direct bool) error {
 	return nil
 }
 
-// Start resets all cores to the entry point and releases them.
+// Start resets all cores to the entry point and releases them. It is also
+// the re-trigger path of the resilient offload runtime (a second
+// fetch-enable edge after a failed attempt), so it soft-resets the event
+// unit and the DMA engine: a wedged attempt must not leave stale latches,
+// a half-full barrier or an in-flight transfer behind.
 func (cl *Cluster) Start(entry uint32) {
 	cl.eoc = false
 	cl.err = nil
+	cl.Evt.Reset()
+	cl.DMA.Reset()
 	for _, c := range cl.Cores {
 		c.Start(entry)
 	}
@@ -296,6 +309,13 @@ func (cl *Cluster) Access(core int, store bool, addr, size, wdata uint32) (uint3
 	case addr >= hw.SoCCtlBase && addr < hw.SoCCtlBase+0x100:
 		off := addr - hw.SoCCtlBase
 		if store && off == hw.SoCEOC {
+			if cl.SuppressEOC {
+				if cl.tracer != nil {
+					cl.tracer.Emit(trace.Event{Cycle: cl.now, Kind: trace.KindNote,
+						Note: fmt.Sprintf("EOC store by core %d suppressed (stuck wire, fault injection)", core)})
+				}
+				return 0, 0, cpu.AccessOK, nil
+			}
 			cl.eoc = true
 			cl.eocValue = wdata
 			if cl.tracer != nil {

@@ -20,18 +20,53 @@
 // checked against golden models in the tests; time and energy are composed
 // from the same measured phases, including the double-buffered pipeline of
 // Fig. 5b where transfers overlap computation.
+//
+// On top of the happy path the runtime is resilient: an EOC watchdog
+// bounds how long the host waits for the accelerator, failed attempts are
+// retried with exponential backoff (first a fresh fetch-enable edge, then
+// a full reload over the link), the descriptor can be write-verified, and
+// a host-fallback degrades gracefully to native MCU execution when the
+// accelerator persistently fails. Combined with CRC link framing
+// (internal/spilink) and the deterministic fault injector
+// (internal/fault), every recovery action has a visible time/energy price
+// in the Report. With all resilience options off and no injector attached
+// the runtime is byte- and float-identical to the plain protocol.
 package core
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 
 	"hetsim/internal/asm"
 	"hetsim/internal/cluster"
+	"hetsim/internal/fault"
 	"hetsim/internal/hw"
 	"hetsim/internal/loader"
 	"hetsim/internal/mcu"
 	"hetsim/internal/power"
 	"hetsim/internal/spilink"
+	"hetsim/internal/trace"
+)
+
+// Typed offload failures, matchable with errors.Is. The link-level
+// sentinels are re-exported so callers need only this package.
+var (
+	// ErrLinkCRC: a link burst kept failing its CRC check beyond the
+	// retransmission limit.
+	ErrLinkCRC = spilink.ErrLinkCRC
+	// ErrLinkDropped: a link burst kept vanishing beyond the
+	// retransmission limit.
+	ErrLinkDropped = spilink.ErrLinkDropped
+	// ErrEOCTimeout: one attempt ended without a usable end-of-computation
+	// signal before the watchdog expired.
+	ErrEOCTimeout = errors.New("core: end-of-computation watchdog expired")
+	// ErrDeviceHang: the accelerator stayed unresponsive after every
+	// configured retry, including full reloads.
+	ErrDeviceHang = errors.New("core: accelerator unresponsive, recovery exhausted")
+	// ErrDescriptorCorrupt: the job descriptor read back from device
+	// memory kept mismatching what was written.
+	ErrDescriptorCorrupt = errors.New("core: job descriptor corrupt in device memory")
 )
 
 // Config selects the three components of a heterogeneous system.
@@ -48,6 +83,11 @@ type Config struct {
 	// "a low-power, high-throughput SPI link that is not tied to the MCU
 	// core frequency".
 	LinkClockHz float64
+
+	// LinkCRC enables per-burst CRC-32 framing on the link: corruption and
+	// loss are detected and retransmitted, at the price of 4 trailer bytes
+	// per burst (see internal/spilink).
+	LinkCRC bool
 
 	// Accelerator operating point. AccFreqHz must not exceed the maximum
 	// frequency of AccVdd.
@@ -88,7 +128,8 @@ func NewSystem(cfg Config) (*System, error) {
 	if linkClock < 0 || linkClock > 50e6 {
 		return nil, fmt.Errorf("core: link clock %.1f MHz out of range (0..50]", linkClock/1e6)
 	}
-	lcfg := spilink.Config{Lanes: cfg.Lanes, ClockHz: linkClock, CmdBytes: 9, MaxBurst: 4096}
+	// MaxBurst is left unset: spilink.New fills in spilink.DefaultMaxBurst.
+	lcfg := spilink.Config{Lanes: cfg.Lanes, ClockHz: linkClock, CmdBytes: 9, CRC: cfg.LinkCRC}
 	acc := cluster.PULPConfig()
 	if cfg.AccCluster != nil {
 		acc = *cfg.AccCluster
@@ -101,6 +142,10 @@ func NewSystem(cfg Config) (*System, error) {
 		FAcc:   cfg.AccFreqHz,
 	}, nil
 }
+
+// DefaultBackoffBase is the host-side wait before the first retry when
+// Options.BackoffBase is unset (doubles per subsequent retry).
+const DefaultBackoffBase = 100e-6 // seconds
 
 // Options tunes one offload.
 type Options struct {
@@ -125,6 +170,36 @@ type Options struct {
 	// stretch by 1/(1-f), and the host never sleeps (it runs its task
 	// while the accelerator computes), which raises the MCU energy.
 	HostTaskFraction float64
+
+	// --- Resilience. The zero value of every field below keeps the plain
+	// --- happy-path protocol at zero extra cost.
+
+	// WatchdogCycles bounds each attempt's wait for EOC, in accelerator
+	// cycles (the host arms a timer when it raises fetch-enable). 0
+	// disables the watchdog: the wait is bounded only by MaxCycles.
+	WatchdogCycles uint64
+	// Retries is how many times a failed attempt is recovered: the first
+	// retry re-raises fetch-enable on the loaded state, every later one
+	// reloads binary, descriptor and input over the link first.
+	Retries int
+	// BackoffBase is the host-side wait before retry k (BackoffBase·2^k
+	// seconds, 0 = DefaultBackoffBase).
+	BackoffBase float64
+	// VerifyDescriptor reads the descriptor back after writing it and
+	// rewrites on mismatch (up to Retries times), catching corruption the
+	// link CRC cannot see. Costs one descriptor-sized read per check.
+	VerifyDescriptor bool
+	// HostFallback is the host-ISA build of the same kernel; when set,
+	// exhausted recovery degrades gracefully to native MCU execution via
+	// the Baseline path instead of failing the offload.
+	HostFallback *asm.Program
+
+	// Faults injects deterministic faults into the link and the offload
+	// protocol for this offload (nil = clean hardware).
+	Faults *fault.Injector
+	// Tracer, when set, is attached to the cluster and additionally
+	// receives offload-level fault/recovery events as KindNote.
+	Tracer *trace.Tracer
 }
 
 // SensorFeed describes the per-iteration input acquisition path.
@@ -150,7 +225,7 @@ type Report struct {
 	Iterations   int
 	DoubleBuffer bool
 
-	TotalTime float64 // whole offload, all iterations
+	TotalTime float64 // whole offload, all iterations (incl. recovery)
 	IdealTime float64 // Iterations * ComputeTime (the Fig. 5b ideal)
 	// Efficiency = IdealTime / TotalTime, the y axis of Fig. 5b.
 	Efficiency float64
@@ -163,6 +238,16 @@ type Report struct {
 	AccPowerW  float64 // accelerator while computing
 	HostPowerW float64 // host while driving the link
 	LinkPowerW float64 // link while clocking
+
+	// Resilience accounting. All zero on a clean run.
+	Retries            int    // recovery attempts actually performed
+	WatchdogTrips      int    // attempts that ended without a usable EOC
+	Retransmits        uint64 // link bursts repeated under CRC framing
+	RetransmittedBytes uint64 // wire bytes spent on those repeats
+	DescRewrites       int    // descriptor write-verify mismatches recovered
+	FallbackUsed       bool   // the job ran on the host Baseline path
+	RecoveryTime       float64 // seconds added by watchdog waits, backoff and reloads
+	RecoveryEnergyJ    float64 // energy added by the same
 }
 
 // gpioCycles is the cost of a GPIO edge plus interrupt entry on the host
@@ -170,7 +255,10 @@ type Report struct {
 const gpioCycles = 20
 
 // Offload runs one offload of the job and returns the device's output
-// bytes plus the full time/energy report.
+// bytes plus the full time/energy report. With Options resilience fields
+// set it survives link corruption, descriptor corruption and accelerator
+// hangs up to the configured budgets, falling back to native host
+// execution when HostFallback is provided.
 func (s *System) Offload(job loader.Job, opts Options) ([]byte, *Report, error) {
 	if opts.Iterations <= 0 {
 		opts.Iterations = 1
@@ -183,6 +271,18 @@ func (s *System) Offload(job loader.Job, opts Options) ([]byte, *Report, error) 
 	}
 	if opts.HostTaskFraction < 0 || opts.HostTaskFraction > 0.9 {
 		return nil, nil, fmt.Errorf("core: host task fraction %v out of [0, 0.9]", opts.HostTaskFraction)
+	}
+	if opts.Retries < 0 || opts.Retries > 16 {
+		return nil, nil, fmt.Errorf("core: retries %d out of [0, 16]", opts.Retries)
+	}
+	if opts.BackoffBase < 0 {
+		return nil, nil, fmt.Errorf("core: negative backoff base %v", opts.BackoffBase)
+	}
+	if opts.BackoffBase == 0 {
+		opts.BackoffBase = DefaultBackoffBase
+	}
+	if opts.WatchdogCycles == 0 || opts.WatchdogCycles > opts.MaxCycles {
+		opts.WatchdogCycles = opts.MaxCycles
 	}
 	if job.StackCores == 0 {
 		job.StackCores = s.AccCfg.Cores
@@ -203,87 +303,110 @@ func (s *System) Offload(job loader.Job, opts Options) ([]byte, *Report, error) 
 		return nil, nil, err
 	}
 
-	acc := cluster.New(s.AccCfg)
-	if err := acc.LoadProgram(parsed, false); err != nil {
+	r := &offloadRun{sys: s, job: job, opts: opts, lay: lay, image: image, parsed: parsed}
+	return r.run()
+}
+
+// offloadRun carries the state of one Offload call: the measured phase
+// times/energies, the recovery ledger and the live cluster.
+type offloadRun struct {
+	sys    *System
+	job    loader.Job
+	opts   Options
+	lay    loader.Layout
+	image  []byte
+	parsed *asm.Program
+	acc    *cluster.Cluster
+
+	// Happy-path phase measurements (seconds / joules on the link).
+	tBin, eBin float64
+	tIn, eIn   float64
+
+	// Recovery ledger.
+	recActive    float64 // host driving the link or GPIO during recovery
+	recSleep     float64 // host asleep: watchdog waits and backoff
+	recAccActive float64 // accelerator busy during failed attempts
+	recLinkE     float64 // link energy spent on recovery transfers
+	trips        int
+	retries      int
+	descRewrites int
+}
+
+// note emits an offload-level event into the attached tracer.
+func (r *offloadRun) note(format string, args ...interface{}) {
+	if r.opts.Tracer == nil {
+		return
+	}
+	var cycle uint64
+	if r.acc != nil {
+		cycle = r.acc.Now()
+	}
+	r.opts.Tracer.Emit(trace.Event{Cycle: cycle, Kind: trace.KindNote,
+		Note: "offload: " + fmt.Sprintf(format, args...)})
+}
+
+func (r *offloadRun) run() ([]byte, *Report, error) {
+	s := r.sys
+
+	// The injector rides on the link for the duration of this offload.
+	prevInject := s.Link.Inject
+	s.Link.Inject = r.opts.Faults
+	defer func() { s.Link.Inject = prevInject }()
+	retrans0 := s.Link.Retransmits
+	retransB0 := s.Link.RetransmittedBytes
+
+	if err := r.buildCluster(); err != nil {
 		return nil, nil, err
 	}
-
-	// Host-side loader: text+data+descriptor over the link.
-	textBytes := image[36 : 36+4*len(parsed.Text)]
-	tBin, err := s.Link.Write(acc.L2, parsed.TextBase, textBytes)
+	tBin, eBin, err := r.loadImage()
 	if err != nil {
-		return nil, nil, err
+		return r.fail(err, retrans0, retransB0)
 	}
-	if len(parsed.Data) > 0 {
-		t, err := s.Link.Write(acc.L2, parsed.DataLMA, parsed.Data)
-		if err != nil {
-			return nil, nil, err
-		}
-		tBin += t
-	}
-	t, err := s.Link.Write(acc.L2, hw.DescBase, loader.Descriptor(job, lay))
+	r.tBin, r.eBin = tBin, eBin
+	tIn, eIn, err := r.writeInput()
 	if err != nil {
-		return nil, nil, err
+		return r.fail(err, retrans0, retransB0)
 	}
-	tBin += t
+	r.tIn, r.eIn = tIn, eIn
 
-	// One iteration's input transfer + fetch-enable trigger. A sensor feed
-	// adds its acquisition time; the direct-to-L2 wiring bypasses the link.
-	tIn := float64(gpioCycles) / s.Host.FreqHz
-	inViaLink := true
-	if opts.Sensor != nil {
-		tIn += opts.Sensor.AcquireTime
-		inViaLink = opts.Sensor.ViaLink
-	}
-	if len(job.In) > 0 {
-		if inViaLink {
-			t, err := s.Link.Write(acc.L2, lay.InLMA, job.In)
-			if err != nil {
-				return nil, nil, err
-			}
-			tIn += t
-		} else if err := acc.L2.WriteBytes(lay.InLMA, job.In); err != nil {
-			return nil, nil, err
-		}
+	res, err := r.attempts()
+	if err != nil {
+		return r.fail(err, retrans0, retransB0)
 	}
 
-	// Run the accelerator (functionally: once; the timeline scales it).
-	acc.Start(parsed.Entry)
-	res, err := acc.Run(opts.MaxCycles)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: offloaded %s: %w", job.Prog.Name, err)
-	}
-	if !res.EOC || res.EOCValue != 1 {
-		return nil, nil, fmt.Errorf("core: offloaded %s did not complete: %+v", job.Prog.Name, res)
-	}
-	stats := acc.CollectStats()
+	stats := r.acc.CollectStats()
 	act := power.ActivityOf(stats)
 	tComp := float64(res.Cycles) / s.FAcc
 
 	// Output transfer + EOC wake.
 	var out []byte
 	tOut := float64(gpioCycles) / s.Host.FreqHz
-	if job.OutLen > 0 {
-		data, t, err := s.Link.Read(acc.L2, lay.OutLMA, job.OutLen)
+	eOut := 0.0
+	if r.job.OutLen > 0 {
+		e0 := s.Link.EnergyJ
+		data, t, err := s.Link.Read(r.acc.L2, r.lay.OutLMA, r.job.OutLen)
 		if err != nil {
-			return nil, nil, err
+			return r.fail(err, retrans0, retransB0)
 		}
 		out = data
 		tOut += t
+		eOut = s.Link.EnergyJ - e0
 	}
 
+	tBin, tIn = r.tBin, r.tIn
 	// A concurrent host task steals cycles from every host-driven phase.
-	if f := opts.HostTaskFraction; f > 0 {
+	if f := r.opts.HostTaskFraction; f > 0 {
 		stretch := 1 / (1 - f)
 		tBin *= stretch
 		tIn *= stretch
 		tOut *= stretch
+		r.recActive *= stretch
 	}
 
-	// Timeline composition over the iterations.
-	n := float64(opts.Iterations)
+	// Timeline composition over the iterations, plus the recovery ledger.
+	n := float64(r.opts.Iterations)
 	var total float64
-	if opts.DoubleBuffer {
+	if r.opts.DoubleBuffer {
 		steady := tComp
 		if xfer := tIn + tOut; xfer > steady {
 			steady = xfer
@@ -292,18 +415,15 @@ func (s *System) Offload(job loader.Job, opts Options) ([]byte, *Report, error) 
 	} else {
 		total = tBin + n*(tIn+tComp+tOut)
 	}
+	recT := r.recActive + r.recSleep
+	total += recT
 	ideal := n * tComp
 
-	// Energy composition.
-	linkCfg := s.Link.Cfg
-	eIn := linkCfg.TransferEnergy(len(job.In))
-	if !inViaLink {
-		eIn = 0
-	}
-	eOut := linkCfg.TransferEnergy(int(job.OutLen))
-	eBin := linkCfg.TransferEnergy(len(image) + int(hw.DescSize))
-	xferTime := tBin + n*(tIn+tOut)
-	computeTime := n * tComp
+	// Energy composition. The link energies are measured per phase from
+	// the link's own meter (so CRC trailers and retransmissions are
+	// priced), then scaled over the iterations like the timeline.
+	xferTime := tBin + n*(tIn+tOut) + r.recActive
+	computeTime := n*tComp + r.recAccActive
 	accRun := power.PULPPowerW(s.Vdd, s.FAcc, act)
 	accIdle := power.PULPPowerW(s.Vdd, s.FAcc, power.IdleActivity(s.AccCfg.Cores))
 	idleTime := total - computeTime
@@ -311,40 +431,300 @@ func (s *System) Offload(job loader.Job, opts Options) ([]byte, *Report, error) 
 		idleTime = 0
 	}
 	mcuJ := s.Host.RunPowerW()*xferTime + s.Host.Model.SleepW*(total-xferTime)
-	if opts.HostTaskFraction > 0 {
+	if r.opts.HostTaskFraction > 0 {
 		// The host runs its own task whenever it is not driving the link.
 		mcuJ = s.Host.RunPowerW() * total
 	}
 	en := power.Energy{
-		SPIJ:  eBin + n*(eIn+eOut),
+		SPIJ:  r.eBin + n*(r.eIn+eOut) + r.recLinkE,
 		MCUJ:  mcuJ,
 		PULPJ: accRun*computeTime + accIdle*idleTime,
 	}
-	if opts.Sensor != nil {
-		en.SensorJ = n * opts.Sensor.SampleEnergyJ
+	if r.opts.Sensor != nil {
+		en.SensorJ = n * r.opts.Sensor.SampleEnergyJ
+	}
+	recE := 0.0
+	if recT > 0 {
+		recIdle := recT - r.recAccActive
+		if recIdle < 0 {
+			recIdle = 0
+		}
+		recE = r.recLinkE +
+			s.Host.RunPowerW()*r.recActive + s.Host.Model.SleepW*r.recSleep +
+			accRun*r.recAccActive + accIdle*recIdle
 	}
 
 	rep := &Report{
-		BinaryBytes:   len(image),
-		InBytes:       len(job.In),
-		OutBytes:      int(job.OutLen),
-		BinTime:       tBin,
-		InTime:        tIn,
-		OutTime:       tOut,
-		ComputeTime:   tComp,
-		Iterations:    opts.Iterations,
-		DoubleBuffer:  opts.DoubleBuffer,
-		TotalTime:     total,
-		IdealTime:     ideal,
-		Efficiency:    ideal / total,
-		ComputeCycles: res.Cycles,
-		Activity:      act,
-		Energy:        en,
-		AccPowerW:     accRun,
-		HostPowerW:    s.Host.RunPowerW(),
-		LinkPowerW:    power.SPIPowerW(linkCfg.ClockHz, linkCfg.Lanes),
+		BinaryBytes:        len(r.image),
+		InBytes:            len(r.job.In),
+		OutBytes:           int(r.job.OutLen),
+		BinTime:            tBin,
+		InTime:             tIn,
+		OutTime:            tOut,
+		ComputeTime:        tComp,
+		Iterations:         r.opts.Iterations,
+		DoubleBuffer:       r.opts.DoubleBuffer,
+		TotalTime:          total,
+		IdealTime:          ideal,
+		Efficiency:         ideal / total,
+		ComputeCycles:      res.Cycles,
+		Activity:           act,
+		Energy:             en,
+		AccPowerW:          accRun,
+		HostPowerW:         s.Host.RunPowerW(),
+		LinkPowerW:         power.SPIPowerW(s.Link.Cfg.ClockHz, s.Link.Cfg.Lanes),
+		Retries:            r.retries,
+		WatchdogTrips:      r.trips,
+		Retransmits:        s.Link.Retransmits - retrans0,
+		RetransmittedBytes: s.Link.RetransmittedBytes - retransB0,
+		DescRewrites:       r.descRewrites,
+		RecoveryTime:       recT,
+		RecoveryEnergyJ:    recE,
 	}
 	return out, rep, nil
+}
+
+// buildCluster builds (or rebuilds, on a full reload) the accelerator and
+// installs the parsed program.
+func (r *offloadRun) buildCluster() error {
+	acc := cluster.New(r.sys.AccCfg)
+	if err := acc.LoadProgram(r.parsed, false); err != nil {
+		return err
+	}
+	acc.AttachTracer(r.opts.Tracer)
+	r.acc = acc
+	return nil
+}
+
+// loadImage performs the host-side loader protocol: text, data and the
+// job descriptor over the link, with optional write-verify of the
+// descriptor. Returns the phase time and link energy.
+func (r *offloadRun) loadImage() (t, e float64, err error) {
+	s := r.sys
+	e0 := s.Link.EnergyJ
+	textBytes := r.image[36 : 36+4*len(r.parsed.Text)]
+	t, err = s.Link.Write(r.acc.L2, r.parsed.TextBase, textBytes)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(r.parsed.Data) > 0 {
+		td, err := s.Link.Write(r.acc.L2, r.parsed.DataLMA, r.parsed.Data)
+		if err != nil {
+			return 0, 0, err
+		}
+		t += td
+	}
+	tDesc, err := r.writeDescriptor()
+	if err != nil {
+		return 0, 0, err
+	}
+	t += tDesc
+	return t, s.Link.EnergyJ - e0, nil
+}
+
+// writeDescriptor writes the hw.Desc block, applies any injected
+// descriptor corruption (a device-memory fault the link CRC cannot see),
+// and — when write-verify is on — reads it back and rewrites on mismatch.
+func (r *offloadRun) writeDescriptor() (t float64, err error) {
+	s := r.sys
+	desc := loader.Descriptor(r.job, r.lay)
+	for rewrite := 0; ; rewrite++ {
+		tw, err := s.Link.Write(r.acc.L2, hw.DescBase, desc)
+		if err != nil {
+			return t, err
+		}
+		t += tw
+		if r.opts.Faults.DescCorrupt() {
+			raw := r.acc.L2.ReadBytes(hw.DescBase, hw.DescSize)
+			r.opts.Faults.CorruptBit(raw)
+			if err := r.acc.L2.WriteBytes(hw.DescBase, raw); err != nil {
+				return t, err
+			}
+			r.note("injected descriptor corruption in L2")
+		}
+		if !r.opts.VerifyDescriptor {
+			return t, nil
+		}
+		back, tr, err := s.Link.Read(r.acc.L2, hw.DescBase, hw.DescSize)
+		if err != nil {
+			return t, err
+		}
+		t += tr
+		if bytes.Equal(back, desc) {
+			return t, nil
+		}
+		r.note("descriptor readback mismatch (rewrite %d)", rewrite+1)
+		if rewrite >= r.opts.Retries {
+			return t, fmt.Errorf("%w after %d rewrite(s)", ErrDescriptorCorrupt, rewrite)
+		}
+		r.descRewrites++
+	}
+}
+
+// writeInput stages one iteration's input (host memory or sensor) and
+// the fetch-enable trigger. Returns the phase time and link energy.
+func (r *offloadRun) writeInput() (t, e float64, err error) {
+	s := r.sys
+	t = float64(gpioCycles) / s.Host.FreqHz
+	inViaLink := true
+	if r.opts.Sensor != nil {
+		t += r.opts.Sensor.AcquireTime
+		inViaLink = r.opts.Sensor.ViaLink
+	}
+	if len(r.job.In) > 0 {
+		if inViaLink {
+			e0 := s.Link.EnergyJ
+			tw, err := s.Link.Write(r.acc.L2, r.lay.InLMA, r.job.In)
+			if err != nil {
+				return 0, 0, err
+			}
+			t += tw
+			e = s.Link.EnergyJ - e0
+		} else if err := r.acc.L2.WriteBytes(r.lay.InLMA, r.job.In); err != nil {
+			return 0, 0, err
+		}
+	}
+	return t, e, nil
+}
+
+// attempts drives the retry state machine: run under the watchdog, then
+// back off and re-trigger, then back off and fully reload, until the
+// budget is exhausted.
+func (r *offloadRun) attempts() (cluster.RunResult, error) {
+	s := r.sys
+	maxAttempts := 1 + r.opts.Retries
+	var res cluster.RunResult
+	var cause error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			r.retries++
+			backoff := r.opts.BackoffBase * float64(uint64(1)<<uint(attempt-1))
+			r.recSleep += backoff
+			if attempt == 1 {
+				// First retry: the cheapest plausible recovery, a fresh
+				// fetch-enable edge on the already-loaded state.
+				r.recActive += float64(gpioCycles) / s.Host.FreqHz
+				r.note("retry %d: re-raising fetch-enable after %.2f ms backoff", attempt, backoff*1e3)
+			} else {
+				// Later retries assume device state is lost: rebuild the
+				// cluster and replay the whole load protocol.
+				r.note("retry %d: full reload after %.2f ms backoff", attempt, backoff*1e3)
+				if err := r.buildCluster(); err != nil {
+					return res, err
+				}
+				tl, el, err := r.loadImage()
+				if err != nil {
+					return res, err
+				}
+				ti, ei, err := r.writeInput()
+				if err != nil {
+					return res, err
+				}
+				r.recActive += tl + ti
+				r.recLinkE += el + ei
+			}
+		}
+		hang := r.opts.Faults.EOCHang()
+		r.acc.SuppressEOC = hang
+		if hang {
+			r.note("injecting EOC hang for attempt %d", attempt+1)
+		}
+		r.acc.Start(r.parsed.Entry)
+		var err error
+		res, err = r.acc.Run(r.opts.WatchdogCycles)
+		if err == nil && res.EOC && res.EOCValue == 1 {
+			if attempt > 0 {
+				r.note("attempt %d completed after %d watchdog trip(s)", attempt+1, r.trips)
+			}
+			return res, nil
+		}
+		r.trips++
+		switch {
+		case err != nil:
+			cause = fmt.Errorf("%w: %v", ErrEOCTimeout, err)
+		case res.Halted:
+			cause = fmt.Errorf("%w: device halted (trap %d) without EOC", ErrEOCTimeout, res.TrapCode)
+		default:
+			cause = fmt.Errorf("%w: EOC value %d", ErrEOCTimeout, res.EOCValue)
+		}
+		// The host cannot see why the device wedged; it sleeps out the
+		// full watchdog window. The device was only active until the
+		// simulator saw it stop.
+		wait := float64(r.opts.WatchdogCycles) / s.FAcc
+		active := float64(res.Cycles) / s.FAcc
+		if active > wait {
+			wait = active
+		}
+		r.recSleep += wait
+		r.recAccActive += active
+		r.note("watchdog trip %d on attempt %d: %v", r.trips, attempt+1, cause)
+	}
+	return res, fmt.Errorf("%w after %d attempt(s), %d watchdog trip(s); last: %w",
+		ErrDeviceHang, maxAttempts, r.trips, cause)
+}
+
+// fail ends the offload: with a HostFallback program it degrades to
+// native MCU execution (the accelerator-less path of Fig. 1), otherwise
+// it surfaces the typed error.
+func (r *offloadRun) fail(cause error, retrans0, retransB0 uint64) ([]byte, *Report, error) {
+	s := r.sys
+	if r.opts.HostFallback == nil {
+		return nil, nil, fmt.Errorf("core: offloaded %s: %w", r.job.Prog.Name, cause)
+	}
+	r.note("falling back to host execution: %v", cause)
+	fjob := r.job
+	fjob.Prog = r.opts.HostFallback
+	base, err := s.Baseline(fjob, r.opts.MaxCycles)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: offloaded %s: %w; host fallback also failed: %v",
+			r.job.Prog.Name, cause, err)
+	}
+
+	// Everything spent on the accelerator path was wasted; the useful work
+	// is n native iterations.
+	n := float64(r.opts.Iterations)
+	wasted := r.tBin + r.tIn + r.recActive + r.recSleep
+	total := wasted + n*base.Seconds
+	ideal := n * base.Seconds
+	accIdle := power.PULPPowerW(s.Vdd, s.FAcc, power.IdleActivity(s.AccCfg.Cores))
+	wastedE := r.eBin + r.eIn + r.recLinkE +
+		s.Host.RunPowerW()*(r.tBin+r.tIn+r.recActive) + s.Host.Model.SleepW*r.recSleep +
+		accIdle*wasted
+	en := power.Energy{
+		SPIJ:  r.eBin + r.eIn + r.recLinkE,
+		MCUJ:  s.Host.RunPowerW()*(r.tBin+r.tIn+r.recActive) + s.Host.Model.SleepW*r.recSleep + n*base.EnergyJ,
+		PULPJ: accIdle * wasted,
+	}
+	if r.opts.Sensor != nil {
+		en.SensorJ = n * r.opts.Sensor.SampleEnergyJ
+	}
+	rep := &Report{
+		BinaryBytes:        len(r.image),
+		InBytes:            len(r.job.In),
+		OutBytes:           int(r.job.OutLen),
+		BinTime:            r.tBin,
+		InTime:             r.tIn,
+		ComputeTime:        base.Seconds,
+		Iterations:         r.opts.Iterations,
+		DoubleBuffer:       r.opts.DoubleBuffer,
+		TotalTime:          total,
+		IdealTime:          ideal,
+		Efficiency:         ideal / total,
+		ComputeCycles:      uint64(base.Cycles),
+		Energy:             en,
+		AccPowerW:          accIdle,
+		HostPowerW:         s.Host.RunPowerW(),
+		LinkPowerW:         power.SPIPowerW(s.Link.Cfg.ClockHz, s.Link.Cfg.Lanes),
+		Retries:            r.retries,
+		WatchdogTrips:      r.trips,
+		Retransmits:        s.Link.Retransmits - retrans0,
+		RetransmittedBytes: s.Link.RetransmittedBytes - retransB0,
+		DescRewrites:       r.descRewrites,
+		FallbackUsed:       true,
+		RecoveryTime:       wasted,
+		RecoveryEnergyJ:    wastedE,
+	}
+	return base.Out, rep, nil
 }
 
 // Baseline runs the job natively on the host MCU for comparison.

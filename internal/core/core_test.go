@@ -2,14 +2,20 @@ package core_test
 
 import (
 	"bytes"
+	"errors"
+	"reflect"
+	"strings"
 	"testing"
 
+	"hetsim/internal/asm"
 	"hetsim/internal/core"
 	"hetsim/internal/devrt"
+	"hetsim/internal/fault"
 	"hetsim/internal/isa"
 	"hetsim/internal/kernels"
 	"hetsim/internal/loader"
 	"hetsim/internal/power"
+	"hetsim/internal/trace"
 )
 
 func testSystem(t *testing.T, mcuHz float64) *core.System {
@@ -200,5 +206,337 @@ func TestHostTaskFraction(t *testing.T) {
 	}
 	if _, _, err := sys.Offload(job, core.Options{HostTaskFraction: 0.95}); err == nil {
 		t.Error("fraction above 0.9 must be rejected")
+	}
+}
+
+// hostBuild compiles the host-ISA fallback variant of a kernel.
+func hostBuild(t *testing.T, k *kernels.Instance) *asm.Program {
+	t.Helper()
+	prog, err := k.Build(isa.CortexM4, devrt.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestOffloadEnergyMatchesLinkMeter(t *testing.T) {
+	// Satellite regression for the link-energy bug: Energy.SPIJ must equal
+	// what the link itself metered (the 36-byte image header never crosses
+	// the wire), not TransferEnergy(len(image)+DescSize).
+	sys := testSystem(t, 16e6)
+	k := kernels.MatMulChar(16)
+	job, _ := kernelJob(t, k, 9)
+	_, rep, err := sys.Offload(job, core.Options{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metered := sys.Link.EnergyJ
+	if diff := rep.Energy.SPIJ - metered; diff > 1e-15 || diff < -1e-15 {
+		t.Fatalf("SPIJ %v != link meter %v (diff %v)", rep.Energy.SPIJ, metered, diff)
+	}
+	// The old formula charged the image header too; it must overestimate.
+	old := sys.Link.Cfg.TransferEnergy(rep.BinaryBytes+0x40) +
+		sys.Link.Cfg.TransferEnergy(rep.InBytes) +
+		sys.Link.Cfg.TransferEnergy(rep.OutBytes)
+	if rep.Energy.SPIJ >= old {
+		t.Fatalf("SPIJ %v should be below the header-counting formula %v", rep.Energy.SPIJ, old)
+	}
+	// And the meter must agree with the link's own byte counters (every
+	// payload here fits in one burst, so bursts == transactions).
+	wire := sys.Link.TxBytes + sys.Link.RxBytes + sys.Link.Transactions*uint64(sys.Link.Cfg.CmdBytes)
+	if want := float64(wire*8) * 25e-12; metered < want*(1-1e-12) || metered > want*(1+1e-12) {
+		t.Fatalf("link meter %v inconsistent with wire bytes %d (%v)", metered, wire, want)
+	}
+}
+
+func TestResilienceOptionsAreZeroCostWhenIdle(t *testing.T) {
+	// Watchdog, retry budget and an attached never-firing injector must not
+	// change a single reported number on a clean run.
+	k := kernels.MatMulChar(16)
+	job, want := kernelJob(t, k, 5)
+	plain := testSystem(t, 16e6)
+	outP, repP, err := plain.Offload(job, core.Options{Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed := testSystem(t, 16e6)
+	outA, repA, err := armed.Offload(job, core.Options{
+		Iterations:     4,
+		WatchdogCycles: 5_000_000,
+		Retries:        3,
+		Faults:         fault.New(fault.Config{Seed: 1}), // all rates zero
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(outP, want) || !bytes.Equal(outA, want) {
+		t.Fatal("output differs from golden")
+	}
+	if !reflect.DeepEqual(repP, repA) {
+		t.Fatalf("armed-but-idle resilience changed the report:\nplain %+v\narmed %+v", repP, repA)
+	}
+	if repA.Retries != 0 || repA.WatchdogTrips != 0 || repA.RecoveryTime != 0 || repA.RecoveryEnergyJ != 0 {
+		t.Fatalf("clean run shows recovery: %+v", repA)
+	}
+}
+
+func TestOffloadCRCRecoversLinkFaults(t *testing.T) {
+	// With CRC framing, injected burst corruption is retransmitted and the
+	// offload completes with the correct output; the repeats are priced.
+	mk := func(crc bool) *core.System {
+		sys, err := core.NewSystem(core.Config{
+			Host: power.STM32L476, HostFreqHz: 16e6, Lanes: 4,
+			AccVdd: 0.8, AccFreqHz: 200e6, LinkCRC: crc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	k := kernels.MatMulChar(16)
+	job, want := kernelJob(t, k, 7)
+	clean := mk(true)
+	_, repClean, err := clean.Offload(job, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := mk(true)
+	out, rep, err := noisy.Offload(job, core.Options{
+		Faults: fault.New(fault.Config{Seed: 21, LinkCorruptRate: 1, MaxFaults: 5}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatal("CRC recovery produced wrong output")
+	}
+	if rep.Retransmits != 5 || rep.RetransmittedBytes == 0 {
+		t.Fatalf("retransmissions invisible: %+v", rep)
+	}
+	if rep.TotalTime <= repClean.TotalTime || rep.Energy.SPIJ <= repClean.Energy.SPIJ {
+		t.Fatalf("retransmissions must cost time and energy: %v/%v vs clean %v/%v",
+			rep.TotalTime, rep.Energy.SPIJ, repClean.TotalTime, repClean.Energy.SPIJ)
+	}
+	if noisy.Link.Retransmits != 5 {
+		t.Fatalf("link counter %d", noisy.Link.Retransmits)
+	}
+}
+
+func TestOffloadWatchdogRetriesTransientHang(t *testing.T) {
+	// One injected EOC hang: the watchdog trips, the host re-raises
+	// fetch-enable, and the second attempt produces the correct output.
+	sys := testSystem(t, 16e6)
+	k := kernels.MatMulChar(16)
+	job, want := kernelJob(t, k, 3)
+	out, rep, err := sys.Offload(job, core.Options{
+		WatchdogCycles: 2_000_000,
+		Retries:        2,
+		Faults:         fault.New(fault.Config{Seed: 4, EOCHangRate: 1, MaxFaults: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatal("retried offload produced wrong output")
+	}
+	if rep.WatchdogTrips != 1 || rep.Retries != 1 || rep.FallbackUsed {
+		t.Fatalf("unexpected recovery ledger: %+v", rep)
+	}
+	if rep.RecoveryTime <= 0 || rep.RecoveryEnergyJ <= 0 {
+		t.Fatalf("recovery must cost time and energy: %+v", rep)
+	}
+	if rep.TotalTime <= rep.IdealTime+rep.RecoveryTime-1e-12 {
+		t.Fatalf("recovery time not in the timeline: total %v ideal %v rec %v",
+			rep.TotalTime, rep.IdealTime, rep.RecoveryTime)
+	}
+}
+
+func TestOffloadFullReloadRecovers(t *testing.T) {
+	// Two consecutive hangs force the second-retry path: full reload of
+	// binary, descriptor and input over the link before the third attempt.
+	sys := testSystem(t, 16e6)
+	k := kernels.MatMulChar(16)
+	job, want := kernelJob(t, k, 8)
+	out, rep, err := sys.Offload(job, core.Options{
+		WatchdogCycles: 2_000_000,
+		Retries:        3,
+		Faults:         fault.New(fault.Config{Seed: 6, EOCHangRate: 1, MaxFaults: 2}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatal("reloaded offload produced wrong output")
+	}
+	if rep.WatchdogTrips != 2 || rep.Retries != 2 {
+		t.Fatalf("unexpected recovery ledger: %+v", rep)
+	}
+	// The reload replays the load protocol over the link, so its energy
+	// shows up in SPIJ beyond a clean run's.
+	clean := testSystem(t, 16e6)
+	_, repClean, err := clean.Offload(job, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Energy.SPIJ <= repClean.Energy.SPIJ {
+		t.Fatalf("reload traffic invisible in SPIJ: %v vs %v", rep.Energy.SPIJ, repClean.Energy.SPIJ)
+	}
+}
+
+func TestOffloadHostFallback(t *testing.T) {
+	// A persistent hang exhausts the retries; with a host-ISA build
+	// attached, the runtime degrades to native MCU execution and still
+	// returns the correct result.
+	sys := testSystem(t, 16e6)
+	k := kernels.MatMulChar(16)
+	job, want := kernelJob(t, k, 2)
+	out, rep, err := sys.Offload(job, core.Options{
+		WatchdogCycles: 2_000_000,
+		Retries:        1,
+		HostFallback:   hostBuild(t, k),
+		Faults:         fault.New(fault.Config{Seed: 9, EOCHangRate: 1}),
+	})
+	if err != nil {
+		t.Fatalf("fallback should absorb the failure: %v", err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatal("host fallback produced wrong output")
+	}
+	if !rep.FallbackUsed || rep.WatchdogTrips != 2 || rep.Retries != 1 {
+		t.Fatalf("unexpected fallback ledger: %+v", rep)
+	}
+	if rep.RecoveryTime <= 0 || rep.RecoveryEnergyJ <= 0 || rep.Efficiency >= 1 {
+		t.Fatalf("wasted accelerator work must be priced: %+v", rep)
+	}
+}
+
+func TestOffloadDescriptorVerifyRecovers(t *testing.T) {
+	// Descriptor corruption is a device-memory fault the link CRC cannot
+	// see; write-verify readback catches it and rewrites.
+	sys := testSystem(t, 16e6)
+	k := kernels.MatMulChar(16)
+	job, want := kernelJob(t, k, 1)
+	out, rep, err := sys.Offload(job, core.Options{
+		VerifyDescriptor: true,
+		Retries:          2,
+		Faults:           fault.New(fault.Config{Seed: 13, DescCorruptRate: 1, MaxFaults: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatal("rewritten descriptor produced wrong output")
+	}
+	if rep.DescRewrites != 1 {
+		t.Fatalf("DescRewrites = %d, want 1", rep.DescRewrites)
+	}
+}
+
+func TestOffloadErrorTaxonomy(t *testing.T) {
+	// Every injected fault class maps to its typed error under errors.Is
+	// once recovery is exhausted (no fallback attached).
+	k := kernels.MatMulChar(16)
+	cases := []struct {
+		name string
+		crc  bool
+		opts core.Options
+		want []error
+	}{
+		{
+			name: "link corruption beyond retransmission limit",
+			crc:  true,
+			opts: core.Options{Faults: fault.New(fault.Config{Seed: 2, LinkCorruptRate: 1})},
+			want: []error{core.ErrLinkCRC},
+		},
+		{
+			name: "link drops beyond retransmission limit",
+			crc:  true,
+			opts: core.Options{Faults: fault.New(fault.Config{Seed: 3, LinkDropRate: 1})},
+			want: []error{core.ErrLinkDropped},
+		},
+		{
+			name: "persistent accelerator hang",
+			opts: core.Options{
+				WatchdogCycles: 2_000_000, Retries: 1,
+				Faults: fault.New(fault.Config{Seed: 5, EOCHangRate: 1}),
+			},
+			want: []error{core.ErrDeviceHang, core.ErrEOCTimeout},
+		},
+		{
+			name: "persistent descriptor corruption",
+			opts: core.Options{
+				VerifyDescriptor: true, Retries: 1,
+				Faults: fault.New(fault.Config{Seed: 7, DescCorruptRate: 1}),
+			},
+			want: []error{core.ErrDescriptorCorrupt},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, err := core.NewSystem(core.Config{
+				Host: power.STM32L476, HostFreqHz: 16e6, Lanes: 4,
+				AccVdd: 0.8, AccFreqHz: 200e6, LinkCRC: tc.crc,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			job, _ := kernelJob(t, k, 1)
+			_, _, err = sys.Offload(job, tc.opts)
+			if err == nil {
+				t.Fatal("offload should fail")
+			}
+			for _, want := range tc.want {
+				if !errors.Is(err, want) {
+					t.Errorf("error %v does not match %v", err, want)
+				}
+			}
+		})
+	}
+}
+
+func TestOffloadWithoutCRCLinkFaultsAreSilent(t *testing.T) {
+	// Without CRC framing, injected corruption is undetectable at the link
+	// layer: the offload either produces wrong bytes or wedges the device.
+	// This documents WHY the framing exists.
+	sys, err := core.NewSystem(core.Config{
+		Host: power.STM32L476, HostFreqHz: 16e6, Lanes: 4,
+		AccVdd: 0.8, AccFreqHz: 200e6, // LinkCRC off
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernels.MatMulChar(16)
+	job, want := kernelJob(t, k, 6)
+	out, _, err := sys.Offload(job, core.Options{
+		WatchdogCycles: 2_000_000,
+		Faults:         fault.New(fault.Config{Seed: 17, LinkCorruptRate: 0.3, MaxFaults: 8}),
+	})
+	if err == nil && bytes.Equal(out, want) {
+		t.Fatal("corrupting the unprotected link should not yield a clean golden run")
+	}
+	if sys.Link.SilentFaults == 0 {
+		t.Fatalf("expected silent faults on the unprotected link, counters: %+v", sys.Link)
+	}
+}
+
+func TestOffloadFaultTracer(t *testing.T) {
+	// Recovery actions must leave evidence in the trace.
+	var sb strings.Builder
+	sys := testSystem(t, 16e6)
+	k := kernels.MatMulChar(16)
+	job, _ := kernelJob(t, k, 3)
+	_, _, err := sys.Offload(job, core.Options{
+		WatchdogCycles: 2_000_000,
+		Retries:        2,
+		Tracer:         trace.New(&sb, 0),
+		Faults:         fault.New(fault.Config{Seed: 4, EOCHangRate: 1, MaxFaults: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wantS := range []string{"offload: injecting EOC hang", "watchdog trip", "re-raising fetch-enable"} {
+		if !strings.Contains(sb.String(), wantS) {
+			t.Errorf("trace lacks %q", wantS)
+		}
 	}
 }

@@ -52,6 +52,17 @@ type Engine struct {
 // New builds a DMA engine over the given memory system.
 func New(mem Memory) *Engine { return &Engine{mem: mem} }
 
+// Reset aborts all in-flight transfers and clears the programming latches
+// and error state (a cluster soft reset between offload attempts). The
+// activity counters are kept: aborted transfers still consumed cycles.
+func (e *Engine) Reset() {
+	e.ch = [hw.NumDMAChannels]channel{}
+	e.rr = 0
+	e.busy = 0
+	e.src, e.dst, e.length = 0, 0, 0
+	e.Err = nil
+}
+
 // WriteReg handles a store to a DMA register (offset from hw.DMABase).
 func (e *Engine) WriteReg(off uint32, v uint32) error {
 	switch off {

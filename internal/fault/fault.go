@@ -1,0 +1,297 @@
+// Package fault is a deterministic, seeded fault injector for the
+// heterogeneous system: it decides — reproducibly, from a single seed —
+// when a link burst arrives corrupted or not at all, when the accelerator
+// wedges and never raises end-of-computation, and when the job descriptor
+// is clobbered after landing in L2.
+//
+// The injector is consulted by internal/spilink (per burst attempt) and by
+// internal/core (per offload attempt); with a nil *Injector every decision
+// method is a no-op, so clean runs pay nothing. All randomness comes from a
+// splitmix64 stream owned by the injector, so a given seed and call
+// sequence always injects the same faults — the property the resilience
+// tests and the `make ci` seed sweep rely on.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Class enumerates the injectable fault classes.
+type Class int
+
+const (
+	// LinkCorrupt: a link burst arrives with flipped bits.
+	LinkCorrupt Class = iota
+	// LinkDrop: a link burst (or its response) never arrives.
+	LinkDrop
+	// EOCHang: the accelerator runs but never raises end-of-computation
+	// (a stuck EOC wire or a wedged device).
+	EOCHang
+	// DescCorrupt: the job descriptor is corrupted in L2 after the write
+	// (a memory fault the link CRC cannot see).
+	DescCorrupt
+
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case LinkCorrupt:
+		return "link-corrupt"
+	case LinkDrop:
+		return "link-drop"
+	case EOCHang:
+		return "eoc-hang"
+	case DescCorrupt:
+		return "desc-corrupt"
+	}
+	return "?"
+}
+
+// Outcome is the fate of one link burst attempt.
+type Outcome int
+
+const (
+	// BurstOK: the burst arrives intact.
+	BurstOK Outcome = iota
+	// BurstCorrupt: the burst arrives with flipped bits.
+	BurstCorrupt
+	// BurstDrop: the burst never arrives.
+	BurstDrop
+)
+
+// Config sets the per-decision fault probabilities. All rates are in
+// [0, 1]; a zero Config injects nothing.
+type Config struct {
+	Seed uint64
+
+	LinkCorruptRate float64 // per burst attempt
+	LinkDropRate    float64 // per burst attempt
+	EOCHangRate     float64 // per offload attempt
+	DescCorruptRate float64 // per descriptor write
+
+	// MaxFaults bounds the total number of injected faults (0 = no bound),
+	// so tests can express "the first k decisions fail, then the hardware
+	// heals" and recovery paths terminate deterministically.
+	MaxFaults int
+}
+
+func (c Config) validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"corrupt", c.LinkCorruptRate},
+		{"drop", c.LinkDropRate},
+		{"hang", c.EOCHangRate},
+		{"desc", c.DescCorruptRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s rate %v out of [0, 1]", r.name, r.v)
+		}
+	}
+	if c.MaxFaults < 0 {
+		return fmt.Errorf("fault: negative fault bound %d", c.MaxFaults)
+	}
+	return nil
+}
+
+// Injector is a seeded fault source. The zero value and the nil pointer
+// inject nothing; build one with New. Not safe for concurrent use — it is
+// consulted from the single simulation goroutine.
+type Injector struct {
+	cfg      Config
+	state    uint64
+	injected [numClasses]int
+}
+
+// New builds an injector. Invalid rates panic: fault configs come from
+// test code or from ParseSpec, which validates first.
+func New(cfg Config) *Injector {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &Injector{cfg: cfg, state: cfg.Seed}
+}
+
+// next advances the splitmix64 stream.
+func (in *Injector) next() uint64 {
+	in.state += 0x9E3779B97F4A7C15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// unit returns a float in [0, 1).
+func (in *Injector) unit() float64 { return float64(in.next()>>11) / (1 << 53) }
+
+// roll decides one fault of class c at the given rate and records it.
+func (in *Injector) roll(rate float64, c Class) bool {
+	if in == nil || rate <= 0 {
+		return false
+	}
+	if in.cfg.MaxFaults > 0 && in.Injected() >= in.cfg.MaxFaults {
+		return false
+	}
+	if in.unit() >= rate {
+		return false
+	}
+	in.injected[c]++
+	return true
+}
+
+// LinkBurst decides the fate of one burst attempt on the link.
+func (in *Injector) LinkBurst() Outcome {
+	if in == nil {
+		return BurstOK
+	}
+	if in.roll(in.cfg.LinkCorruptRate, LinkCorrupt) {
+		return BurstCorrupt
+	}
+	if in.roll(in.cfg.LinkDropRate, LinkDrop) {
+		return BurstDrop
+	}
+	return BurstOK
+}
+
+// EOCHang decides whether this offload attempt's end-of-computation never
+// reaches the host.
+func (in *Injector) EOCHang() bool {
+	return in != nil && in.roll(in.cfg.EOCHangRate, EOCHang)
+}
+
+// DescCorrupt decides whether the descriptor just written is clobbered in
+// device memory.
+func (in *Injector) DescCorrupt() bool {
+	return in != nil && in.roll(in.cfg.DescCorruptRate, DescCorrupt)
+}
+
+// CorruptBit flips one deterministically chosen bit of data in place.
+func (in *Injector) CorruptBit(data []byte) {
+	if in == nil || len(data) == 0 {
+		return
+	}
+	r := in.next()
+	data[r%uint64(len(data))] ^= 1 << ((r >> 32) % 8)
+}
+
+// Injected returns the total number of faults injected so far.
+func (in *Injector) Injected() int {
+	if in == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range in.injected {
+		n += c
+	}
+	return n
+}
+
+// Count returns how many faults of one class were injected.
+func (in *Injector) Count(c Class) int {
+	if in == nil || c < 0 || c >= numClasses {
+		return 0
+	}
+	return in.injected[c]
+}
+
+// String summarizes the injected faults ("3 faults: link-corrupt=2 eoc-hang=1").
+func (in *Injector) String() string {
+	if in == nil {
+		return "no injector"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d faults:", in.Injected())
+	for c := Class(0); c < numClasses; c++ {
+		if in.injected[c] > 0 {
+			fmt.Fprintf(&b, " %s=%d", c, in.injected[c])
+		}
+	}
+	return b.String()
+}
+
+// ParseSpec parses a command-line fault specification of the form
+// "seed=3,rate=0.2" — comma-separated key=value pairs. Keys:
+//
+//	seed    PRNG seed (uint)
+//	rate    shorthand: sets all four class rates at once
+//	corrupt link bit-flip rate per burst
+//	drop    lost-burst rate per burst
+//	hang    EOC-hang rate per offload attempt
+//	desc    descriptor-corruption rate per descriptor write
+//	max     total fault bound (0 = unlimited)
+//
+// Specific class keys override the shorthand regardless of order.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	type override struct {
+		set bool
+		v   float64
+	}
+	var corrupt, drop, hang, desc override
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("fault: malformed field %q (want key=value)", field)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseUint(v, 0, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("fault: bad seed %q: %v", v, err)
+			}
+			cfg.Seed = n
+		case "max":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return Config{}, fmt.Errorf("fault: bad max %q: %v", v, err)
+			}
+			cfg.MaxFaults = n
+		case "rate", "corrupt", "drop", "hang", "desc":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("fault: bad %s %q: %v", k, v, err)
+			}
+			switch k {
+			case "rate":
+				cfg.LinkCorruptRate = f
+				cfg.LinkDropRate = f
+				cfg.EOCHangRate = f
+				cfg.DescCorruptRate = f
+			case "corrupt":
+				corrupt = override{true, f}
+			case "drop":
+				drop = override{true, f}
+			case "hang":
+				hang = override{true, f}
+			case "desc":
+				desc = override{true, f}
+			}
+		default:
+			return Config{}, fmt.Errorf("fault: unknown key %q", k)
+		}
+	}
+	if corrupt.set {
+		cfg.LinkCorruptRate = corrupt.v
+	}
+	if drop.set {
+		cfg.LinkDropRate = drop.v
+	}
+	if hang.set {
+		cfg.EOCHangRate = hang.v
+	}
+	if desc.set {
+		cfg.DescCorruptRate = desc.v
+	}
+	if err := cfg.validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,157 @@
+package fault
+
+import "testing"
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.LinkBurst() != BurstOK || in.EOCHang() || in.DescCorrupt() {
+		t.Fatal("nil injector must never inject")
+	}
+	in.CorruptBit(nil) // must not panic
+	if in.Injected() != 0 || in.Count(LinkCorrupt) != 0 {
+		t.Fatal("nil injector has no counts")
+	}
+	if in.String() != "no injector" {
+		t.Fatalf("nil String = %q", in.String())
+	}
+}
+
+func TestZeroRatesInjectNothing(t *testing.T) {
+	in := New(Config{Seed: 42})
+	for i := 0; i < 1000; i++ {
+		if in.LinkBurst() != BurstOK || in.EOCHang() || in.DescCorrupt() {
+			t.Fatal("zero-rate injector fired")
+		}
+	}
+	if in.Injected() != 0 {
+		t.Fatalf("injected %d faults at rate 0", in.Injected())
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, LinkCorruptRate: 0.3, LinkDropRate: 0.1, EOCHangRate: 0.5, DescCorruptRate: 0.2}
+	run := func() []Outcome {
+		in := New(cfg)
+		var seq []Outcome
+		for i := 0; i < 200; i++ {
+			seq = append(seq, in.LinkBurst())
+			if in.EOCHang() {
+				seq = append(seq, Outcome(100))
+			}
+			if in.DescCorrupt() {
+				seq = append(seq, Outcome(200))
+			}
+		}
+		return seq
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("sequence lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A different seed must (for these rates) give a different sequence.
+	other := New(Config{Seed: 8, LinkCorruptRate: 0.3, LinkDropRate: 0.1, EOCHangRate: 0.5, DescCorruptRate: 0.2})
+	var c []Outcome
+	for i := 0; i < 200; i++ {
+		c = append(c, other.LinkBurst())
+		if other.EOCHang() {
+			c = append(c, Outcome(100))
+		}
+		if other.DescCorrupt() {
+			c = append(c, Outcome(200))
+		}
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical fault streams")
+	}
+}
+
+func TestRatesRoughlyHold(t *testing.T) {
+	in := New(Config{Seed: 1, LinkCorruptRate: 0.25})
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if in.LinkBurst() == BurstCorrupt {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("corrupt rate %.3f, want ~0.25", got)
+	}
+	if in.Count(LinkCorrupt) != hits {
+		t.Fatalf("Count=%d, hits=%d", in.Count(LinkCorrupt), hits)
+	}
+}
+
+func TestMaxFaultsBound(t *testing.T) {
+	in := New(Config{Seed: 3, LinkCorruptRate: 1, MaxFaults: 4})
+	faults := 0
+	for i := 0; i < 100; i++ {
+		if in.LinkBurst() != BurstOK {
+			faults++
+		}
+	}
+	if faults != 4 || in.Injected() != 4 {
+		t.Fatalf("injected %d/%d faults, want exactly 4", faults, in.Injected())
+	}
+}
+
+func TestCorruptBitFlipsExactlyOneBit(t *testing.T) {
+	in := New(Config{Seed: 9})
+	data := make([]byte, 64)
+	orig := append([]byte(nil), data...)
+	in.CorruptBit(data)
+	diff := 0
+	for i := range data {
+		for b := 0; b < 8; b++ {
+			if (data[i]^orig[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits flipped, want 1", diff)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=3,rate=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 3 || cfg.LinkCorruptRate != 0.2 || cfg.LinkDropRate != 0.2 ||
+		cfg.EOCHangRate != 0.2 || cfg.DescCorruptRate != 0.2 {
+		t.Fatalf("rate shorthand not applied: %+v", cfg)
+	}
+	// Specific keys override the shorthand, regardless of order.
+	cfg, err = ParseSpec("hang=1,rate=0.1,seed=5,max=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.EOCHangRate != 1 || cfg.LinkCorruptRate != 0.1 || cfg.MaxFaults != 2 || cfg.Seed != 5 {
+		t.Fatalf("override parse: %+v", cfg)
+	}
+	for _, bad := range []string{"rate", "rate=x", "seed=-1", "unknown=1", "rate=1.5", "max=-2"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q should not parse", bad)
+		}
+	}
+	// Empty spec is a valid no-fault config.
+	if cfg, err := ParseSpec(""); err != nil || cfg != (Config{}) {
+		t.Errorf("empty spec: %+v, %v", cfg, err)
+	}
+}

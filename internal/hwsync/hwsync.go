@@ -38,6 +38,21 @@ func New(n int) *EventUnit {
 	}
 }
 
+// Reset clears all synchronization state — event latches, sleep tracking,
+// a half-full barrier, a held mutex — as a cluster soft reset between
+// offload attempts. The Barriers/Sends statistics are kept.
+func (e *EventUnit) Reset() {
+	for i := 0; i < e.n; i++ {
+		e.latch[i] = false
+		e.sleepingEvt[i] = false
+		e.sleepingBar[i] = false
+	}
+	e.barrierArrived = 0
+	e.barrierTeam = 0
+	e.mutexHeld = false
+	e.mutexOwner = 0
+}
+
 // Arrive registers core's arrival at a barrier with the given team size.
 // If the core completes the barrier, it returns the list of cores to wake
 // (the other participants; the arriving core itself never slept). If not,

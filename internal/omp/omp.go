@@ -20,6 +20,7 @@ import (
 
 	"hetsim/internal/asm"
 	"hetsim/internal/core"
+	"hetsim/internal/fault"
 	"hetsim/internal/loader"
 )
 
@@ -108,6 +109,74 @@ func FromSensor(feed *core.SensorFeed) Clause {
 			return fmt.Errorf("omp: nil sensor feed")
 		}
 		c.opts.Sensor = feed
+		return nil
+	}
+}
+
+// Timeout bounds each offload attempt's wait for end-of-computation, in
+// accelerator cycles (the EOC watchdog of the resilient runtime).
+func Timeout(cycles uint64) Clause {
+	return func(c *regionCfg) error {
+		if cycles == 0 {
+			return fmt.Errorf("omp: timeout must be positive")
+		}
+		c.opts.WatchdogCycles = cycles
+		return nil
+	}
+}
+
+// Retries allows n recovery attempts after a watchdog trip: the first
+// re-raises fetch-enable, later ones fully reload the device over the
+// link, each after an exponentially growing backoff.
+func Retries(n int) Clause {
+	return func(c *regionCfg) error {
+		if n < 0 || n > 16 {
+			return fmt.Errorf("omp: retries(%d) out of [0, 16]", n)
+		}
+		c.opts.Retries = n
+		return nil
+	}
+}
+
+// Backoff sets the host-side wait before the first retry in seconds
+// (doubles per subsequent retry; default core.DefaultBackoffBase).
+func Backoff(base float64) Clause {
+	return func(c *regionCfg) error {
+		if base <= 0 {
+			return fmt.Errorf("omp: backoff base %v must be positive", base)
+		}
+		c.opts.BackoffBase = base
+		return nil
+	}
+}
+
+// HostFallback degrades the region to native host execution of prog when
+// accelerator recovery is exhausted, instead of failing the Target call.
+func HostFallback(prog *asm.Program) Clause {
+	return func(c *regionCfg) error {
+		if prog == nil {
+			return fmt.Errorf("omp: nil fallback program")
+		}
+		c.opts.HostFallback = prog
+		return nil
+	}
+}
+
+// VerifyDescriptor reads the job descriptor back after writing it and
+// rewrites on mismatch, catching device-memory corruption the link CRC
+// cannot see.
+func VerifyDescriptor() Clause {
+	return func(c *regionCfg) error {
+		c.opts.VerifyDescriptor = true
+		return nil
+	}
+}
+
+// Inject attaches a deterministic fault injector to the region (testing
+// and resilience evaluation; see internal/fault).
+func Inject(in *fault.Injector) Clause {
+	return func(c *regionCfg) error {
+		c.opts.Faults = in
 		return nil
 	}
 }

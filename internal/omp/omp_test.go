@@ -6,6 +6,7 @@ import (
 
 	"hetsim/internal/core"
 	"hetsim/internal/devrt"
+	"hetsim/internal/fault"
 	"hetsim/internal/isa"
 	"hetsim/internal/kernels"
 	"hetsim/internal/omp"
@@ -131,5 +132,63 @@ func TestFromSensorClause(t *testing.T) {
 	}
 	if res.Report.InTime < 1e-3 {
 		t.Errorf("acquisition time not charged: %v", res.Report.InTime)
+	}
+}
+
+func TestResilienceClauses(t *testing.T) {
+	// The resilience clauses lower onto the core options: a persistently
+	// hanging accelerator trips the Timeout watchdog, burns the Retries
+	// budget and lands on the HostFallback build, still producing golden
+	// output.
+	dev := device(t)
+	k := kernels.MatMulChar(16)
+	prog, err := k.Build(isa.PULPFull, devrt.Accel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostProg, err := k.Build(isa.CortexM4, devrt.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := k.Input(14)
+	res, err := dev.Target(prog,
+		omp.MapTo(in), omp.MapFrom(k.OutLen()),
+		omp.Timeout(2_000_000),
+		omp.Retries(1),
+		omp.Backoff(50e-6),
+		omp.VerifyDescriptor(),
+		omp.HostFallback(hostProg),
+		omp.Inject(fault.New(fault.Config{Seed: 9, EOCHangRate: 1})),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Out, k.Golden(in)) {
+		t.Fatal("fallback region output differs from golden")
+	}
+	if !res.Report.FallbackUsed || res.Report.Retries != 1 || res.Report.WatchdogTrips != 2 {
+		t.Fatalf("resilience clauses not applied: %+v", res.Report)
+	}
+}
+
+func TestResilienceClauseValidation(t *testing.T) {
+	dev := device(t)
+	k := kernels.MatMulChar(16)
+	prog, err := k.Build(isa.PULPFull, devrt.Accel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]omp.Clause{
+		{omp.Timeout(0)},
+		{omp.Retries(-1)},
+		{omp.Retries(17)},
+		{omp.Backoff(0)},
+		{omp.Backoff(-1)},
+		{omp.HostFallback(nil)},
+	}
+	for i, cls := range cases {
+		if _, err := dev.Target(prog, cls...); err == nil {
+			t.Errorf("clause set %d should fail", i)
+		}
 	}
 }

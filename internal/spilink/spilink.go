@@ -10,13 +10,46 @@
 // from the clock, lane count and framing overhead. This is the layer whose
 // throughput produces the amortization curves and the bandwidth plateau of
 // Fig. 5b.
+//
+// For resilience the link optionally frames every burst with a CRC-32
+// trailer (Config.CRC): a corrupted or lost burst is detected and
+// retransmitted up to Config.MaxRetransmits times, and both the trailer
+// and every repeated burst cost real wire bytes, so the protection shows
+// up in TransferTime/TransferEnergy and in the Link counters. Without CRC
+// framing an injected fault (see internal/fault) is silent: flipped bits
+// land in L2 and lost bursts leave stale memory — exactly the failure the
+// framing exists to catch.
 package spilink
 
 import (
+	"errors"
 	"fmt"
+	"hash/crc32"
 
+	"hetsim/internal/fault"
 	"hetsim/internal/mem"
 	"hetsim/internal/power"
+)
+
+// DefaultMaxBurst is the largest payload per transaction when Config does
+// not say otherwise (the QSPI page size of the prototype).
+const DefaultMaxBurst = 4096
+
+// DefaultMaxRetransmits bounds per-burst recovery attempts under CRC
+// framing when Config does not say otherwise.
+const DefaultMaxRetransmits = 8
+
+// crcBytes is the size of the per-burst CRC-32 trailer.
+const crcBytes = 4
+
+// Typed link failures, matchable with errors.Is.
+var (
+	// ErrLinkCRC: a burst kept failing its CRC check beyond the
+	// retransmission limit.
+	ErrLinkCRC = errors.New("spilink: CRC mismatch persists past retransmission limit")
+	// ErrLinkDropped: a burst (or its response) kept vanishing beyond the
+	// retransmission limit.
+	ErrLinkDropped = errors.New("spilink: burst lost past retransmission limit")
 )
 
 // Config describes the physical link configuration.
@@ -27,15 +60,24 @@ type Config struct {
 	// address, 32-bit length.
 	CmdBytes int
 	// MaxBurst is the largest payload per transaction; longer transfers
-	// split into bursts, each paying the framing overhead.
+	// split into bursts, each paying the framing overhead. 0 selects
+	// DefaultMaxBurst.
 	MaxBurst int
+
+	// CRC appends a CRC-32 trailer to every burst, enabling corruption and
+	// loss detection with bounded retransmission. The 4 trailer bytes per
+	// burst and every retransmitted burst are charged as wire bytes.
+	CRC bool
+	// MaxRetransmits bounds per-burst recovery attempts when CRC framing
+	// is on (0 selects DefaultMaxRetransmits).
+	MaxRetransmits int
 }
 
 // DefaultConfig returns the QSPI configuration used by the paper's
 // evaluation (QSPI interface of the STM32-L476), clocked at half the MCU
 // clock.
 func DefaultConfig(mcuClockHz float64) Config {
-	return Config{Lanes: 4, ClockHz: mcuClockHz / 2, CmdBytes: 9, MaxBurst: 4096}
+	return Config{Lanes: 4, ClockHz: mcuClockHz / 2, CmdBytes: 9, MaxBurst: DefaultMaxBurst}
 }
 
 // ByteRate returns the payload byte rate of the link in bytes/second.
@@ -43,27 +85,48 @@ func (c Config) ByteRate() float64 {
 	return c.ClockHz * float64(c.Lanes) / 8
 }
 
+// burstSize returns the effective per-transaction payload limit.
+func (c Config) burstSize() int {
+	if c.MaxBurst > 0 {
+		return c.MaxBurst
+	}
+	return DefaultMaxBurst
+}
+
+// burstOverhead returns the framing bytes each burst pays on the wire.
+func (c Config) burstOverhead() int {
+	if c.CRC {
+		return c.CmdBytes + crcBytes
+	}
+	return c.CmdBytes
+}
+
+// maxRetransmits returns the effective per-burst recovery bound.
+func (c Config) maxRetransmits() int {
+	if c.MaxRetransmits > 0 {
+		return c.MaxRetransmits
+	}
+	return DefaultMaxRetransmits
+}
+
 // wireBytes returns the total bytes on the wire for a payload of n bytes,
-// including per-burst framing.
+// including per-burst framing (and the CRC trailer when enabled).
 func (c Config) wireBytes(n int) int {
 	if n == 0 {
 		return 0
 	}
-	burst := c.MaxBurst
-	if burst <= 0 {
-		burst = 4096
-	}
+	burst := c.burstSize()
 	bursts := (n + burst - 1) / burst
-	return n + bursts*c.CmdBytes
+	return n + bursts*c.burstOverhead()
 }
 
 // TransferTime returns the wall-clock seconds needed to move an n-byte
-// payload across the link.
+// payload across the link (fault-free).
 func (c Config) TransferTime(n int) float64 {
 	return float64(c.wireBytes(n)) / c.ByteRate()
 }
 
-// TransferEnergy returns the link energy of an n-byte payload.
+// TransferEnergy returns the link energy of an n-byte payload (fault-free).
 func (c Config) TransferEnergy(n int) float64 {
 	return float64(c.wireBytes(n)*8) * power.SPIEnergyPerBit
 }
@@ -74,42 +137,197 @@ func (c Config) TransferEnergy(n int) float64 {
 type Link struct {
 	Cfg Config
 
+	// Inject, when non-nil, corrupts or drops individual burst attempts
+	// (deterministic fault injection; see internal/fault). Nil costs
+	// nothing.
+	Inject *fault.Injector
+
 	// Stats.
 	TxBytes      uint64 // payload bytes host -> accelerator
 	RxBytes      uint64 // payload bytes accelerator -> host
 	Transactions uint64
 	BusySeconds  float64
 	EnergyJ      float64
+
+	// Resilience stats.
+	Retransmits        uint64 // burst attempts repeated after detection
+	RetransmittedBytes uint64 // wire bytes spent on those repeats
+	CRCErrors          uint64 // bursts detected corrupt by the CRC check
+	DroppedBursts      uint64 // bursts detected lost (response timeout)
+	SilentFaults       uint64 // injected faults that went undetected (no CRC)
 }
 
-// New builds a link with the given configuration.
-func New(cfg Config) *Link { return &Link{Cfg: cfg} }
-
-// Write moves a payload into accelerator memory through the QSPI slave,
-// returning the transfer time.
-func (l *Link) Write(dst *mem.SRAM, addr uint32, data []byte) (float64, error) {
-	if err := dst.WriteBytes(addr, data); err != nil {
-		return 0, fmt.Errorf("spilink: %w", err)
+// New builds a link, normalizing the configuration (unset MaxBurst and
+// MaxRetransmits take their defaults, negative CmdBytes is clamped).
+func New(cfg Config) *Link {
+	if cfg.MaxBurst <= 0 {
+		cfg.MaxBurst = DefaultMaxBurst
 	}
-	t := l.Cfg.TransferTime(len(data))
-	l.TxBytes += uint64(len(data))
+	if cfg.CmdBytes < 0 {
+		cfg.CmdBytes = 0
+	}
+	if cfg.MaxRetransmits <= 0 {
+		cfg.MaxRetransmits = DefaultMaxRetransmits
+	}
+	return &Link{Cfg: cfg}
+}
+
+// account charges one completed transfer to the counters and returns its
+// wall-clock time.
+func (l *Link) account(wire int) float64 {
+	t := float64(wire) / l.Cfg.ByteRate()
 	l.Transactions++
 	l.BusySeconds += t
-	l.EnergyJ += l.Cfg.TransferEnergy(len(data))
-	return t, nil
+	l.EnergyJ += float64(wire*8) * power.SPIEnergyPerBit
+	return t
+}
+
+// Write moves a payload into accelerator memory through the QSPI slave,
+// returning the transfer time. Under CRC framing a corrupted or dropped
+// burst is retransmitted (bounded by Cfg.MaxRetransmits); without it the
+// fault lands in memory undetected.
+func (l *Link) Write(dst *mem.SRAM, addr uint32, data []byte) (float64, error) {
+	if l.Inject == nil && !l.Cfg.CRC {
+		// Fast path: the exact happy-path cost model.
+		if err := dst.WriteBytes(addr, data); err != nil {
+			return 0, fmt.Errorf("spilink: %w", err)
+		}
+		l.TxBytes += uint64(len(data))
+		return l.account(l.Cfg.wireBytes(len(data))), nil
+	}
+	if !dst.Contains(addr, uint32(len(data))) {
+		return 0, fmt.Errorf("spilink: write of %d bytes at %#x outside accelerator memory", len(data), addr)
+	}
+	wire, err := l.moveBursts(len(data), func(off, n int) error {
+		chunk := data[off : off+n]
+		switch l.Inject.LinkBurst() {
+		case fault.BurstCorrupt:
+			// The burst arrives with a flipped bit. The slave recomputes
+			// the CRC-32 of what it received and compares it against the
+			// trailer sent with the burst.
+			bad := append([]byte(nil), chunk...)
+			l.Inject.CorruptBit(bad)
+			if l.Cfg.CRC && crc32.ChecksumIEEE(bad) != crc32.ChecksumIEEE(chunk) {
+				// Detected: the slave NAKs, nothing reaches memory.
+				l.CRCErrors++
+				return errBurstCorrupt
+			}
+			// Undetectable: the flipped bits land in device memory.
+			l.SilentFaults++
+			return dst.WriteBytes(addr+uint32(off), bad)
+		case fault.BurstDrop:
+			if l.Cfg.CRC {
+				// No ack within the burst window: the host times out and
+				// resends.
+				l.DroppedBursts++
+				return errBurstDrop
+			}
+			// Undetectable: the memory keeps whatever it held before.
+			l.SilentFaults++
+			return nil
+		}
+		return dst.WriteBytes(addr+uint32(off), chunk)
+	})
+	if err != nil {
+		// The wasted traffic still happened; charge it before failing.
+		l.account(wire)
+		return 0, fmt.Errorf("spilink: write at %#x: %w", addr, err)
+	}
+	l.TxBytes += uint64(len(data))
+	return l.account(wire), nil
 }
 
 // Read moves a payload out of accelerator memory, returning the data and
-// the transfer time.
+// the transfer time. Under CRC framing a corrupted or dropped response
+// burst is re-read; without it the host consumes whatever arrived.
 func (l *Link) Read(src *mem.SRAM, addr uint32, n uint32) ([]byte, float64, error) {
 	if !src.Contains(addr, n) {
 		return nil, 0, fmt.Errorf("spilink: read of %d bytes at %#x outside accelerator memory", n, addr)
 	}
 	data := src.ReadBytes(addr, n)
-	t := l.Cfg.TransferTime(len(data))
+	if l.Inject == nil && !l.Cfg.CRC {
+		l.RxBytes += uint64(len(data))
+		return data, l.account(l.Cfg.wireBytes(len(data))), nil
+	}
+	wire, err := l.moveBursts(len(data), func(off, n int) error {
+		chunk := data[off : off+n]
+		switch l.Inject.LinkBurst() {
+		case fault.BurstCorrupt:
+			// The response burst arrives with a flipped bit; the host
+			// checks the trailer CRC against what it received.
+			want := crc32.ChecksumIEEE(chunk)
+			l.Inject.CorruptBit(chunk)
+			if l.Cfg.CRC && crc32.ChecksumIEEE(chunk) != want {
+				// Detected: restore is not needed — the host discards the
+				// burst and re-reads, and the next attempt re-fetches from
+				// memory.
+				copy(chunk, src.ReadBytes(addr+uint32(off), uint32(n)))
+				l.CRCErrors++
+				return errBurstCorrupt
+			}
+			l.SilentFaults++
+		case fault.BurstDrop:
+			if l.Cfg.CRC {
+				l.DroppedBursts++
+				return errBurstDrop
+			}
+			// Undetectable: the host's receive buffer keeps its reset
+			// state for this burst.
+			l.SilentFaults++
+			for i := range chunk {
+				chunk[i] = 0
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		l.account(wire)
+		return nil, 0, fmt.Errorf("spilink: read at %#x: %w", addr, err)
+	}
 	l.RxBytes += uint64(len(data))
-	l.Transactions++
-	l.BusySeconds += t
-	l.EnergyJ += l.Cfg.TransferEnergy(len(data))
-	return data, t, nil
+	return data, l.account(wire), nil
+}
+
+// Detected-bad burst attempts inside moveBursts.
+var (
+	errBurstCorrupt = errors.New("burst CRC rejected")
+	errBurstDrop    = errors.New("burst lost")
+)
+
+// moveBursts drives the burst loop shared by Write and Read: it splits an
+// n-byte payload, invokes move for every burst attempt, and retries
+// detected-bad attempts while the retransmission budget lasts. It returns
+// the total wire bytes consumed, including repeats.
+func (l *Link) moveBursts(n int, move func(off, n int) error) (wire int, err error) {
+	if n == 0 {
+		return 0, nil
+	}
+	burst := l.Cfg.burstSize()
+	over := l.Cfg.burstOverhead()
+	for off := 0; off < n; off += burst {
+		size := burst
+		if off+size > n {
+			size = n - off
+		}
+		for attempt := 0; ; attempt++ {
+			wire += size + over
+			err := move(off, size)
+			if err == nil {
+				break
+			}
+			bad := errors.Is(err, errBurstCorrupt)
+			if !bad && !errors.Is(err, errBurstDrop) {
+				return wire, err
+			}
+			if attempt >= l.Cfg.maxRetransmits() {
+				if bad {
+					return wire, ErrLinkCRC
+				}
+				return wire, ErrLinkDropped
+			}
+			l.Retransmits++
+			l.RetransmittedBytes += uint64(size + over)
+		}
+	}
+	return wire, nil
 }

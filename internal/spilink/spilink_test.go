@@ -2,8 +2,10 @@ package spilink
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
+	"hetsim/internal/fault"
 	"hetsim/internal/mem"
 )
 
@@ -88,5 +90,213 @@ func TestDefaultConfigMatchesPaper(t *testing.T) {
 	}
 	if c.ClockHz != 8e6 {
 		t.Errorf("SPI clock should be half the MCU clock, got %v", c.ClockHz)
+	}
+}
+
+func TestBurstSplittingEdgeCases(t *testing.T) {
+	c := Config{Lanes: 1, ClockHz: 1e6, CmdBytes: 9, MaxBurst: 256}
+	cases := []struct{ payload, wire int }{
+		{0, 0},                 // nothing on the wire
+		{255, 255 + 9},         // one partial burst
+		{256, 256 + 9},         // exactly MaxBurst: still one burst
+		{257, 257 + 2*9},       // MaxBurst+1: a second burst for one byte
+		{512, 512 + 2*9},       // exactly two bursts
+		{3 * 256, 3*256 + 3*9}, // exact multiple
+		{3*256 + 1, 3*256 + 1 + 4*9},
+	}
+	for _, tc := range cases {
+		if got := c.wireBytes(tc.payload); got != tc.wire {
+			t.Errorf("wireBytes(%d) = %d, want %d", tc.payload, got, tc.wire)
+		}
+	}
+	// With CRC framing every burst pays 4 more trailer bytes.
+	crc := c
+	crc.CRC = true
+	if got := crc.wireBytes(257); got != 257+2*(9+4) {
+		t.Errorf("CRC wireBytes(257) = %d, want %d", got, 257+2*(9+4))
+	}
+	if got := crc.wireBytes(0); got != 0 {
+		t.Errorf("CRC wireBytes(0) = %d, want 0", got)
+	}
+}
+
+func TestCountersConsistentAcrossWriteRead(t *testing.T) {
+	l2 := mem.NewSRAM(0x1C000000, 64*1024)
+	link := New(Config{Lanes: 1, ClockHz: 1e6, CmdBytes: 9, MaxBurst: 256})
+	sizes := []int{0, 1, 255, 256, 257, 1024}
+	var wantTx uint64
+	var wantBusy, wantE float64
+	for i, n := range sizes {
+		payload := make([]byte, n)
+		for j := range payload {
+			payload[j] = byte(i + j)
+		}
+		tw, err := link.Write(l2, 0x1C000000, payload)
+		if err != nil {
+			t.Fatalf("write %d bytes: %v", n, err)
+		}
+		wantTx += uint64(n)
+		wantBusy += link.Cfg.TransferTime(n)
+		wantE += link.Cfg.TransferEnergy(n)
+		if n > 0 && tw <= 0 {
+			t.Errorf("write of %d bytes took no time", n)
+		}
+		got, tr, err := link.Read(l2, 0x1C000000, uint32(n))
+		if err != nil {
+			t.Fatalf("read %d bytes: %v", n, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("roundtrip of %d bytes corrupted", n)
+		}
+		wantBusy += link.Cfg.TransferTime(n)
+		wantE += link.Cfg.TransferEnergy(n)
+		_ = tr
+	}
+	if link.TxBytes != wantTx || link.RxBytes != wantTx {
+		t.Errorf("payload counters: tx=%d rx=%d, want %d", link.TxBytes, link.RxBytes, wantTx)
+	}
+	if link.Transactions != uint64(2*len(sizes)) {
+		t.Errorf("transactions = %d, want %d", link.Transactions, 2*len(sizes))
+	}
+	// BusySeconds and EnergyJ must equal the per-transfer framing math
+	// exactly (accumulated in the same order the link accumulates).
+	if link.BusySeconds != wantBusy {
+		t.Errorf("BusySeconds = %v, want %v", link.BusySeconds, wantBusy)
+	}
+	if link.EnergyJ != wantE {
+		t.Errorf("EnergyJ = %v, want %v", link.EnergyJ, wantE)
+	}
+}
+
+func TestNewNormalizesConfig(t *testing.T) {
+	l := New(Config{Lanes: 4, ClockHz: 8e6, CmdBytes: -3})
+	if l.Cfg.MaxBurst != DefaultMaxBurst {
+		t.Errorf("MaxBurst default = %d, want %d", l.Cfg.MaxBurst, DefaultMaxBurst)
+	}
+	if l.Cfg.CmdBytes != 0 {
+		t.Errorf("negative CmdBytes not clamped: %d", l.Cfg.CmdBytes)
+	}
+	if l.Cfg.MaxRetransmits != DefaultMaxRetransmits {
+		t.Errorf("MaxRetransmits default = %d, want %d", l.Cfg.MaxRetransmits, DefaultMaxRetransmits)
+	}
+}
+
+func TestCRCRecoversCorruptedWrite(t *testing.T) {
+	l2 := mem.NewSRAM(0x1C000000, 64*1024)
+	link := New(Config{Lanes: 4, ClockHz: 8e6, CmdBytes: 9, MaxBurst: 256, CRC: true})
+	link.Inject = fault.New(fault.Config{Seed: 11, LinkCorruptRate: 1, MaxFaults: 3})
+	payload := make([]byte, 1000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	tw, err := link.Write(l2, 0x1C000100, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.ReadBytes(0x1C000100, 1000); !bytes.Equal(got, payload) {
+		t.Fatal("CRC framing did not protect the payload")
+	}
+	if link.Retransmits != 3 || link.CRCErrors != 3 {
+		t.Errorf("retransmits=%d crcErrors=%d, want 3", link.Retransmits, link.CRCErrors)
+	}
+	if link.RetransmittedBytes == 0 {
+		t.Error("no retransmitted bytes recorded")
+	}
+	// The repeats must cost real time/energy versus a clean transfer.
+	if clean := link.Cfg.TransferTime(1000); tw <= clean {
+		t.Errorf("faulty transfer time %v not above clean %v", tw, clean)
+	}
+	if link.SilentFaults != 0 {
+		t.Errorf("silent faults under CRC: %d", link.SilentFaults)
+	}
+}
+
+func TestCRCRecoversDroppedRead(t *testing.T) {
+	l2 := mem.NewSRAM(0x1C000000, 64*1024)
+	link := New(Config{Lanes: 4, ClockHz: 8e6, CmdBytes: 9, MaxBurst: 128, CRC: true})
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(255 - i%251)
+	}
+	if _, err := link.Write(l2, 0x1C000200, payload); err != nil {
+		t.Fatal(err)
+	}
+	link.Inject = fault.New(fault.Config{Seed: 5, LinkDropRate: 0.5, MaxFaults: 4})
+	got, _, err := link.Read(l2, 0x1C000200, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("dropped response bursts not recovered")
+	}
+	if link.DroppedBursts == 0 || link.Retransmits == 0 {
+		t.Errorf("drop counters: dropped=%d retransmits=%d", link.DroppedBursts, link.Retransmits)
+	}
+}
+
+func TestWithoutCRCFaultsAreSilent(t *testing.T) {
+	l2 := mem.NewSRAM(0x1C000000, 64*1024)
+	link := New(Config{Lanes: 4, ClockHz: 8e6, CmdBytes: 9, MaxBurst: 256})
+	link.Inject = fault.New(fault.Config{Seed: 2, LinkCorruptRate: 1, MaxFaults: 1})
+	payload := make([]byte, 300)
+	for i := range payload {
+		payload[i] = 0xA5
+	}
+	if _, err := link.Write(l2, 0x1C000300, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.ReadBytes(0x1C000300, 300); bytes.Equal(got, payload) {
+		t.Fatal("injected corruption vanished without CRC framing")
+	}
+	if link.SilentFaults != 1 || link.Retransmits != 0 {
+		t.Errorf("silent=%d retransmits=%d, want 1/0", link.SilentFaults, link.Retransmits)
+	}
+}
+
+func TestRetransmissionLimitSurfacesTypedError(t *testing.T) {
+	l2 := mem.NewSRAM(0x1C000000, 64*1024)
+	link := New(Config{Lanes: 4, ClockHz: 8e6, CmdBytes: 9, MaxBurst: 256, CRC: true, MaxRetransmits: 2})
+	link.Inject = fault.New(fault.Config{Seed: 1, LinkCorruptRate: 1})
+	_, err := link.Write(l2, 0x1C000000, make([]byte, 64))
+	if !errors.Is(err, ErrLinkCRC) {
+		t.Fatalf("want ErrLinkCRC, got %v", err)
+	}
+	// The wasted attempts are still charged.
+	if link.BusySeconds <= 0 || link.EnergyJ <= 0 {
+		t.Error("failed transfer cost nothing")
+	}
+	if link.TxBytes != 0 {
+		t.Errorf("failed write counted %d payload bytes", link.TxBytes)
+	}
+
+	drop := New(Config{Lanes: 4, ClockHz: 8e6, CmdBytes: 9, MaxBurst: 256, CRC: true, MaxRetransmits: 2})
+	drop.Inject = fault.New(fault.Config{Seed: 1, LinkDropRate: 1})
+	if _, _, err := drop.Read(l2, 0x1C000000, 64); !errors.Is(err, ErrLinkDropped) {
+		t.Fatalf("want ErrLinkDropped, got %v", err)
+	}
+}
+
+func TestCleanPathUnchangedByInjectorPresence(t *testing.T) {
+	// An attached but never-firing injector must not change time, energy
+	// or counters versus the plain link (zero-cost abstraction).
+	run := func(inject bool) *Link {
+		l2 := mem.NewSRAM(0x1C000000, 64*1024)
+		link := New(DefaultConfig(16e6))
+		if inject {
+			link.Inject = fault.New(fault.Config{Seed: 99})
+		}
+		payload := make([]byte, 5000)
+		if _, err := link.Write(l2, 0x1C000000, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := link.Read(l2, 0x1C000000, 5000); err != nil {
+			t.Fatal(err)
+		}
+		return link
+	}
+	plain, injected := run(false), run(true)
+	if plain.BusySeconds != injected.BusySeconds || plain.EnergyJ != injected.EnergyJ ||
+		plain.TxBytes != injected.TxBytes || plain.Transactions != injected.Transactions {
+		t.Errorf("injector presence changed clean-run accounting:\nplain    %+v\ninjected %+v", plain, injected)
 	}
 }

@@ -57,10 +57,11 @@ func (k Kind) String() string {
 // Tracer collects events. It is safe for use from a single simulation
 // goroutine; Flush may be called from anywhere.
 type Tracer struct {
-	mu  sync.Mutex
-	w   io.Writer
-	n   uint64
-	max uint64
+	mu      sync.Mutex
+	w       io.Writer
+	n       uint64
+	max     uint64
+	dropped uint64
 
 	// Filter limits the trace to one core (-1 = all).
 	CoreFilter int
@@ -86,13 +87,20 @@ func (t *Tracer) Emit(e Event) {
 		return
 	}
 	t.n++
+	var err error
 	switch e.Kind {
 	case KindRetire:
-		fmt.Fprintf(t.w, "%10d c%d  %08x  %v\n", e.Cycle, e.Core, e.PC, e.Inst)
+		_, err = fmt.Fprintf(t.w, "%10d c%d  %08x  %v\n", e.Cycle, e.Core, e.PC, e.Inst)
 	case KindNote:
-		fmt.Fprintf(t.w, "%10d --  %s\n", e.Cycle, e.Note)
+		_, err = fmt.Fprintf(t.w, "%10d --  %s\n", e.Cycle, e.Note)
 	default:
-		fmt.Fprintf(t.w, "%10d c%d  %s %s\n", e.Cycle, e.Core, e.Kind, e.Note)
+		_, err = fmt.Fprintf(t.w, "%10d c%d  %s %s\n", e.Cycle, e.Core, e.Kind, e.Note)
+	}
+	if err != nil {
+		// A failing sink must not kill the simulation, but fault/retry
+		// evidence silently vanishing is worse than a lossy trace: count
+		// the event as dropped so Dropped() can surface the loss.
+		t.dropped++
 	}
 	if t.max > 0 && t.n == t.max {
 		fmt.Fprintf(t.w, "... trace truncated after %d events ...\n", t.max)
@@ -104,4 +112,16 @@ func (t *Tracer) Count() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.n
+}
+
+// Dropped returns the number of events whose formatted output could not
+// be written to the sink. A non-zero value means the trace on disk is
+// incomplete and should not be trusted as evidence of what did not happen.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }

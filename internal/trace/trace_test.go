@@ -1,6 +1,8 @@
 package trace_test
 
 import (
+	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -88,5 +90,43 @@ func TestKindStrings(t *testing.T) {
 		if k.String() != want {
 			t.Errorf("%v", k)
 		}
+	}
+}
+
+// failAfter fails every write after the first n.
+type failAfter struct {
+	n      int
+	writes int
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.n {
+		return 0, errors.New("sink full")
+	}
+	return len(p), nil
+}
+
+func TestTracerCountsDroppedEvents(t *testing.T) {
+	tr := trace.New(&failAfter{n: 2}, 0)
+	for i := 0; i < 5; i++ {
+		tr.Emit(trace.Event{Cycle: uint64(i), Kind: trace.KindNote, Note: "evt"})
+	}
+	if tr.Count() != 5 {
+		t.Errorf("Count = %d, want 5", tr.Count())
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", tr.Dropped())
+	}
+	// A healthy sink drops nothing.
+	ok := trace.New(&bytes.Buffer{}, 0)
+	ok.Emit(trace.Event{Kind: trace.KindNote, Note: "fine"})
+	if ok.Dropped() != 0 {
+		t.Errorf("healthy sink dropped %d", ok.Dropped())
+	}
+	// Nil tracer stays inert.
+	var nilTr *trace.Tracer
+	if nilTr.Dropped() != 0 {
+		t.Error("nil tracer dropped events")
 	}
 }
