@@ -3,9 +3,14 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fault-drill bench
+# Pre-PR 2 simulator throughput (Msimcycles/s) on the 4-core matmul;
+# recorded as the baseline in BENCH_PR2.json so every bench run reports
+# its speedup against the same reference point.
+BENCH_BASELINE ?= 6.922
 
-ci: vet build race fault-drill
+.PHONY: ci vet build test race differential fault-drill bench bench-smoke
+
+ci: vet build race differential fault-drill bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -32,5 +37,19 @@ fault-drill:
 	$(GO) run ./cmd/hetsim -kernel "svm (RBF)" -faults seed=13,rate=0.2,max=6 -crc -watchdog 2000000 -retries 2 -fallback >/dev/null
 	@echo "fault drills passed"
 
+# Differential cycle-accuracy: the event-driven run loop must agree with
+# the naive reference loop on cycles, outputs and stats for every kernel
+# (also covered by `race`, but kept addressable for quick local runs).
+differential:
+	$(GO) test -run TestDifferentialCycleAccuracy ./internal/cluster
+
+# Full benchmark pass: regenerates every paper artifact as a benchmark and
+# records the custom metrics (simulator throughput, headline numbers) in
+# BENCH_PR2.json via cmd/benchreport. Format documented in EXPERIMENTS.md.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -bench=. -benchmem | $(GO) run ./cmd/benchreport -o BENCH_PR2.json -before $(BENCH_BASELINE)
+
+# One-iteration throughput smoke: catches gross simulator-speed regressions
+# in CI without the cost (or the noise sensitivity) of a full bench run.
+bench-smoke:
+	$(GO) test -run xxx -bench=SimulatorThroughput -benchtime=1x .

@@ -1,0 +1,147 @@
+// benchreport turns `go test -bench` output into a machine-readable perf
+// record. It reads the benchmark stream on stdin, echoes it unchanged (so
+// it can sit at the end of a pipe without hiding progress), parses every
+// benchmark line including custom metrics (Msimcycles/s, the reproduced
+// headline numbers the paper benchmarks report), and writes a JSON report.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | benchreport -o BENCH_PR2.json -before 6.922
+//
+// -before records the pre-optimization simulator throughput so the report
+// carries its own baseline; -min (Msimcycles/s) makes the tool exit
+// non-zero when the measured throughput falls below a floor, turning any
+// CI bench run into a regression gate. The format is documented in
+// EXPERIMENTS.md ("Simulator throughput").
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level BENCH_PR2.json document.
+type Report struct {
+	Go         string               `json:"go"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+	Throughput *Throughput          `json:"throughput,omitempty"`
+}
+
+// Throughput is the headline simulator-speed record: the metric every
+// perf PR moves, with its pre-change baseline alongside.
+type Throughput struct {
+	Metric  string  `json:"metric"`
+	Before  float64 `json:"before,omitempty"`
+	After   float64 `json:"after"`
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+const throughputBench = "SimulatorThroughput"
+const throughputMetric = "Msimcycles/s"
+
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	out := flag.String("o", "BENCH_PR2.json", "output JSON path")
+	before := flag.Float64("before", 0, "baseline simulator throughput (Msimcycles/s) recorded alongside the measurement")
+	min := flag.Float64("min", 0, "fail (exit 1) if simulator throughput is below this floor, 0 = off")
+	flag.Parse()
+
+	rep := Report{Go: runtime.Version(), Benchmarks: map[string]Benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		mm := benchLine.FindStringSubmatch(line)
+		if mm == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(mm[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Iterations: iters, Metrics: map[string]float64{}}
+		// The remainder is value/unit pairs: "123 ns/op  4 B/op  0.5 X/s".
+		fields := strings.Fields(mm[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				val := v
+				b.BytesPerOp = &val
+			case "allocs/op":
+				val := v
+				b.AllocsPerOp = &val
+			default:
+				b.Metrics[unit] = v
+			}
+		}
+		if len(b.Metrics) == 0 {
+			b.Metrics = nil
+		}
+		rep.Benchmarks[mm[1]] = b
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	if tb, ok := rep.Benchmarks[throughputBench]; ok {
+		if after, ok := tb.Metrics[throughputMetric]; ok {
+			t := &Throughput{Metric: throughputMetric, Before: *before, After: after}
+			if *before > 0 {
+				t.Speedup = after / *before
+			}
+			rep.Throughput = t
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+
+	if *min > 0 {
+		if rep.Throughput == nil {
+			fatal(fmt.Errorf("-min set but %s did not report %s", throughputBench, throughputMetric))
+		}
+		if rep.Throughput.After < *min {
+			fatal(fmt.Errorf("simulator throughput %.2f %s below floor %.2f",
+				rep.Throughput.After, throughputMetric, *min))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}

@@ -15,6 +15,7 @@ import (
 
 	"hetsim/internal/kernels"
 	"hetsim/internal/paper"
+	"hetsim/internal/prof"
 	"hetsim/internal/sensor"
 )
 
@@ -22,7 +23,14 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5a, fig5b, ablate or all")
 	small := flag.Bool("small", false, "use reduced kernel sizes (fast smoke run)")
 	kernel := flag.String("kernel", "matmul", "kernel for fig5b")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
 
 	suite := kernels.PaperSuite()
 	if *small {
@@ -128,6 +136,9 @@ func main() {
 		}
 		paper.RenderFigure5b(out, k.Name, series)
 		fmt.Fprintln(out)
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }
 

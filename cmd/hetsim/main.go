@@ -34,6 +34,7 @@ import (
 	"hetsim/internal/kernels"
 	"hetsim/internal/loader"
 	"hetsim/internal/power"
+	"hetsim/internal/prof"
 )
 
 func main() {
@@ -53,7 +54,14 @@ func main() {
 	watchdog := flag.Uint64("watchdog", 0, "EOC watchdog in accelerator cycles (0 = off)")
 	retries := flag.Int("retries", 0, "recovery attempts after a watchdog trip")
 	fallback := flag.Bool("fallback", false, "fall back to native host execution when recovery is exhausted")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
 
 	k, err := kernels.ByName(*name)
 	if err != nil {
@@ -163,6 +171,9 @@ func main() {
 		base.Seconds*float64(rep.Iterations)/rep.TotalTime)
 	eBase := base.EnergyJ * float64(rep.Iterations)
 	fmt.Printf("energy gain : %.1fx\n", eBase/rep.Energy.TotalJ())
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -12,6 +12,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"hetsim/internal/asm"
 	"hetsim/internal/cpu"
@@ -39,6 +40,13 @@ type Config struct {
 	// L2Latency is the extra cycles of a core's direct load/store to L2
 	// over the peripheral interconnect.
 	L2Latency int
+
+	// ReferenceRun selects the naive cycle-by-cycle run loop (full core
+	// rescan after every Step, no idle fast-forward) instead of the
+	// event-driven one. Both must produce bit-identical cycle counts,
+	// EOC values and stats; the differential cycle-accuracy test steps
+	// them against each other over the whole kernel suite.
+	ReferenceRun bool
 }
 
 // PULPConfig returns the PULP3 cluster of the paper: 4 OR10N cores, 8-bank
@@ -82,6 +90,22 @@ type Cluster struct {
 
 	now      uint64
 	rrOffset int
+	// order[r] is Cores rotated left by r: the per-cycle service order for
+	// rrOffset r, precomputed so the hot loop is a plain slice range with
+	// no index arithmetic.
+	order [][]*cpu.Core
+
+	// Per-cycle aggregates maintained by Step for the event-driven run
+	// loop: stepStatus folds every termination condition into one byte
+	// (0 = keep running) so the run loop's per-cycle check is a single
+	// load and branch, and nextEvent is the earliest future cycle at
+	// which any core or the DMA can make progress (cpu.NextEventNever
+	// when all need an external event). The core-state counts they are
+	// derived from can only over-count sleepers for a core woken later
+	// in the same cycle — and then the waker itself was counted active,
+	// so no termination condition or fast-forward can mis-fire.
+	stepStatus uint8
+	nextEvent  uint64
 
 	eoc      bool
 	eocValue uint32
@@ -120,10 +144,19 @@ func New(cfg Config) *Cluster {
 	for i := 0; i < cfg.Cores; i++ {
 		c := cpu.New(i, cfg.Target, cl)
 		if cl.IC != nil {
-			c.Fetch = cl.IC.Fetch
+			c.IC = cl.IC
 			c.FetchLineMask = cl.IC.LineSize - 1
 		}
+		// Single-cycle L1 accesses bypass the Env dispatch; the core runs
+		// the same arbitration + data access the Access method would.
+		c.TCDM = cl.TCDM
 		cl.Cores = append(cl.Cores, c)
+	}
+	cl.order = make([][]*cpu.Core, cfg.Cores)
+	for r := 0; r < cfg.Cores; r++ {
+		rot := make([]*cpu.Core, 0, cfg.Cores)
+		rot = append(rot, cl.Cores[r:]...)
+		cl.order[r] = append(rot, cl.Cores[:r]...)
 	}
 	return cl
 }
@@ -162,8 +195,11 @@ func (cl *Cluster) LoadProgram(p *asm.Program, direct bool) error {
 			}
 		}
 	}
+	// Predecode once (target support, memory shape, hazard masks) and
+	// share the decoded slice across all cores: they run the same target.
+	code := cpu.Predecode(p.Text, cl.Cfg.Target)
 	for _, c := range cl.Cores {
-		c.SetProgram(p.Text, p.TextBase)
+		c.SetPredecoded(code, p.TextBase)
 	}
 	return nil
 }
@@ -185,20 +221,85 @@ func (cl *Cluster) Start(entry uint32) {
 
 // Step advances the whole cluster by one cycle. Core service order rotates
 // so bank arbitration is fair; the DMA has the lowest priority, stepping
-// after all cores.
+// after all cores. While stepping, it aggregates each core's state and
+// next-event hint so the run loop's termination checks are O(1) and idle
+// windows can be fast-forwarded.
 func (cl *Cluster) Step() {
 	cl.TCDM.BeginCycle()
 	n := len(cl.Cores)
-	for i := 0; i < n; i++ {
-		cl.Cores[(i+cl.rrOffset)%n].Step(cl.now)
+	now := cl.now
+	halted, sleeping := 0, 0
+	anyErr := false
+	next := uint64(cpu.NextEventNever)
+	for _, c := range cl.order[cl.rrOffset] {
+		h := c.Step(now)
+		if h < next {
+			next = h
+		}
+		// NextEventNever is returned exactly by halted or sleeping cores,
+		// so the (rare) aggregate bookkeeping hides behind one compare on
+		// a value already in hand.
+		if h == cpu.NextEventNever {
+			if c.Halted {
+				halted++
+				if c.Err != nil {
+					anyErr = true
+				}
+			} else {
+				sleeping++
+			}
+		}
 	}
-	cl.DMA.Step()
-	if cl.DMA.Err != nil && cl.err == nil {
-		cl.err = cl.DMA.Err
+	dmaBusy := false
+	if cl.DMA.Busy() {
+		cl.DMA.Step()
+		if cl.DMA.Err != nil && cl.err == nil {
+			cl.err = cl.DMA.Err
+		}
+		dmaBusy = cl.DMA.Busy()
+		if dmaBusy && now+1 < next {
+			// An in-flight transfer moves a beat every cycle; no window
+			// to skip.
+			next = now + 1
+		}
 	}
-	cl.rrOffset = (cl.rrOffset + 1) % n
-	cl.now++
+	// Fold the termination conditions into the status byte while the
+	// counts are still in registers. Bits may combine; the run loop's
+	// finish decodes them in the reference loop's priority order.
+	var status uint8
+	if halted > 0 && halted+sleeping == n {
+		// All halted, or mixed halt/sleep (the master trapped while
+		// slaves sleep).
+		status |= stepTrapHalt
+	}
+	if sleeping == n && !dmaBusy {
+		status |= stepDeadlock
+	}
+	if anyErr {
+		status |= stepCoreErr
+	}
+	if cl.eoc {
+		status |= stepEOC
+	}
+	if cl.err != nil {
+		status |= stepClusterErr
+	}
+	cl.stepStatus, cl.nextEvent = status, next
+	cl.rrOffset++
+	if cl.rrOffset == n {
+		cl.rrOffset = 0
+	}
+	cl.now = now + 1
 }
+
+// stepStatus bits, in no particular order (finish imposes priority).
+const (
+	stepClusterErr uint8 = 1 << iota // cl.err set (DMA or interconnect)
+	stepEOC                          // end-of-computation latch raised
+	stepCoreErr                      // some core halted with an error
+	stepTrapHalt                     // halted>0 and every core halted or asleep
+	stepDeadlock                     // every core asleep, DMA idle
+)
 
 // ErrDeadlock is returned when every core sleeps with no wake source left.
 var ErrDeadlock = errors.New("cluster: deadlock - all cores asleep, DMA idle, no EOC")
@@ -216,7 +317,85 @@ type RunResult struct {
 // Run steps the cluster until the program signals EOC, every core halts, a
 // core faults, or maxCycles elapse. It returns the cycles consumed by this
 // call.
+//
+// The loop is event-driven: per-cycle termination checks use the O(1)
+// state aggregates Step maintains (instead of rescanning every core), and
+// windows in which no core can act — all asleep at a barrier, or all
+// stalled on multi-cycle ops, wake-up latency or refills — are
+// fast-forwarded in one jump with the per-core Sleep/Stall counters
+// credited in bulk. Cycle counts, stats and termination results are
+// bit-identical to the naive loop (Config.ReferenceRun); the differential
+// cycle-accuracy test enforces this over the whole kernel suite.
 func (cl *Cluster) Run(maxCycles uint64) (RunResult, error) {
+	if cl.Cfg.ReferenceRun {
+		return cl.runReference(maxCycles)
+	}
+	start := cl.now
+	n := len(cl.Cores)
+	for cl.now-start < maxCycles {
+		cl.Step()
+		if cl.stepStatus != 0 {
+			return cl.finish(start)
+		}
+		if cl.nextEvent > cl.now {
+			// No core can act before cl.nextEvent and the DMA is idle:
+			// skip the window, crediting each core's idle counters as
+			// cycle-by-cycle stepping would have.
+			skip := cl.nextEvent - cl.now
+			if limit := maxCycles - (cl.now - start); skip > limit {
+				skip = limit
+			}
+			for _, c := range cl.Cores {
+				c.CreditIdle(skip)
+			}
+			cl.rrOffset = int((uint64(cl.rrOffset) + skip) % uint64(n))
+			cl.now += skip
+		}
+	}
+	return RunResult{Cycles: cl.now - start}, fmt.Errorf("cluster: exceeded %d cycles", maxCycles)
+}
+
+// finish translates a non-zero stepStatus into the run's result, decoding
+// combined bits in the priority order of the reference loop: cluster error,
+// EOC, core error, halt/trap, deadlock. It runs once per Run termination.
+func (cl *Cluster) finish(start uint64) (RunResult, error) {
+	cycles := cl.now - start
+	st := cl.stepStatus
+	switch {
+	case st&stepClusterErr != 0:
+		return RunResult{Cycles: cycles}, cl.err
+	case st&stepEOC != 0:
+		return RunResult{Cycles: cycles, EOC: true, EOCValue: cl.eocValue}, nil
+	case st&stepCoreErr != 0:
+		_, firstErr := cl.scanCores()
+		return RunResult{Cycles: cycles}, firstErr
+	case st&stepTrapHalt != 0:
+		trap, _ := cl.scanCores()
+		return RunResult{Cycles: cycles, Halted: true, TrapCode: trap}, nil
+	default:
+		return RunResult{Cycles: cycles}, ErrDeadlock
+	}
+}
+
+// scanCores picks the first trap code and first error in core-index order,
+// replicating the reference loop's selection exactly. It runs once per Run
+// termination, not per cycle.
+func (cl *Cluster) scanCores() (trap int32, firstErr error) {
+	for _, c := range cl.Cores {
+		if c.Err != nil && firstErr == nil {
+			firstErr = c.Err
+		}
+		if c.Halted && c.TrapCode != 0 && trap == 0 {
+			trap = c.TrapCode
+		}
+	}
+	return trap, firstErr
+}
+
+// runReference is the naive run loop kept as the differential baseline: it
+// rescans every core after every cycle and never fast-forwards. It is
+// selected by Config.ReferenceRun.
+func (cl *Cluster) runReference(maxCycles uint64) (RunResult, error) {
 	start := cl.now
 	for cl.now-start < maxCycles {
 		cl.Step()
@@ -347,9 +526,7 @@ func (cl *Cluster) evtAccess(core int, store bool, off, wdata uint32) (uint32, i
 		}
 		wake, last := cl.Evt.Arrive(core, int(wdata))
 		if last {
-			for _, w := range wake {
-				cl.Cores[w].Wake(cl.now)
-			}
+			cl.wake(wake)
 			return 0, 0, cpu.AccessOK, nil
 		}
 		return 0, 0, cpu.AccessSleepBarrier, nil
@@ -357,9 +534,7 @@ func (cl *Cluster) evtAccess(core int, store bool, off, wdata uint32) (uint32, i
 		if !store {
 			return 0, 0, cpu.AccessOK, fmt.Errorf("cluster: read of event send register")
 		}
-		for _, w := range cl.Evt.Send(wdata) {
-			cl.Cores[w].Wake(cl.now)
-		}
+		cl.wake(cl.Evt.Send(wdata))
 		return 0, 0, cpu.AccessOK, nil
 	case hw.EvtStatus:
 		return cl.Evt.SleepMask(), 0, cpu.AccessOK, nil
@@ -376,6 +551,15 @@ func (cl *Cluster) evtAccess(core int, store bool, off, wdata uint32) (uint32, i
 		return 0, 0, cpu.AccessOK, nil
 	}
 	return 0, 0, cpu.AccessOK, fmt.Errorf("cluster: unknown event-unit register +%#x", off)
+}
+
+// wake wakes every core in the bitmask at the current cycle.
+func (cl *Cluster) wake(mask uint32) {
+	for mask != 0 {
+		w := bits.TrailingZeros32(mask)
+		mask &= mask - 1
+		cl.Cores[w].Wake(cl.now)
+	}
 }
 
 // WFE implements cpu.Env.
@@ -459,6 +643,7 @@ func (cl *Cluster) CollectStats() Stats {
 		DMABusy:    cl.DMA.BusyCycles,
 		TCDMAccess: cl.TCDM.Accesses,
 		TCDMConf:   cl.TCDM.Conflicts,
+		Cores:      make([]cpu.Stats, 0, len(cl.Cores)),
 	}
 	if cl.IC != nil {
 		s.ICHits = cl.IC.Hits

@@ -1,0 +1,79 @@
+package cluster_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"hetsim/internal/cluster"
+	"hetsim/internal/devrt"
+	"hetsim/internal/isa"
+	"hetsim/internal/kernels"
+	"hetsim/internal/loader"
+)
+
+// TestDifferentialCycleAccuracy proves that the event-driven run loop (with
+// idle fast-forwarding, O(1) termination checks and the predecoded core
+// fast paths) is cycle-exact against the naive reference loop: for every
+// kernel of the small suite, on single- and multi-core accelerator
+// configurations and on an MCU host, both loops must report bit-identical
+// cycle counts, outputs and per-component performance counters. Any
+// optimization that changes observable timing by even one cycle fails
+// here.
+func TestDifferentialCycleAccuracy(t *testing.T) {
+	type runCfg struct {
+		name    string
+		tgt     isa.Target
+		mode    devrt.Mode
+		threads uint32
+	}
+	configs := []runCfg{
+		{"pulp-4t", isa.PULPFull, devrt.Accel, 4},
+		{"pulp-2t", isa.PULPFull, devrt.Accel, 2},
+		{"pulp-1t", isa.PULPFull, devrt.Accel, 1},
+		{"m4-host", isa.CortexM4, devrt.Host, 1},
+	}
+	for _, k := range kernels.SmallSuite() {
+		for _, rc := range configs {
+			t.Run(k.Name+"/"+rc.name, func(t *testing.T) {
+				prog, err := k.Build(rc.tgt, rc.mode)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				var cfg cluster.Config
+				if rc.mode == devrt.Accel {
+					cfg = cluster.PULPConfig()
+					cfg.Target = rc.tgt
+				} else {
+					cfg = cluster.MCUConfig(rc.tgt)
+				}
+				in := k.Input(1)
+				job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(),
+					Iters: 1, Threads: rc.threads, Args: k.Args()}
+
+				cfg.ReferenceRun = false
+				opt, err := cluster.RunJob(cfg, rc.mode, job, 2_000_000_000)
+				if err != nil {
+					t.Fatalf("optimized run: %v", err)
+				}
+				cfg.ReferenceRun = true
+				ref, err := cluster.RunJob(cfg, rc.mode, job, 2_000_000_000)
+				if err != nil {
+					t.Fatalf("reference run: %v", err)
+				}
+
+				if opt.Cycles != ref.Cycles {
+					t.Errorf("cycle count diverged: optimized %d, reference %d",
+						opt.Cycles, ref.Cycles)
+				}
+				if !bytes.Equal(opt.Out, ref.Out) {
+					t.Errorf("output buffers diverged")
+				}
+				if !reflect.DeepEqual(opt.Stats, ref.Stats) {
+					t.Errorf("stats diverged:\noptimized: %+v\nreference: %+v",
+						opt.Stats, ref.Stats)
+				}
+			})
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"hetsim/internal/isa"
+	"hetsim/internal/mem"
 )
 
 // Status is the outcome of a data-memory access attempt.
@@ -56,13 +57,19 @@ type hwLoop struct {
 	count      uint32
 }
 
+// memOp is a parked (bank-conflicted) access awaiting retry. The hot
+// grant path never materializes one: the access travels as scalar
+// arguments and only lands here when denied.
 type memOp struct {
 	in    isa.Inst
+	m     InstMeta
 	addr  uint32
-	size  uint32
-	store bool
 	wdata uint32
 }
+
+// NextEventNever is the step hint of a core that cannot make progress on
+// its own (halted, or asleep until an external wake).
+const NextEventNever = ^uint64(0)
 
 // Stats are the core's performance counters (the per-component activity
 // ratios chi of the paper's power model are derived from these).
@@ -73,68 +80,93 @@ type Stats struct {
 	Sleep   uint64 // cycles asleep in WFE/barrier
 }
 
-// Core is one simulated core.
+// Core is one simulated core. Field order is deliberate: the scalars the
+// per-cycle Step gate and fetch path touch sit first so they share cache
+// lines, followed by the register file and per-instruction state; the
+// large, cold Target descriptor and error/trace plumbing go last.
 type Core struct {
-	ID     int
-	Target isa.Target
-
-	Regs [isa.NumRegs]uint32
 	PC   uint32
-	Flag bool
-	Acc  int64 // 64-bit MAC accumulator (M-profile)
-
-	lp [2]hwLoop
-
-	env  Env
-	text []isa.Inst
 	base uint32
 
-	// Pre-resolved per-opcode tables (the Target struct is too large to
-	// copy on every instruction).
-	supported [isa.NumOps]bool
-	opCycles  [isa.NumOps]uint8
+	sleep         SleepKind
+	Halted        bool
+	hasPending    bool
+	lastLoadArmed bool
+	lastLoadReg   isa.Reg
+	Flag          bool
 
-	// Fetch timing: cluster-provided callback; returns the cycle at which
-	// the fetch of pc completes (== now on a hit). Nil = perfect fetch.
-	Fetch func(pc uint32, now uint64) uint64
 	// FetchLineMask models the core's line prefetch buffer: while the PC
 	// stays within the last fetched line (pc &^ mask unchanged), the cache
 	// is not consulted again. 0 disables the buffer.
 	FetchLineMask uint32
 	fetchedLine   uint32
 
-	sleep      SleepKind
 	stallUntil uint64
-	pending    memOp
-	hasPending bool
+	code       []Decoded // predecoded text, see Predecode
 
-	lastLoadReg   isa.Reg
-	lastLoadArmed bool
+	// IC, when set by the cluster, is the shared instruction cache timing
+	// the fetch path consults (a direct pointer rather than a func value:
+	// the call is on the per-instruction path). Nil = perfect fetch.
+	IC *mem.ICache
+	// TCDM, when set by the cluster, short-circuits single-cycle L1
+	// accesses past the Env interface dispatch: the core performs bank
+	// arbitration and the data access directly, exactly as the cluster's
+	// Access would. Accesses outside the TCDM still go through env.
+	TCDM *mem.TCDM
 
-	Halted   bool
+	// Pre-resolved target timing (the Target struct is too large to walk
+	// on every instruction).
+	loadUse    uint64
+	timeJump   int
+	timeBranch int
+
+	Regs [isa.NumRegs]uint32
+	Acc  int64 // 64-bit MAC accumulator (M-profile)
+
+	lp [2]hwLoop
+	// lpEnd[i] mirrors lp[i].end while loop i is active and holds the
+	// unreachable lpInactive sentinel otherwise, so the per-instruction
+	// wraparound check in advancePC is two compares, no state test.
+	lpEnd [2]uint32
+
+	Stats Stats
+
+	env     Env
+	pending memOp
+
+	ID       int
+	Target   isa.Target
 	TrapCode int32
 	Err      error
 
 	// Trace, when non-nil, is called once per retired instruction (before
 	// the PC advances). Nil costs nothing on the hot path.
 	Trace func(cycle uint64, pc uint32, in isa.Inst)
-
-	Stats Stats
 }
 
 // New builds a core with the given id and target, attached to env.
 func New(id int, target isa.Target, env Env) *Core {
-	c := &Core{ID: id, Target: target, env: env}
-	for op := isa.Op(0); op < isa.Op(isa.NumOps); op++ {
-		c.supported[op] = target.Supports(op)
-		c.opCycles[op] = uint8(target.OpCycles(op))
+	return &Core{
+		ID:         id,
+		Target:     target,
+		env:        env,
+		loadUse:    uint64(target.Time.LoadUse),
+		timeJump:   target.Time.Jump,
+		timeBranch: target.Time.BranchTaken,
 	}
-	return c
 }
 
-// SetProgram installs the pre-decoded text segment.
+// SetProgram installs the text segment, predecoding the per-instruction
+// metadata for this core's target.
 func (c *Core) SetProgram(text []isa.Inst, base uint32) {
-	c.text = text
+	c.SetPredecoded(Predecode(text, c.Target), base)
+}
+
+// SetPredecoded installs an already-predecoded text segment (the cluster
+// predecodes once and shares the slice across its cores, which all run the
+// same target).
+func (c *Core) SetPredecoded(code []Decoded, base uint32) {
+	c.code = code
 	c.base = base
 }
 
@@ -145,6 +177,7 @@ func (c *Core) Start(entry uint32) {
 	c.Flag = false
 	c.Acc = 0
 	c.lp = [2]hwLoop{}
+	c.lpEnd = [2]uint32{lpInactive, lpInactive}
 	c.sleep = Awake
 	c.stallUntil = 0
 	c.hasPending = false
@@ -181,361 +214,510 @@ func (c *Core) fail(err error) {
 	}
 }
 
-func (c *Core) reg(r isa.Reg) uint32 { return c.Regs[r] }
+// The fail* helpers build their error values out of line: fmt.Errorf
+// argument slices constructed inline would live on the frames of Step and
+// execute, growing the prologue every instruction pays for.
+func (c *Core) failFetch() uint64 {
+	c.fail(fmt.Errorf("fetch outside text segment"))
+	return NextEventNever
+}
+
+func (c *Core) failIllegal(in isa.Inst) uint64 {
+	c.fail(fmt.Errorf("illegal instruction for target %s: %v", c.Target.Name, in))
+	return NextEventNever
+}
+
+func (c *Core) failUnaligned(size, addr uint32) uint64 {
+	c.fail(fmt.Errorf("unaligned %d-byte access at %#x without unaligned support", size, addr))
+	return NextEventNever
+}
+
+func (c *Core) failOpcode(in isa.Inst) uint64 {
+	c.fail(fmt.Errorf("unimplemented opcode %v", in.Op))
+	return NextEventNever
+}
+
+// reg and setReg mask the register index: Predecode rejects any
+// instruction with a register number >= NumRegs as illegal, so the mask
+// never wraps on the execute path — it only lets the compiler drop the
+// bounds check on every register-file access.
+func (c *Core) reg(r isa.Reg) uint32 { return c.Regs[r&(isa.NumRegs-1)] }
 
 func (c *Core) setReg(r isa.Reg, v uint32) {
 	if r != isa.R0 {
-		c.Regs[r] = v
+		c.Regs[r&(isa.NumRegs-1)] = v
 	}
 }
 
-// Step advances the core by one cycle.
-func (c *Core) Step(now uint64) {
+// Step advances the core by one cycle. It returns the earliest future
+// cycle at which the core can make progress on its own: stallUntil for a
+// stalled core, now+1 for a core that executed or must retry an access,
+// and NextEventNever for a halted or sleeping core (which needs an
+// external wake). The cluster aggregates these hints to fast-forward
+// windows in which no core can act; the hint may be stale only if another
+// core wakes this one later in the same cycle, and that waker's own hint
+// is then now+1, which keeps the aggregate conservative.
+func (c *Core) Step(now uint64) uint64 {
 	if c.Halted {
-		return
+		return NextEventNever
 	}
 	if c.sleep != Awake {
 		c.Stats.Sleep++
-		return
+		return NextEventNever
 	}
 	if c.stallUntil > now {
 		c.Stats.Stall++
-		return
+		return c.stallUntil
 	}
+	var in isa.Inst
+	var m InstMeta
+	var addr, wdata uint32
 	if c.hasPending {
-		c.retryMem(now)
-		return
+		// Retry the parked access: re-enter the shared access path below.
+		// Hazards and alignment were already checked when it first issued.
+		c.hasPending = false
+		in, m, addr, wdata = c.pending.in, c.pending.m, c.pending.addr, c.pending.wdata
+		goto access
 	}
 
 	// Fetch: the line prefetch buffer short-circuits the shared cache
 	// while execution stays within the current line.
-	if c.Fetch != nil {
+	if ic := c.IC; ic != nil {
 		line := c.PC &^ c.FetchLineMask
 		if c.FetchLineMask == 0 || line != c.fetchedLine {
-			if done := c.Fetch(c.PC, now); done > now {
+			if done := ic.Fetch(c.PC, now); done > now {
 				c.stallUntil = done
 				c.Stats.Stall++
-				return
+				return done
 			}
 			c.fetchedLine = line
 		}
 	}
-	idx := (c.PC - c.base) / 4
-	if c.PC < c.base || idx >= uint32(len(c.text)) {
-		c.fail(fmt.Errorf("fetch outside text segment"))
-		return
+	// A PC below base wraps the uint32 subtraction to at least 2^32-base,
+	// and idx lands far above len(code) for any text segment that fits the
+	// address space — the single bound check catches both directions.
+	{
+		idx := (c.PC - c.base) / 4
+		if idx >= uint32(len(c.code)) {
+			return c.failFetch()
+		}
+		d := &c.code[idx]
+		in = d.In
+		m = d.Meta
 	}
-	in := c.text[idx]
 
-	if !c.supported[in.Op] {
-		c.fail(fmt.Errorf("illegal instruction for target %s: %v", c.Target.Name, in))
-		return
+	if m.Flags&MetaIllegal != 0 {
+		return c.failIllegal(in)
 	}
 
 	// Load-use hazard: one bubble if the previous instruction was a load
 	// and this one consumes its result.
 	if c.lastLoadArmed {
 		c.lastLoadArmed = false
-		if c.Target.Time.LoadUse > 0 && readsReg(in, c.lastLoadReg) {
-			c.stallUntil = now + uint64(c.Target.Time.LoadUse)
+		if c.loadUse > 0 && m.ReadMask&(1<<c.lastLoadReg) != 0 {
+			c.stallUntil = now + c.loadUse
 			c.Stats.Stall++
-			return
+			return c.stallUntil
 		}
 	}
 
-	c.execute(in, now)
-}
-
-// readsReg reports whether the instruction sources register r (r != R0).
-func readsReg(in isa.Inst, r isa.Reg) bool {
-	if r == isa.R0 {
-		return false
-	}
-	switch in.Op.Format() {
-	case isa.FmtR:
-		if in.Ra == r || in.Rb == r {
-			return true
+	if m.Flags&MetaMem != 0 {
+		// Issue the load/store directly (one call layer less than a helper:
+		// ~36% of retired instructions take this path). On a grant the
+		// access completes this cycle; on a structural conflict it parks in
+		// pending and retries. The access shape is predecoded in m.
+		size := uint32(m.Size)
+		if m.Flags&MetaPostIncr != 0 {
+			addr = c.reg(in.Ra)
+		} else {
+			addr = c.reg(in.Ra) + uint32(in.Imm)
 		}
-		// Accumulating ops also read their destination.
+		if m.Flags&MetaChkAlign != 0 && addr&(size-1) != 0 {
+			return c.failUnaligned(size, addr)
+		}
+		if m.Flags&MetaStore != 0 {
+			wdata = c.reg(in.Rb)
+		}
+		goto access
+	}
+	// Execute the non-memory instruction in line: the switch below is the
+	// single-caller body of the interpreter proper, merged into Step so
+	// the per-instruction path pays no call/prologue overhead. extra is
+	// the op's base cycle cost minus the issue cycle (predecoded).
+	{
+		extra := int(m.Cyc) - 1
+		c.Stats.Active++
+		c.Stats.Retired++
+		if c.Trace != nil {
+			c.Trace(now, c.PC, in)
+		}
+
+		a := c.reg(in.Ra)
+		b := c.reg(in.Rb)
+		next := c.PC + 4
+
 		switch in.Op {
-		case isa.MAC, isa.MSU, isa.DOTP4B, isa.DOTP2H:
-			return in.Rd == r
+		case isa.NOP:
+
+		case isa.J:
+			next = uint32(int64(c.PC) + 4 + int64(in.Imm)*4)
+			extra += c.timeJump
+		case isa.JAL:
+			c.setReg(isa.LR, c.PC+4)
+			next = uint32(int64(c.PC) + 4 + int64(in.Imm)*4)
+			extra += c.timeJump
+		case isa.JR:
+			next = a
+			extra += c.timeJump
+		case isa.JALR:
+			c.setReg(in.Rd, c.PC+4)
+			next = a
+			extra += c.timeJump
+		case isa.BF, isa.BNF:
+			taken := c.Flag == (in.Op == isa.BF)
+			if taken {
+				next = uint32(int64(c.PC) + 4 + int64(in.Imm)*4)
+				extra += c.timeBranch
+			}
+		case isa.TRAP:
+			c.Halted = true
+			c.TrapCode = in.Imm
+			return NextEventNever
+		case isa.WFE:
+			c.advancePC(next)
+			if c.env.WFE(c.ID) {
+				c.sleep = SleepEvent
+				return NextEventNever
+			}
+			return now + 1
+
+		case isa.SFEQ:
+			c.Flag = a == b
+		case isa.SFNE:
+			c.Flag = a != b
+		case isa.SFLTS:
+			c.Flag = int32(a) < int32(b)
+		case isa.SFLES:
+			c.Flag = int32(a) <= int32(b)
+		case isa.SFGTS:
+			c.Flag = int32(a) > int32(b)
+		case isa.SFGES:
+			c.Flag = int32(a) >= int32(b)
+		case isa.SFLTU:
+			c.Flag = a < b
+		case isa.SFLEU:
+			c.Flag = a <= b
+		case isa.SFGTU:
+			c.Flag = a > b
+		case isa.SFGEU:
+			c.Flag = a >= b
+		case isa.SFEQI:
+			c.Flag = a == uint32(in.Imm)
+		case isa.SFNEI:
+			c.Flag = a != uint32(in.Imm)
+		case isa.SFLTSI:
+			c.Flag = int32(a) < in.Imm
+		case isa.SFLESI:
+			c.Flag = int32(a) <= in.Imm
+		case isa.SFGTSI:
+			c.Flag = int32(a) > in.Imm
+		case isa.SFGESI:
+			c.Flag = int32(a) >= in.Imm
+		case isa.SFLTUI:
+			c.Flag = a < uint32(in.Imm)
+		case isa.SFGEUI:
+			c.Flag = a >= uint32(in.Imm)
+
+		case isa.ADD:
+			c.setReg(in.Rd, a+b)
+		case isa.SUB:
+			c.setReg(in.Rd, a-b)
+		case isa.AND:
+			c.setReg(in.Rd, a&b)
+		case isa.OR:
+			c.setReg(in.Rd, a|b)
+		case isa.XOR:
+			c.setReg(in.Rd, a^b)
+		case isa.SLL:
+			c.setReg(in.Rd, a<<(b&31))
+		case isa.SRL:
+			c.setReg(in.Rd, a>>(b&31))
+		case isa.SRA:
+			c.setReg(in.Rd, uint32(int32(a)>>(b&31)))
+		case isa.MUL:
+			c.setReg(in.Rd, uint32(int32(a)*int32(b)))
+		case isa.DIV:
+			c.setReg(in.Rd, divS(a, b))
+		case isa.DIVU:
+			c.setReg(in.Rd, divU(a, b))
+		case isa.MIN:
+			if int32(a) < int32(b) {
+				c.setReg(in.Rd, a)
+			} else {
+				c.setReg(in.Rd, b)
+			}
+		case isa.MAX:
+			if int32(a) > int32(b) {
+				c.setReg(in.Rd, a)
+			} else {
+				c.setReg(in.Rd, b)
+			}
+		case isa.MINU:
+			if a < b {
+				c.setReg(in.Rd, a)
+			} else {
+				c.setReg(in.Rd, b)
+			}
+		case isa.MAXU:
+			if a > b {
+				c.setReg(in.Rd, a)
+			} else {
+				c.setReg(in.Rd, b)
+			}
+		case isa.MAC:
+			c.setReg(in.Rd, uint32(int32(c.reg(in.Rd))+int32(a)*int32(b)))
+		case isa.MSU:
+			c.setReg(in.Rd, uint32(int32(c.reg(in.Rd))-int32(a)*int32(b)))
+		case isa.SEXTB:
+			c.setReg(in.Rd, uint32(int32(int8(a))))
+		case isa.SEXTH:
+			c.setReg(in.Rd, uint32(int32(int16(a))))
+
+		case isa.ADDI:
+			c.setReg(in.Rd, a+uint32(in.Imm))
+		case isa.ANDI:
+			c.setReg(in.Rd, a&uint32(in.Imm))
+		case isa.ORI:
+			c.setReg(in.Rd, a|uint32(in.Imm))
+		case isa.XORI:
+			c.setReg(in.Rd, a^uint32(in.Imm))
+		case isa.SLLI:
+			c.setReg(in.Rd, a<<(uint32(in.Imm)&31))
+		case isa.SRLI:
+			c.setReg(in.Rd, a>>(uint32(in.Imm)&31))
+		case isa.SRAI:
+			c.setReg(in.Rd, uint32(int32(a)>>(uint32(in.Imm)&31)))
+		case isa.MOVHI:
+			c.setReg(in.Rd, uint32(in.Imm)<<16)
+		case isa.ORIL:
+			c.setReg(in.Rd, c.reg(in.Rd)|uint32(in.Imm)&0xffff)
+
+		case isa.MACS:
+			c.Acc += int64(int32(a)) * int64(int32(b))
+		case isa.MACU:
+			c.Acc += int64(uint64(a) * uint64(b))
+		case isa.MACCLR:
+			c.Acc = 0
+		case isa.MACRDL:
+			c.setReg(in.Rd, uint32(c.Acc))
+		case isa.MACRDH:
+			c.setReg(in.Rd, uint32(uint64(c.Acc)>>32))
+
+		// The per-lane SIMD ops are direct switch arms with hand-unrolled
+		// lanes (the compiler neither devirtualizes a lane-combinator closure
+		// nor unrolls the lane loop, and constant shift counts are free).
+		// Per-lane wraparound comes from truncating each lane's sum back to
+		// its width, so the cross-lane carries of the word-wide adds cannot
+		// leak: out = trunc(a.lane + b.lane) per lane.
+		case isa.DOTP4B:
+			s := int32(c.reg(in.Rd))
+			s += int32(int8(a)) * int32(int8(b))
+			s += int32(int8(a>>8)) * int32(int8(b>>8))
+			s += int32(int8(a>>16)) * int32(int8(b>>16))
+			s += int32(int8(a>>24)) * int32(int8(b>>24))
+			c.setReg(in.Rd, uint32(s))
+		case isa.DOTP2H:
+			s := int32(c.reg(in.Rd))
+			s += int32(int16(a)) * int32(int16(b))
+			s += int32(int16(a>>16)) * int32(int16(b>>16))
+			c.setReg(in.Rd, uint32(s))
+		case isa.ADD4B:
+			out := uint32(uint8(a + b))
+			out |= uint32(uint8(a>>8+b>>8)) << 8
+			out |= uint32(uint8(a>>16+b>>16)) << 16
+			out |= uint32(uint8(a>>24+b>>24)) << 24
+			c.setReg(in.Rd, out)
+		case isa.SUB4B:
+			out := uint32(uint8(a - b))
+			out |= uint32(uint8(a>>8-b>>8)) << 8
+			out |= uint32(uint8(a>>16-b>>16)) << 16
+			out |= uint32(uint8(a>>24-b>>24)) << 24
+			c.setReg(in.Rd, out)
+		case isa.ADD2H:
+			out := uint32(uint16(a + b))
+			out |= uint32(uint16(a>>16+b>>16)) << 16
+			c.setReg(in.Rd, out)
+		case isa.SUB2H:
+			out := uint32(uint16(a - b))
+			out |= uint32(uint16(a>>16-b>>16)) << 16
+			c.setReg(in.Rd, out)
+		case isa.SRA2H:
+			sh := b & 15
+			out := uint32(uint16(int16(a) >> sh))
+			out |= uint32(uint16(int16(a>>16)>>sh)) << 16
+			c.setReg(in.Rd, out)
+
+		case isa.LPSETUP:
+			i := int(in.Rd)
+			c.lp[i] = hwLoop{
+				start: c.PC + 4,
+				end:   c.PC + 4 + uint32(in.Imm)*4,
+				count: a,
+			}
+			if a == 0 {
+				// Zero-trip loop: skip the body entirely.
+				next = c.PC + 4 + uint32(in.Imm)*4
+				c.lpEnd[i] = lpInactive
+			} else {
+				c.lpEnd[i] = c.lp[i].end
+			}
+
+		case isa.MFSPR:
+			c.setReg(in.Rd, c.env.SPR(c.ID, in.Imm))
+
+		default:
+			return c.failOpcode(in)
 		}
-		return false
-	case isa.FmtI:
-		if in.Op == isa.ORIL { // rd is read-modify-write
-			return in.Rd == r
+
+		c.advancePC(next)
+		if extra > 0 {
+			// The instruction issued this cycle; extra cycles stall the next one.
+			c.stallUntil = now + uint64(extra) + 1
+			return c.stallUntil
 		}
-		return in.Ra == r
-	case isa.FmtIH:
-		return in.Op == isa.ORIL && in.Rd == r
-	case isa.FmtS:
-		return in.Ra == r || in.Rb == r
-	case isa.FmtJR:
-		return in.Ra == r
-	case isa.FmtLP:
-		return in.Ra == r
+		return now + 1
 	}
-	return false
+
+access:
+	// Perform the data access. TCDM accesses take the direct fast path —
+	// bank arbitration plus the data access, exactly what the cluster's
+	// Access would do for the TCDM range — and only the uncommon ranges
+	// (peripherals, L2) pay the Env dispatch. The op travels in registers
+	// and is only materialized into c.pending when it parks for a retry;
+	// both the issue path above and the retry gate land here, so the
+	// access logic exists once with no call layer on the per-access path.
+	{
+		size := uint32(m.Size)
+		store := m.Flags&MetaStore != 0
+		var rdata uint32
+		var extra int
+		if t := c.TCDM; t != nil && t.Contains(addr, size) {
+			if !t.Request(addr) {
+				c.park(in, m, addr, wdata)
+				return now + 1
+			}
+			if store {
+				t.Write(addr, size, wdata)
+			} else {
+				rdata = t.Read(addr, size)
+			}
+		} else {
+			var st Status
+			var err error
+			rdata, extra, st, err = c.env.Access(c.ID, store, addr, size, wdata)
+			if err != nil {
+				c.fail(err)
+				return NextEventNever
+			}
+			switch st {
+			case AccessRetry:
+				c.park(in, m, addr, wdata)
+				return now + 1
+			case AccessSleepBarrier:
+				c.sleep = SleepBarrier
+				c.Stats.Active++
+				c.Stats.Retired++
+				c.advancePC(c.PC + 4)
+				return NextEventNever
+			}
+		}
+
+		c.Stats.Active++
+		c.Stats.Retired++
+		if c.Trace != nil {
+			c.Trace(now, c.PC, in)
+		}
+
+		if !store {
+			var v uint32
+			switch in.Op {
+			case isa.LBZ, isa.LBZP:
+				v = rdata & 0xff
+			case isa.LBS, isa.LBSP:
+				v = uint32(int32(int8(rdata)))
+			case isa.LHZ, isa.LHZP:
+				v = rdata & 0xffff
+			case isa.LHS, isa.LHSP:
+				v = uint32(int32(int16(rdata)))
+			default:
+				v = rdata
+			}
+			c.setReg(in.Rd, v)
+			c.lastLoadReg = in.Rd
+			c.lastLoadArmed = true
+		}
+		if m.Flags&MetaPostIncr != 0 {
+			c.setReg(in.Ra, c.reg(in.Ra)+uint32(in.Imm))
+		}
+		if addr&(size-1) != 0 {
+			extra++ // unaligned access: second bank cycle
+		}
+		c.advancePC(c.PC + 4)
+		if extra > 0 {
+			c.stallUntil = now + uint64(extra) + 1
+			return c.stallUntil
+		}
+		return now + 1
+	}
 }
 
-// advancePC computes the next PC, applying hardware-loop wraparound.
+// CreditIdle accounts a fast-forwarded idle window: the cluster verified
+// that for the next `cycles` cycles this core would only have burned one
+// Sleep (asleep) or Stall (stalled) count per cycle, and credits them in
+// bulk. Halted cores accrue nothing, exactly as in cycle-by-cycle
+// stepping.
+func (c *Core) CreditIdle(cycles uint64) {
+	switch {
+	case c.Halted:
+	case c.sleep != Awake:
+		c.Stats.Sleep += cycles
+	default:
+		c.Stats.Stall += cycles
+	}
+}
+
+// lpInactive is the lpEnd sentinel of an inactive hardware loop: PCs are
+// word-aligned, so no instruction address can ever compare equal to it.
+const lpInactive uint32 = 1
+
+// advancePC computes the next PC, applying hardware-loop wraparound. The
+// lpEnd sentinels make the common case (no active loop ends here) two
+// always-false compares that inline into the callers; the once-per-
+// iteration wraparound bookkeeping lives in lpWrap.
 func (c *Core) advancePC(next uint32) {
-	for i := 0; i < 2; i++ {
-		l := &c.lp[i]
-		if l.count > 0 && next == l.end {
-			if l.count > 1 {
-				l.count--
-				next = l.start
-			} else {
-				l.count = 0
-			}
-			break
-		}
+	if next == c.lpEnd[0] || next == c.lpEnd[1] {
+		next = c.lpWrap(next)
 	}
 	c.PC = next
 }
 
-func (c *Core) execute(in isa.Inst, now uint64) {
-	if in.Op.IsLoad() || in.Op.IsStore() {
-		c.issueMem(in, now) // stats counted on completion
-		return
+// lpWrap handles a PC that reached an active hardware-loop end: another
+// trip branches back to the loop start, the final trip falls through and
+// deactivates the loop. Loop 0 takes priority when both end here,
+// matching the reference scan order.
+func (c *Core) lpWrap(next uint32) uint32 {
+	i := 1
+	if next == c.lpEnd[0] {
+		i = 0
 	}
-	c.Stats.Active++
-	c.Stats.Retired++
-	if c.Trace != nil {
-		c.Trace(now, c.PC, in)
+	l := &c.lp[i]
+	if l.count > 1 {
+		l.count--
+		return l.start
 	}
-
-	a := c.reg(in.Ra)
-	b := c.reg(in.Rb)
-	next := c.PC + 4
-	extra := int(c.opCycles[in.Op]) - 1
-
-	switch in.Op {
-	case isa.NOP:
-
-	case isa.J:
-		next = uint32(int64(c.PC) + 4 + int64(in.Imm)*4)
-		extra += c.Target.Time.Jump
-	case isa.JAL:
-		c.setReg(isa.LR, c.PC+4)
-		next = uint32(int64(c.PC) + 4 + int64(in.Imm)*4)
-		extra += c.Target.Time.Jump
-	case isa.JR:
-		next = a
-		extra += c.Target.Time.Jump
-	case isa.JALR:
-		c.setReg(in.Rd, c.PC+4)
-		next = a
-		extra += c.Target.Time.Jump
-	case isa.BF, isa.BNF:
-		taken := c.Flag == (in.Op == isa.BF)
-		if taken {
-			next = uint32(int64(c.PC) + 4 + int64(in.Imm)*4)
-			extra += c.Target.Time.BranchTaken
-		}
-	case isa.TRAP:
-		c.Halted = true
-		c.TrapCode = in.Imm
-		return
-	case isa.WFE:
-		if c.env.WFE(c.ID) {
-			c.sleep = SleepEvent
-		}
-		c.advancePC(next)
-		return
-
-	case isa.SFEQ:
-		c.Flag = a == b
-	case isa.SFNE:
-		c.Flag = a != b
-	case isa.SFLTS:
-		c.Flag = int32(a) < int32(b)
-	case isa.SFLES:
-		c.Flag = int32(a) <= int32(b)
-	case isa.SFGTS:
-		c.Flag = int32(a) > int32(b)
-	case isa.SFGES:
-		c.Flag = int32(a) >= int32(b)
-	case isa.SFLTU:
-		c.Flag = a < b
-	case isa.SFLEU:
-		c.Flag = a <= b
-	case isa.SFGTU:
-		c.Flag = a > b
-	case isa.SFGEU:
-		c.Flag = a >= b
-	case isa.SFEQI:
-		c.Flag = a == uint32(in.Imm)
-	case isa.SFNEI:
-		c.Flag = a != uint32(in.Imm)
-	case isa.SFLTSI:
-		c.Flag = int32(a) < in.Imm
-	case isa.SFLESI:
-		c.Flag = int32(a) <= in.Imm
-	case isa.SFGTSI:
-		c.Flag = int32(a) > in.Imm
-	case isa.SFGESI:
-		c.Flag = int32(a) >= in.Imm
-	case isa.SFLTUI:
-		c.Flag = a < uint32(in.Imm)
-	case isa.SFGEUI:
-		c.Flag = a >= uint32(in.Imm)
-
-	case isa.ADD:
-		c.setReg(in.Rd, a+b)
-	case isa.SUB:
-		c.setReg(in.Rd, a-b)
-	case isa.AND:
-		c.setReg(in.Rd, a&b)
-	case isa.OR:
-		c.setReg(in.Rd, a|b)
-	case isa.XOR:
-		c.setReg(in.Rd, a^b)
-	case isa.SLL:
-		c.setReg(in.Rd, a<<(b&31))
-	case isa.SRL:
-		c.setReg(in.Rd, a>>(b&31))
-	case isa.SRA:
-		c.setReg(in.Rd, uint32(int32(a)>>(b&31)))
-	case isa.MUL:
-		c.setReg(in.Rd, uint32(int32(a)*int32(b)))
-	case isa.DIV:
-		c.setReg(in.Rd, divS(a, b))
-	case isa.DIVU:
-		c.setReg(in.Rd, divU(a, b))
-	case isa.MIN:
-		if int32(a) < int32(b) {
-			c.setReg(in.Rd, a)
-		} else {
-			c.setReg(in.Rd, b)
-		}
-	case isa.MAX:
-		if int32(a) > int32(b) {
-			c.setReg(in.Rd, a)
-		} else {
-			c.setReg(in.Rd, b)
-		}
-	case isa.MINU:
-		if a < b {
-			c.setReg(in.Rd, a)
-		} else {
-			c.setReg(in.Rd, b)
-		}
-	case isa.MAXU:
-		if a > b {
-			c.setReg(in.Rd, a)
-		} else {
-			c.setReg(in.Rd, b)
-		}
-	case isa.MAC:
-		c.setReg(in.Rd, uint32(int32(c.reg(in.Rd))+int32(a)*int32(b)))
-	case isa.MSU:
-		c.setReg(in.Rd, uint32(int32(c.reg(in.Rd))-int32(a)*int32(b)))
-	case isa.SEXTB:
-		c.setReg(in.Rd, uint32(int32(int8(a))))
-	case isa.SEXTH:
-		c.setReg(in.Rd, uint32(int32(int16(a))))
-
-	case isa.ADDI:
-		c.setReg(in.Rd, a+uint32(in.Imm))
-	case isa.ANDI:
-		c.setReg(in.Rd, a&uint32(in.Imm))
-	case isa.ORI:
-		c.setReg(in.Rd, a|uint32(in.Imm))
-	case isa.XORI:
-		c.setReg(in.Rd, a^uint32(in.Imm))
-	case isa.SLLI:
-		c.setReg(in.Rd, a<<(uint32(in.Imm)&31))
-	case isa.SRLI:
-		c.setReg(in.Rd, a>>(uint32(in.Imm)&31))
-	case isa.SRAI:
-		c.setReg(in.Rd, uint32(int32(a)>>(uint32(in.Imm)&31)))
-	case isa.MOVHI:
-		c.setReg(in.Rd, uint32(in.Imm)<<16)
-	case isa.ORIL:
-		c.setReg(in.Rd, c.reg(in.Rd)|uint32(in.Imm)&0xffff)
-
-	case isa.MACS:
-		c.Acc += int64(int32(a)) * int64(int32(b))
-	case isa.MACU:
-		c.Acc += int64(uint64(a) * uint64(b))
-	case isa.MACCLR:
-		c.Acc = 0
-	case isa.MACRDL:
-		c.setReg(in.Rd, uint32(c.Acc))
-	case isa.MACRDH:
-		c.setReg(in.Rd, uint32(uint64(c.Acc)>>32))
-
-	case isa.DOTP4B:
-		s := int32(c.reg(in.Rd))
-		for i := 0; i < 4; i++ {
-			s += int32(int8(a>>(8*i))) * int32(int8(b>>(8*i)))
-		}
-		c.setReg(in.Rd, uint32(s))
-	case isa.DOTP2H:
-		s := int32(c.reg(in.Rd))
-		for i := 0; i < 2; i++ {
-			s += int32(int16(a>>(16*i))) * int32(int16(b>>(16*i)))
-		}
-		c.setReg(in.Rd, uint32(s))
-	case isa.ADD4B:
-		c.setReg(in.Rd, lanes4(a, b, func(x, y int32) int32 { return x + y }))
-	case isa.SUB4B:
-		c.setReg(in.Rd, lanes4(a, b, func(x, y int32) int32 { return x - y }))
-	case isa.ADD2H:
-		c.setReg(in.Rd, lanes2(a, b, func(x, y int32) int32 { return x + y }))
-	case isa.SUB2H:
-		c.setReg(in.Rd, lanes2(a, b, func(x, y int32) int32 { return x - y }))
-	case isa.SRA2H:
-		sh := b & 15
-		c.setReg(in.Rd, lanes2(a, 0, func(x, _ int32) int32 { return x >> sh }))
-
-	case isa.LPSETUP:
-		i := int(in.Rd)
-		c.lp[i] = hwLoop{
-			start: c.PC + 4,
-			end:   c.PC + 4 + uint32(in.Imm)*4,
-			count: a,
-		}
-		if a == 0 {
-			// Zero-trip loop: skip the body entirely.
-			next = c.PC + 4 + uint32(in.Imm)*4
-			c.lp[i].count = 0
-		}
-
-	case isa.MFSPR:
-		c.setReg(in.Rd, c.env.SPR(c.ID, in.Imm))
-
-	default:
-		c.fail(fmt.Errorf("unimplemented opcode %v", in.Op))
-		return
-	}
-
-	if extra > 0 {
-		// The instruction issued this cycle; extra cycles stall the next one.
-		c.stallUntil = now + uint64(extra) + 1
-	}
-	c.advancePC(next)
-}
-
-func lanes4(a, b uint32, f func(x, y int32) int32) uint32 {
-	var out uint32
-	for i := 0; i < 4; i++ {
-		v := f(int32(int8(a>>(8*i))), int32(int8(b>>(8*i))))
-		out |= uint32(uint8(v)) << (8 * i)
-	}
-	return out
-}
-
-func lanes2(a, b uint32, f func(x, y int32) int32) uint32 {
-	var out uint32
-	for i := 0; i < 2; i++ {
-		v := f(int32(int16(a>>(16*i))), int32(int16(b>>(16*i))))
-		out |= uint32(uint16(v)) << (16 * i)
-	}
-	return out
+	l.count = 0
+	c.lpEnd[i] = lpInactive
+	return next
 }
 
 func divS(a, b uint32) uint32 {
@@ -558,86 +740,9 @@ func divU(a, b uint32) uint32 {
 	return a / b
 }
 
-// issueMem starts a load/store. On a grant the access completes this cycle;
-// on a structural conflict the op parks in pending and retries.
-func (c *Core) issueMem(in isa.Inst, now uint64) {
-	size := uint32(in.Op.MemSize())
-	var addr uint32
-	if in.Op.IsPostIncr() {
-		addr = c.reg(in.Ra)
-	} else {
-		addr = c.reg(in.Ra) + uint32(in.Imm)
-	}
-	if addr%size != 0 && !c.Target.Feat.Unaligned {
-		c.fail(fmt.Errorf("unaligned %d-byte access at %#x without unaligned support", size, addr))
-		return
-	}
-	op := memOp{in: in, addr: addr, size: size, store: in.Op.IsStore()}
-	if op.store {
-		op.wdata = c.reg(in.Rb)
-	}
-	c.tryMem(op, now)
-}
-
-func (c *Core) retryMem(now uint64) {
-	op := c.pending
-	c.hasPending = false
-	c.tryMem(op, now)
-}
-
-func (c *Core) tryMem(op memOp, now uint64) {
-	rdata, extra, st, err := c.env.Access(c.ID, op.store, op.addr, op.size, op.wdata)
-	if err != nil {
-		c.fail(err)
-		return
-	}
-	switch st {
-	case AccessRetry:
-		c.pending = op
-		c.hasPending = true
-		c.Stats.Stall++
-		return
-	case AccessSleepBarrier:
-		c.sleep = SleepBarrier
-		c.Stats.Active++
-		c.Stats.Retired++
-		c.advancePC(c.PC + 4)
-		return
-	}
-
-	c.Stats.Active++
-	c.Stats.Retired++
-	if c.Trace != nil {
-		c.Trace(now, c.PC, op.in)
-	}
-	in := op.in
-
-	if !op.store {
-		var v uint32
-		switch in.Op {
-		case isa.LBZ, isa.LBZP:
-			v = rdata & 0xff
-		case isa.LBS, isa.LBSP:
-			v = uint32(int32(int8(rdata)))
-		case isa.LHZ, isa.LHZP:
-			v = rdata & 0xffff
-		case isa.LHS, isa.LHSP:
-			v = uint32(int32(int16(rdata)))
-		default:
-			v = rdata
-		}
-		c.setReg(in.Rd, v)
-		c.lastLoadReg = in.Rd
-		c.lastLoadArmed = true
-	}
-	if in.Op.IsPostIncr() {
-		c.setReg(in.Ra, c.reg(in.Ra)+uint32(in.Imm))
-	}
-	if op.addr%op.size != 0 {
-		extra++ // unaligned access: second bank cycle
-	}
-	if extra > 0 {
-		c.stallUntil = now + uint64(extra) + 1
-	}
-	c.advancePC(c.PC + 4)
+// park stages a denied access for retry next cycle.
+func (c *Core) park(in isa.Inst, m InstMeta, addr, wdata uint32) {
+	c.pending = memOp{in: in, m: m, addr: addr, wdata: wdata}
+	c.hasPending = true
+	c.Stats.Stall++
 }

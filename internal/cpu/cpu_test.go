@@ -410,8 +410,8 @@ func TestReadsRegCoverage(t *testing.T) {
 		{isa.Inst{Op: isa.ADD, Rd: 3, Ra: 0, Rb: 5}, 0, false}, // r0 never hazards
 	}
 	for _, c := range cases {
-		if got := readsReg(c.in, c.r); got != c.want {
-			t.Errorf("readsReg(%v, r%d) = %v", c.in, c.r, got)
+		if got := readMask(c.in)&(1<<c.r) != 0; got != c.want {
+			t.Errorf("readMask(%v) bit r%d = %v", c.in, c.r, got)
 		}
 	}
 }

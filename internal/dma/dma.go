@@ -129,8 +129,10 @@ func (e *Engine) BusyMask() uint32 {
 	return m
 }
 
-// Busy reports whether any channel is active.
-func (e *Engine) Busy() bool { return e.BusyMask() != 0 }
+// Busy reports whether any channel is active. It is O(1) (the engine
+// tracks its busy-channel count), since the cluster's run loop consults it
+// every cycle.
+func (e *Engine) Busy() bool { return e.busy > 0 }
 
 // Step advances the engine by one cycle: it picks the next busy channel
 // round-robin and moves one word if the TCDM bank arbitration allows it.

@@ -4,18 +4,22 @@
 // event latch per core (for WFE-based dispatch) and a hardware mutex.
 //
 // The unit is a pure state machine; the cluster translates its outputs
-// (wake lists) into core wake-ups with the target's wake-up latency. That
+// (wake masks) into core wake-ups with the target's wake-up latency. That
 // latency, together with the dispatch cost of the device runtime, is what
 // produces the measured ~6% OpenMP overhead of Fig. 4.
+//
+// All per-core state is kept in bitmasks (the cluster caps out at 32
+// cores), so barrier completion and event sends are allocation-free — they
+// run once per barrier in the simulator's hot loop.
 package hwsync
 
 // EventUnit is the cluster's hardware synchronizer.
 type EventUnit struct {
 	n int
 
-	latch       []bool // per-core event latch (set by Send)
-	sleepingEvt []bool // core is asleep in WFE
-	sleepingBar []bool // core is asleep at the barrier
+	latch       uint32 // per-core event latch (set by Send)
+	sleepingEvt uint32 // cores asleep in WFE
+	sleepingBar uint32 // cores asleep at the barrier
 
 	barrierArrived int
 	barrierTeam    int
@@ -28,25 +32,21 @@ type EventUnit struct {
 	Sends    uint64
 }
 
-// New builds an event unit for n cores.
+// New builds an event unit for n cores (n <= 32).
 func New(n int) *EventUnit {
-	return &EventUnit{
-		n:           n,
-		latch:       make([]bool, n),
-		sleepingEvt: make([]bool, n),
-		sleepingBar: make([]bool, n),
+	if n < 0 || n > 32 {
+		panic("hwsync: event unit supports at most 32 cores")
 	}
+	return &EventUnit{n: n}
 }
 
 // Reset clears all synchronization state — event latches, sleep tracking,
 // a half-full barrier, a held mutex — as a cluster soft reset between
 // offload attempts. The Barriers/Sends statistics are kept.
 func (e *EventUnit) Reset() {
-	for i := 0; i < e.n; i++ {
-		e.latch[i] = false
-		e.sleepingEvt[i] = false
-		e.sleepingBar[i] = false
-	}
+	e.latch = 0
+	e.sleepingEvt = 0
+	e.sleepingBar = 0
 	e.barrierArrived = 0
 	e.barrierTeam = 0
 	e.mutexHeld = false
@@ -54,50 +54,40 @@ func (e *EventUnit) Reset() {
 }
 
 // Arrive registers core's arrival at a barrier with the given team size.
-// If the core completes the barrier, it returns the list of cores to wake
-// (the other participants; the arriving core itself never slept). If not,
-// ok is false and the arriving core must be put to sleep by the caller.
-func (e *EventUnit) Arrive(core, team int) (wake []int, last bool) {
+// If the core completes the barrier, it returns the bitmask of cores to
+// wake (the other participants; the arriving core itself never slept). If
+// not, last is false and the arriving core must be put to sleep by the
+// caller.
+func (e *EventUnit) Arrive(core, team int) (wake uint32, last bool) {
 	if team <= 1 {
-		return nil, true
+		return 0, true
 	}
 	if e.barrierTeam == 0 {
 		e.barrierTeam = team
 	}
 	e.barrierArrived++
 	if e.barrierArrived < e.barrierTeam {
-		e.sleepingBar[core] = true
-		return nil, false
+		e.sleepingBar |= 1 << uint(core)
+		return 0, false
 	}
 	// Barrier complete: wake everyone who slept on it.
 	e.Barriers++
 	e.barrierArrived = 0
 	e.barrierTeam = 0
-	for i := 0; i < e.n; i++ {
-		if e.sleepingBar[i] {
-			e.sleepingBar[i] = false
-			wake = append(wake, i)
-		}
-	}
+	wake = e.sleepingBar
+	e.sleepingBar = 0
 	return wake, true
 }
 
-// Send sets the event latch of every core in mask, returning the cores that
-// were asleep in WFE and must now be woken (their latch is consumed by the
-// wake, mirroring the PULP event unit's sticky event buffer).
-func (e *EventUnit) Send(mask uint32) (wake []int) {
+// Send sets the event latch of every core in mask, returning the bitmask
+// of cores that were asleep in WFE and must now be woken (their latch is
+// consumed by the wake, mirroring the PULP event unit's sticky event
+// buffer).
+func (e *EventUnit) Send(mask uint32) (wake uint32) {
 	e.Sends++
-	for i := 0; i < e.n; i++ {
-		if mask&(1<<uint(i)) == 0 {
-			continue
-		}
-		if e.sleepingEvt[i] {
-			e.sleepingEvt[i] = false
-			wake = append(wake, i)
-		} else {
-			e.latch[i] = true
-		}
-	}
+	wake = mask & e.sleepingEvt
+	e.sleepingEvt &^= wake
+	e.latch |= mask &^ wake
 	return wake
 }
 
@@ -105,11 +95,12 @@ func (e *EventUnit) Send(mask uint32) (wake []int) {
 // is set it is consumed and the core continues; otherwise the core must
 // sleep (sleep=true) until a Send targets it.
 func (e *EventUnit) WFE(core int) (sleep bool) {
-	if e.latch[core] {
-		e.latch[core] = false
+	bit := uint32(1) << uint(core)
+	if e.latch&bit != 0 {
+		e.latch &^= bit
 		return false
 	}
-	e.sleepingEvt[core] = true
+	e.sleepingEvt |= bit
 	return true
 }
 
@@ -132,11 +123,5 @@ func (e *EventUnit) Unlock() {
 
 // SleepMask returns the bitmask of sleeping cores (EvtStatus register).
 func (e *EventUnit) SleepMask() uint32 {
-	var m uint32
-	for i := 0; i < e.n; i++ {
-		if e.sleepingEvt[i] || e.sleepingBar[i] {
-			m |= 1 << uint(i)
-		}
-	}
-	return m
+	return e.sleepingEvt | e.sleepingBar
 }

@@ -1,9 +1,9 @@
 package hwsync
 
 import (
+	"math/bits"
 	"math/rand"
 	"reflect"
-	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -12,7 +12,7 @@ func TestBarrierLastArriverWakesAll(t *testing.T) {
 	e := New(4)
 	for core := 0; core < 3; core++ {
 		wake, last := e.Arrive(core, 4)
-		if last || wake != nil {
+		if last || wake != 0 {
 			t.Fatalf("core %d should sleep at the barrier", core)
 		}
 	}
@@ -23,9 +23,8 @@ func TestBarrierLastArriverWakesAll(t *testing.T) {
 	if !last {
 		t.Fatal("4th arrival must complete the barrier")
 	}
-	sort.Ints(wake)
-	if len(wake) != 3 || wake[0] != 0 || wake[2] != 2 {
-		t.Fatalf("wake list %v", wake)
+	if wake != 0b0111 {
+		t.Fatalf("wake mask %04b", wake)
 	}
 	if e.SleepMask() != 0 {
 		t.Fatal("barrier sleepers not cleared")
@@ -48,8 +47,8 @@ func TestBarrierReusable(t *testing.T) {
 		if _, last := e.Arrive(0, 2); last {
 			t.Fatalf("round %d: first arriver completed", round)
 		}
-		if wake, last := e.Arrive(1, 2); !last || len(wake) != 1 {
-			t.Fatalf("round %d: second arriver did not complete", round)
+		if wake, last := e.Arrive(1, 2); !last || wake != 0b01 {
+			t.Fatalf("round %d: second arriver did not complete (wake %04b)", round, wake)
 		}
 	}
 	if e.Barriers != 5 {
@@ -60,8 +59,8 @@ func TestBarrierReusable(t *testing.T) {
 func TestEventLatchSemantics(t *testing.T) {
 	e := New(4)
 	// Send to an awake core: latch; its next WFE returns immediately.
-	if wake := e.Send(0b0010); wake != nil {
-		t.Fatalf("no one was asleep: %v", wake)
+	if wake := e.Send(0b0010); wake != 0 {
+		t.Fatalf("no one was asleep: %04b", wake)
 	}
 	if e.WFE(1) {
 		t.Fatal("latched event must satisfy WFE without sleeping")
@@ -71,9 +70,8 @@ func TestEventLatchSemantics(t *testing.T) {
 		t.Fatal("WFE without latch must sleep")
 	}
 	// Send while asleep: wake, latch consumed.
-	wake := e.Send(0b0010)
-	if len(wake) != 1 || wake[0] != 1 {
-		t.Fatalf("wake list %v", wake)
+	if wake := e.Send(0b0010); wake != 0b0010 {
+		t.Fatalf("wake mask %04b", wake)
 	}
 	if !e.WFE(1) {
 		t.Fatal("latch must have been consumed by the wake")
@@ -85,10 +83,8 @@ func TestSendMasksMultipleCores(t *testing.T) {
 	e.WFE(1)
 	e.WFE(2)
 	e.WFE(3)
-	wake := e.Send(0b1110)
-	sort.Ints(wake)
-	if len(wake) != 3 || wake[0] != 1 || wake[2] != 3 {
-		t.Fatalf("wake %v", wake)
+	if wake := e.Send(0b1110); wake != 0b1110 {
+		t.Fatalf("wake %04b", wake)
 	}
 }
 
@@ -116,14 +112,14 @@ func TestBarrierPermutationProperty(t *testing.T) {
 		for i, core := range perm {
 			wake, last := e.Arrive(core, n)
 			if i < n-1 {
-				if last || wake != nil {
+				if last || wake != 0 {
 					return false
 				}
 			} else {
-				if !last || len(wake) != n-1 {
+				if !last || bits.OnesCount32(wake) != n-1 || wake&(1<<uint(core)) != 0 {
 					return false
 				}
-				woken = len(wake)
+				woken = bits.OnesCount32(wake)
 			}
 		}
 		return woken == n-1 && e.SleepMask() == 0

@@ -12,7 +12,9 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"hetsim/internal/hw"
 )
@@ -34,29 +36,50 @@ func (m *SRAM) Contains(addr, n uint32) bool {
 }
 
 // Read returns an n-byte little-endian value (n in 1,2,4). The caller must
-// have checked Contains.
+// have checked Contains. Word and half accesses go through encoding/binary
+// (a single machine load on little-endian hosts) instead of a per-byte
+// loop — this is the data path of every core load, DMA beat and loader
+// word.
 func (m *SRAM) Read(addr, n uint32) uint32 {
 	off := addr - m.Base
-	var v uint32
-	for i := uint32(0); i < n; i++ {
-		v |= uint32(m.Buf[off+i]) << (8 * i)
+	switch n {
+	case 4:
+		return binary.LittleEndian.Uint32(m.Buf[off:])
+	case 2:
+		return uint32(binary.LittleEndian.Uint16(m.Buf[off:]))
+	default:
+		return uint32(m.Buf[off])
 	}
-	return v
 }
 
 // Write stores the low n bytes of v at addr, little-endian.
 func (m *SRAM) Write(addr, n, v uint32) {
 	off := addr - m.Base
-	for i := uint32(0); i < n; i++ {
-		m.Buf[off+i] = byte(v >> (8 * i))
+	switch n {
+	case 4:
+		binary.LittleEndian.PutUint32(m.Buf[off:], v)
+	case 2:
+		binary.LittleEndian.PutUint16(m.Buf[off:], uint16(v))
+	default:
+		m.Buf[off] = byte(v)
 	}
 }
 
-// ReadBytes copies out a byte range.
+// ReadBytes copies out a byte range. Use Bytes when the caller only reads
+// and does not hold the slice across further simulation.
 func (m *SRAM) ReadBytes(addr, n uint32) []byte {
 	out := make([]byte, n)
 	copy(out, m.Buf[addr-m.Base:addr-m.Base+n])
 	return out
+}
+
+// Bytes returns the byte range [addr, addr+n) aliasing the memory's
+// backing store, without copying. The slice is valid only until the next
+// write to this memory and must not be mutated; it is the zero-copy read
+// path of the link layer (CRC computation, readback verification, output
+// reads).
+func (m *SRAM) Bytes(addr, n uint32) []byte {
+	return m.Buf[addr-m.Base : addr-m.Base+n : addr-m.Base+n]
 }
 
 // WriteBytes copies a byte slice into memory at addr.
@@ -77,37 +100,50 @@ type TCDM struct {
 	*SRAM
 	NumBanks int
 
-	// Per-cycle arbitration state: which banks have been granted this
-	// cycle. Reset by BeginCycle.
-	granted []bool
+	// bankMask is NumBanks-1 when NumBanks is a power of two (every real
+	// configuration), letting Bank use an AND instead of a modulo on the
+	// per-access path; bankPow2 gates the fallback for odd bank counts.
+	bankMask uint32
+	bankPow2 bool
+
+	// Per-cycle arbitration state: bit b set when bank b has been granted
+	// this cycle. A bitmask instead of a []bool makes the per-cycle reset
+	// (BeginCycle, once every simulated cycle) a single store.
+	granted uint64
 
 	// Stats.
 	Accesses  uint64 // granted requests
 	Conflicts uint64 // denied requests (bank busy)
 }
 
-// NewTCDM builds a TCDM with the given size and bank count.
+// NewTCDM builds a TCDM with the given size and bank count (at most 64
+// banks, twice the widest configuration of the scaling ablations).
 func NewTCDM(size uint32, banks int) *TCDM {
 	if banks <= 0 {
 		banks = hw.DefaultTCDMBanks
 	}
+	if banks > 64 {
+		panic(fmt.Sprintf("mem: TCDM supports at most 64 banks, got %d", banks))
+	}
 	return &TCDM{
 		SRAM:     NewSRAM(hw.TCDMBase, size),
 		NumBanks: banks,
-		granted:  make([]bool, banks),
+		bankMask: uint32(banks - 1),
+		bankPow2: banks&(banks-1) == 0,
 	}
 }
 
 // BeginCycle resets the per-cycle bank grants. The cluster calls it once at
 // the start of every simulated cycle.
 func (t *TCDM) BeginCycle() {
-	for i := range t.granted {
-		t.granted[i] = false
-	}
+	t.granted = 0
 }
 
 // Bank returns the bank index serving the given address.
 func (t *TCDM) Bank(addr uint32) int {
+	if t.bankPow2 {
+		return int((addr >> 2) & t.bankMask)
+	}
 	return int((addr >> 2) % uint32(t.NumBanks))
 }
 
@@ -117,12 +153,12 @@ func (t *TCDM) Bank(addr uint32) int {
 // and the core splits unaligned word accesses into two requests (which is
 // also where their extra cycle comes from).
 func (t *TCDM) Request(addr uint32) bool {
-	b := t.Bank(addr)
-	if t.granted[b] {
+	bit := uint64(1) << uint(t.Bank(addr))
+	if t.granted&bit != 0 {
 		t.Conflicts++
 		return false
 	}
-	t.granted[b] = true
+	t.granted |= bit
 	t.Accesses++
 	return true
 }
@@ -155,9 +191,19 @@ type ICache struct {
 	MissSetup uint64 // cycles before the refill starts (L2 + bus latency)
 	PerWord   uint64 // cycles per refilled word
 
-	tags   [][]uint32 // [set][way] line tag; 0xffffffff = invalid
-	ready  [][]uint64 // [set][way] cycle at which the line becomes usable
-	victim []int      // [set] round-robin victim pointer
+	// Flattened [set*Ways+way] arrays (one cache line of indirection less
+	// on the fetch path than [][]): line tag (0xffffffff = invalid) and
+	// the cycle at which the line becomes usable.
+	tags   []uint32
+	ready  []uint64
+	victim []int // [set] round-robin victim pointer
+
+	// Strength-reduced indexing for the per-fetch path: LineSize is a
+	// power of two by construction (lineShift), and when NumSets is too
+	// (every real geometry) setPow2 selects an AND over a modulo.
+	lineShift uint32
+	setMask   uint32
+	setPow2   bool
 
 	refillFree uint64 // next cycle the refill engine is available
 
@@ -178,16 +224,15 @@ func NewICache(size, lineSize uint32) *ICache {
 		NumSets:   sets,
 		MissSetup: 6,
 		PerWord:   1,
-		tags:      make([][]uint32, sets),
-		ready:     make([][]uint64, sets),
+		tags:      make([]uint32, sets*ways),
+		ready:     make([]uint64, sets*ways),
 		victim:    make([]int, sets),
+		lineShift: uint32(bits.TrailingZeros32(lineSize)),
+		setMask:   uint32(sets - 1),
+		setPow2:   sets&(sets-1) == 0,
 	}
 	for i := range c.tags {
-		c.tags[i] = make([]uint32, ways)
-		c.ready[i] = make([]uint64, ways)
-		for w := range c.tags[i] {
-			c.tags[i][w] = 0xffffffff
-		}
+		c.tags[i] = 0xffffffff
 	}
 	return c
 }
@@ -196,9 +241,15 @@ func NewICache(size, lineSize uint32) *ICache {
 // It returns the cycle at which the fetch can be retried or completed; if
 // that is > now, the core must stall until then and fetch again.
 func (c *ICache) Fetch(pc uint32, now uint64) uint64 {
-	line := pc / c.LineSize
-	set := int(line) % c.NumSets
-	tags, ready := c.tags[set], c.ready[set]
+	line := pc >> c.lineShift
+	var set int
+	if c.setPow2 {
+		set = int(line & c.setMask)
+	} else {
+		set = int(line) % c.NumSets
+	}
+	base := set * c.Ways
+	tags, ready := c.tags[base:base+c.Ways], c.ready[base:base+c.Ways]
 	for w := 0; w < c.Ways; w++ {
 		if tags[w] == line {
 			if ready[w] <= now {

@@ -1,0 +1,51 @@
+// Package prof wires Go's runtime profilers into the command-line tools.
+// The simulator is a pure-CPU workload, so a pprof capture of a real run
+// (rather than the micro benchmark) is the first artifact to look at when
+// throughput regresses; every cmd exposes it behind -cpuprofile and
+// -memprofile flags through this package.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) file paths
+// and returns a stop function that must run before the process exits:
+// it flushes the CPU profile and captures the heap profile. An empty path
+// disables that profile; Start with both paths empty returns a no-op stop.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the heap profile is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: writing heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -244,11 +244,15 @@ func (l *Link) Read(src *mem.SRAM, addr uint32, n uint32) ([]byte, float64, erro
 	if !src.Contains(addr, n) {
 		return nil, 0, fmt.Errorf("spilink: read of %d bytes at %#x outside accelerator memory", n, addr)
 	}
-	data := src.ReadBytes(addr, n)
 	if l.Inject == nil && !l.Cfg.CRC {
+		// Fast path: nothing on the wire can mutate the payload, so hand
+		// out the accelerator memory directly (SRAM.Bytes, zero-copy).
+		// The slice is read-only and valid until the next device write.
+		data := src.Bytes(addr, n)
 		l.RxBytes += uint64(len(data))
 		return data, l.account(l.Cfg.wireBytes(len(data))), nil
 	}
+	data := src.ReadBytes(addr, n)
 	wire, err := l.moveBursts(len(data), func(off, n int) error {
 		chunk := data[off : off+n]
 		switch l.Inject.LinkBurst() {
@@ -261,7 +265,7 @@ func (l *Link) Read(src *mem.SRAM, addr uint32, n uint32) ([]byte, float64, erro
 				// Detected: restore is not needed — the host discards the
 				// burst and re-reads, and the next attempt re-fetches from
 				// memory.
-				copy(chunk, src.ReadBytes(addr+uint32(off), uint32(n)))
+				copy(chunk, src.Bytes(addr+uint32(off), uint32(n)))
 				l.CRCErrors++
 				return errBurstCorrupt
 			}
