@@ -8,9 +8,9 @@ GO ?= go
 # its speedup against the same reference point.
 BENCH_BASELINE ?= 6.922
 
-.PHONY: ci vet build test race differential fault-drill bench bench-smoke
+.PHONY: ci vet build test race race-sweep differential fault-drill bench bench-smoke sweep-bench
 
-ci: vet build race differential fault-drill bench-smoke
+ci: vet build race race-sweep differential fault-drill bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Race-detect the parallel sweep path specifically, including the
+# non-short equivalence tests (1-vs-8 workers, warm cache) that the
+# module-wide `race` leg also runs but that must never rot out of CI.
+race-sweep:
+	$(GO) test -race ./internal/sweep ./internal/paper
 
 # Seeded fault-injection drills: every run injects deterministic faults
 # (the seeds below), recovers through CRC retransmission, watchdog
@@ -53,3 +59,10 @@ bench:
 # in CI without the cost (or the noise sensitivity) of a full bench run.
 bench-smoke:
 	$(GO) test -run xxx -bench=SimulatorThroughput -benchtime=1x .
+
+# Sweep wall-clock record: times the reduced evaluation cold at -j1, cold
+# at -j4 and on a warm run cache, and writes BENCH_PR3.json. The -warm-max
+# gate enforces the PR3 acceptance bar: a warm rerun must cost under 5% of
+# the cold serial one.
+sweep-bench:
+	$(GO) test -run xxx -bench=SweepWallclock -benchtime=1x . | $(GO) run ./cmd/benchreport -o BENCH_PR3.json -warm-max 0.05

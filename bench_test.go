@@ -13,10 +13,13 @@ import (
 	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"hetsim"
 	"hetsim/internal/kernels"
 	"hetsim/internal/paper"
+	"hetsim/internal/sensor"
+	"hetsim/internal/sweep"
 )
 
 var (
@@ -176,6 +179,81 @@ func BenchmarkFigure5b(b *testing.B) {
 		case 2e6:
 			b.ReportMetric(last, "eff-2MHz-512it")
 		}
+	}
+}
+
+// runSmallSweep drives the same experiment set as `hetexp -small -exp all`
+// through one sweep engine: the whole reduced evaluation, every simulation
+// as a job.
+func runSmallSweep(b *testing.B, eng *sweep.Engine) {
+	b.Helper()
+	suite := kernels.SmallSuite()
+	m, err := paper.MeasureWith(eng, suite)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := paper.ExtensionAblationWith(eng, suite); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := paper.BankSweepWith(eng, suite[0]); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := paper.LinkAblationWith(eng, suite[0], m); err != nil {
+		b.Fatal(err)
+	}
+	for _, i := range []int{0, 7} {
+		if _, err := paper.ScalingStudyWith(eng, suite[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cam := sensor.QVGACamera()
+	cam.SampleBytes = 32 * 32
+	if _, err := paper.SensorAblationWith(eng, suite[len(suite)-1], m, cam, 8e6); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := paper.Figure5bWith(eng, suite[0], m); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSweepWallclock times the reduced full evaluation end to end at
+// 1 worker, at 4 workers, and on a warm run cache — the wall-clock record
+// behind BENCH_PR3.json (`make sweep-bench`). Run with -benchtime=1x: each
+// iteration performs four full sweeps.
+func BenchmarkSweepWallclock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		runSmallSweep(b, sweep.New(sweep.Config{Workers: 1}))
+		j1 := time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		runSmallSweep(b, sweep.New(sweep.Config{Workers: 4}))
+		j4 := time.Since(t0).Seconds()
+
+		dir := b.TempDir()
+		cold, err := sweep.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runSmallSweep(b, sweep.New(sweep.Config{Workers: 4, Cache: cold}))
+
+		warmCache, err := sweep.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warmEng := sweep.New(sweep.Config{Workers: 4, Cache: warmCache})
+		t0 = time.Now()
+		runSmallSweep(b, warmEng)
+		warm := time.Since(t0).Seconds()
+		if st := warmEng.Stats(); st.Executed != 0 {
+			b.Fatalf("warm sweep simulated %d jobs, want 0", st.Executed)
+		}
+
+		b.ReportMetric(j1, "sweep-j1-s")
+		b.ReportMetric(j4, "sweep-j4-s")
+		b.ReportMetric(warm, "sweep-warm-s")
+		b.ReportMetric(j1/j4, "sweep-par-x")
+		b.ReportMetric(warm/j1*100, "sweep-warm-%")
 	}
 }
 

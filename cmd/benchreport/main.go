@@ -36,11 +36,23 @@ type Benchmark struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the top-level BENCH_PR2.json document.
+// Report is the top-level BENCH_PRn.json document.
 type Report struct {
 	Go         string               `json:"go"`
 	Benchmarks map[string]Benchmark `json:"benchmarks"`
 	Throughput *Throughput          `json:"throughput,omitempty"`
+	Sweep      *Sweep               `json:"sweep,omitempty"`
+}
+
+// Sweep is the evaluation wall-clock record from BenchmarkSweepWallclock:
+// the reduced full evaluation end to end, serial vs parallel vs warm run
+// cache (the PR3 headline numbers).
+type Sweep struct {
+	ColdJ1S         float64 `json:"cold_j1_s"`
+	ColdJ4S         float64 `json:"cold_j4_s"`
+	WarmS           float64 `json:"warm_s"`
+	ParallelSpeedup float64 `json:"parallel_speedup_x"`
+	WarmFraction    float64 `json:"warm_fraction"` // warm / cold-j1 wall clock
 }
 
 // Throughput is the headline simulator-speed record: the metric every
@@ -54,6 +66,7 @@ type Throughput struct {
 
 const throughputBench = "SimulatorThroughput"
 const throughputMetric = "Msimcycles/s"
+const sweepBench = "SweepWallclock"
 
 var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
@@ -61,6 +74,7 @@ func main() {
 	out := flag.String("o", "BENCH_PR2.json", "output JSON path")
 	before := flag.Float64("before", 0, "baseline simulator throughput (Msimcycles/s) recorded alongside the measurement")
 	min := flag.Float64("min", 0, "fail (exit 1) if simulator throughput is below this floor, 0 = off")
+	warmMax := flag.Float64("warm-max", 0, "fail (exit 1) if the warm-cache sweep exceeds this fraction of the cold serial one, 0 = off")
 	flag.Parse()
 
 	rep := Report{Go: runtime.Version(), Benchmarks: map[string]Benchmark{}}
@@ -119,6 +133,18 @@ func main() {
 			rep.Throughput = t
 		}
 	}
+	if sb, ok := rep.Benchmarks[sweepBench]; ok {
+		s := &Sweep{
+			ColdJ1S:         sb.Metrics["sweep-j1-s"],
+			ColdJ4S:         sb.Metrics["sweep-j4-s"],
+			WarmS:           sb.Metrics["sweep-warm-s"],
+			ParallelSpeedup: sb.Metrics["sweep-par-x"],
+		}
+		if s.ColdJ1S > 0 {
+			s.WarmFraction = s.WarmS / s.ColdJ1S
+		}
+		rep.Sweep = s
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -137,6 +163,15 @@ func main() {
 		if rep.Throughput.After < *min {
 			fatal(fmt.Errorf("simulator throughput %.2f %s below floor %.2f",
 				rep.Throughput.After, throughputMetric, *min))
+		}
+	}
+	if *warmMax > 0 {
+		if rep.Sweep == nil {
+			fatal(fmt.Errorf("-warm-max set but %s reported no sweep metrics", sweepBench))
+		}
+		if rep.Sweep.WarmFraction > *warmMax {
+			fatal(fmt.Errorf("warm-cache sweep is %.1f%% of the cold serial one, above the %.1f%% ceiling",
+				rep.Sweep.WarmFraction*100, *warmMax*100))
 		}
 	}
 }

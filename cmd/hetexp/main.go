@@ -3,42 +3,78 @@
 // Usage:
 //
 //	hetexp [-exp table1|fig3|fig4|fig5a|fig5b|all] [-small] [-kernel name]
+//	       [-j N] [-cache-dir DIR] [-no-cache]
 //
 // -small runs reduced-size kernels (seconds instead of minutes); the
 // recorded EXPERIMENTS.md numbers come from the full-size run.
+//
+// Every simulation goes through the internal/sweep engine: -j sets the
+// worker count (default: one per CPU) and completed simulations are
+// memoized in a content-addressed cache under -cache-dir, so a repeat
+// invocation — or `-exp fig4` after `-exp all` — skips already-simulated
+// points. Output is byte-identical at any -j and on warm cache.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 
 	"hetsim/internal/kernels"
 	"hetsim/internal/paper"
 	"hetsim/internal/prof"
 	"hetsim/internal/sensor"
+	"hetsim/internal/sweep"
 )
+
+// stopProf flushes any active profiles; fatal calls it so a CPU profile
+// of a failing run is still written. Replaced once prof.Start runs.
+var stopProf = func() error { return nil }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5a, fig5b, ablate or all")
 	small := flag.Bool("small", false, "use reduced kernel sizes (fast smoke run)")
 	kernel := flag.String("kernel", "matmul", "kernel for fig5b")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
+	cacheDir := flag.String("cache-dir", defaultCacheDir(), "run-cache directory (empty disables caching)")
+	noCache := flag.Bool("no-cache", false, "disable the run cache")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	var err error
+	stopProf, err = prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fatal(err)
 	}
+
+	var cache *sweep.Cache
+	if !*noCache && *cacheDir != "" {
+		cache, err = sweep.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	eng := sweep.New(sweep.Config{
+		Workers: *workers,
+		Cache:   cache,
+		Progress: func(ev sweep.Event) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d jobs (%d cached)", ev.Done, ev.Total, ev.Cached)
+			if ev.Done == ev.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
 
 	suite := kernels.PaperSuite()
 	if *small {
 		suite = kernels.SmallSuite()
 	}
 
-	fmt.Fprintln(os.Stderr, "measuring kernel suite (each kernel on 6 configurations)...")
-	m, err := paper.Measure(suite)
+	fmt.Fprintf(os.Stderr, "measuring kernel suite (each kernel on 6 configurations, %d workers)...\n", eng.Workers())
+	m, err := paper.MeasureWith(eng, suite)
 	if err != nil {
 		fatal(err)
 	}
@@ -72,7 +108,7 @@ func main() {
 	}
 	if run("ablate") {
 		fmt.Fprintln(out, "== Ablation: per-extension contribution (beyond paper) ==")
-		ext, err := paper.ExtensionAblation(suite)
+		ext, err := paper.ExtensionAblationWith(eng, suite)
 		if err != nil {
 			fatal(err)
 		}
@@ -81,7 +117,7 @@ func main() {
 
 		mm := suite[0] // matmul
 		fmt.Fprintln(out, "== Ablation: TCDM bank count (beyond paper) ==")
-		banks, err := paper.BankSweep(mm)
+		banks, err := paper.BankSweepWith(eng, mm)
 		if err != nil {
 			fatal(err)
 		}
@@ -89,7 +125,7 @@ func main() {
 		fmt.Fprintln(out)
 
 		fmt.Fprintln(out, "== Ablation: decoupled link clock (Section V) ==")
-		la, err := paper.LinkAblation(mm, m)
+		la, err := paper.LinkAblationWith(eng, mm, m)
 		if err != nil {
 			fatal(err)
 		}
@@ -98,7 +134,7 @@ func main() {
 
 		fmt.Fprintln(out, "== Ablation: 8-core cluster scaling (beyond paper) ==")
 		for _, k := range []int{0, 7} { // matmul, cnn
-			sc, err := paper.ScalingStudy(suite[k])
+			sc, err := paper.ScalingStudyWith(eng, suite[k])
 			if err != nil {
 				fatal(err)
 			}
@@ -112,7 +148,7 @@ func main() {
 		if *small {
 			cam.SampleBytes = 32 * 32
 		}
-		sa, err := paper.SensorAblation(hogK, m, cam, 8e6)
+		sa, err := paper.SensorAblationWith(eng, hogK, m, cam, 8e6)
 		if err != nil {
 			fatal(err)
 		}
@@ -122,27 +158,46 @@ func main() {
 	if run("fig5b") {
 		var k *kernels.Instance
 		for _, c := range suite {
-			if c.Name == *kernel {
-				k = c
+			if c.Name != *kernel {
+				continue
 			}
+			if k != nil {
+				fatal(fmt.Errorf("suite has two kernels named %q", *kernel))
+			}
+			k = c
 		}
 		if k == nil {
 			fatal(fmt.Errorf("kernel %q not in suite", *kernel))
 		}
 		fmt.Fprintln(out, "== Figure 5b: offload-cost amortization ==")
-		series, err := paper.Figure5b(k, m)
+		series, err := paper.Figure5bWith(eng, k, m)
 		if err != nil {
 			fatal(err)
 		}
 		paper.RenderFigure5b(out, k.Name, series)
 		fmt.Fprintln(out)
 	}
+
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "sweep: %d jobs, %d simulated, %d served from cache\n",
+		st.Jobs, st.Executed, st.CacheHits)
 	if err := stopProf(); err != nil {
 		fatal(err)
 	}
 }
 
+// defaultCacheDir places the run cache under the user cache directory
+// (an unresolvable one disables caching rather than failing).
+func defaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "hetsim")
+}
+
 func fatal(err error) {
+	stopProf() // best effort: keep the partial CPU profile of a failed run
 	fmt.Fprintln(os.Stderr, "hetexp:", err)
 	os.Exit(1)
 }

@@ -37,6 +37,10 @@ import (
 	"hetsim/internal/prof"
 )
 
+// stopProf flushes any active profiles; fatal calls it so a CPU profile
+// of a failing run is still written. Replaced once prof.Start runs.
+var stopProf = func() error { return nil }
+
 func main() {
 	name := flag.String("kernel", "matmul", "Table I kernel name")
 	hostName := flag.String("host", "STM32-L476", "host MCU model (see Fig. 3 set)")
@@ -58,7 +62,8 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	var err error
+	stopProf, err = prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fatal(err)
 	}
@@ -177,6 +182,7 @@ func main() {
 }
 
 func fatal(err error) {
+	stopProf() // best effort: keep the partial CPU profile of a failed run
 	fmt.Fprintln(os.Stderr, "hetsim:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,36 @@
+package kernels
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"hetsim/internal/asm"
+	"hetsim/internal/devrt"
+	"hetsim/internal/isa"
+)
+
+// HashProgram fingerprints an emitted program by its serialized binary
+// image (header, encoded text, data) — exactly the bytes the device
+// loader would receive. Two programs hash equal iff the device cannot
+// tell them apart, which is what makes the hash safe to use in run-cache
+// keys: any code-generator change that alters the instruction stream
+// changes the hash, while refactors that emit identical code do not.
+func HashProgram(p *asm.Program) (string, error) {
+	img, err := p.Image()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(img)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// ProgramHash builds the kernel for a (target, mode) pair and returns the
+// image hash. Kernel code generation is deterministic, so the hash is
+// stable across processes and Go releases for an unchanged generator.
+func (k *Instance) ProgramHash(t isa.Target, mode devrt.Mode) (string, error) {
+	p, err := k.Build(t, mode)
+	if err != nil {
+		return "", err
+	}
+	return HashProgram(p)
+}

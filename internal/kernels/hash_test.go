@@ -1,0 +1,48 @@
+package kernels
+
+import (
+	"testing"
+
+	"hetsim/internal/devrt"
+	"hetsim/internal/isa"
+)
+
+// TestProgramHashStable checks that repeated builds of the same kernel
+// hash identically (the property run-cache keys rely on) and that
+// different targets or runtime modes produce different hashes.
+func TestProgramHashStable(t *testing.T) {
+	k := MatMulChar(16)
+	h1, err := k.ProgramHash(isa.PULPFull, devrt.Accel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := k.ProgramHash(isa.PULPFull, devrt.Accel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("hash not stable across builds: %s vs %s", h1, h2)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("want a sha256 hex digest, got %q", h1)
+	}
+
+	hM4, err := k.ProgramHash(isa.CortexM4, devrt.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hM4 == h1 {
+		t.Fatal("different target/mode must change the program hash")
+	}
+
+	ablated := isa.PULPFull
+	ablated.Name += "-SIMD"
+	ablated.Feat.SIMD = false
+	hAbl, err := k.ProgramHash(ablated, devrt.Accel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hAbl == h1 {
+		t.Fatal("ablating a used feature must change the program hash")
+	}
+}

@@ -12,12 +12,15 @@ import (
 	"hetsim/internal/loader"
 	"hetsim/internal/power"
 	"hetsim/internal/sensor"
+	"hetsim/internal/sweep"
 )
 
 // This file holds the beyond-paper ablations: the studies Section V
 // sketches (decoupled link clock, sensor-direct data path) and the
 // design-choice ablations DESIGN.md calls out (per-extension speedup
-// contribution, TCDM banking).
+// contribution, TCDM banking). Each ablation is a sweep producer/consumer:
+// it emits one job per simulated point and folds the in-order results into
+// its rows.
 
 // --- Per-extension ablation -----------------------------------------------------
 
@@ -46,47 +49,79 @@ type ExtAblationRow struct {
 }
 
 // ExtensionAblation measures how much each OR10N extension contributes to
-// each kernel: the kernel is rebuilt with one feature disabled (the code
+// each kernel, using a default engine.
+func ExtensionAblation(suite []*kernels.Instance) ([]ExtAblationRow, error) {
+	return ExtensionAblationWith(defaultEngine(), suite)
+}
+
+// ExtensionAblationWith measures how much each OR10N extension contributes
+// to each kernel: the kernel is rebuilt with one feature disabled (the code
 // generator adapts, exactly like recompiling with a flag off) and rerun on
 // a single core. A slowdown of 1.0 means the kernel never used the
-// feature.
-func ExtensionAblation(suite []*kernels.Instance) ([]ExtAblationRow, error) {
-	var rows []ExtAblationRow
+// feature. One job per (kernel, variant) pair, plus the full build.
+func ExtensionAblationWith(eng *sweep.Engine, suite []*kernels.Instance) ([]ExtAblationRow, error) {
+	var jobs []sweep.Job[uint64]
 	for _, k := range suite {
-		row := ExtAblationRow{Name: k.Name}
-		full, err := runVariant(k, isa.PULPFull)
+		full, err := variantJob(k, isa.PULPFull)
 		if err != nil {
 			return nil, err
 		}
-		row.FullCycles = full
+		jobs = append(jobs, full)
 		for _, v := range ExtVariants {
 			tgt := isa.PULPFull
 			tgt.Name = isa.PULPFull.Name + v.Name
 			v.Mod(&tgt.Feat)
-			cyc, err := runVariant(k, tgt)
+			job, err := variantJob(k, tgt)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s: %w", k.Name, v.Name, err)
 			}
-			row.Slowdown = append(row.Slowdown, float64(cyc)/float64(full))
+			jobs = append(jobs, job)
+		}
+	}
+	cycles, err := sweep.Run(eng, jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ExtAblationRow, 0, len(suite))
+	perKernel := 1 + len(ExtVariants)
+	for i, k := range suite {
+		row := ExtAblationRow{Name: k.Name, FullCycles: cycles[i*perKernel]}
+		for v := range ExtVariants {
+			row.Slowdown = append(row.Slowdown,
+				float64(cycles[i*perKernel+1+v])/float64(row.FullCycles))
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-func runVariant(k *kernels.Instance, tgt isa.Target) (uint64, error) {
+// variantJob builds the single-core run of one (kernel, target-variant)
+// pair as a sweep job.
+func variantJob(k *kernels.Instance, tgt isa.Target) (sweep.Job[uint64], error) {
 	prog, err := k.Build(tgt, devrt.Accel)
 	if err != nil {
-		return 0, err
+		return sweep.Job[uint64]{}, err
 	}
 	cfg := cluster.PULPConfig()
 	cfg.Target = tgt
-	job := loader.Job{Prog: prog, In: k.Input(1), OutLen: k.OutLen(), Iters: 1, Threads: 1, Args: k.Args()}
-	res, err := cluster.RunJob(cfg, devrt.Accel, job, 4_000_000_000)
+	in := k.Input(1)
+	ph, err := progKey(prog)
 	if err != nil {
-		return 0, err
+		return sweep.Job[uint64]{}, err
 	}
-	return res.Cycles, nil
+	key := fmt.Sprintf("extablate|%s|%s|prog=%s|threads=1|max=%d",
+		kernelKey(k, in), clusterKey(cfg), ph, uint64(measureMaxCycles))
+	job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: 1, Args: k.Args()}
+	return sweep.Job[uint64]{
+		Key: key,
+		Run: func() (uint64, error) {
+			res, err := cluster.RunJob(cfg, devrt.Accel, job, measureMaxCycles)
+			if err != nil {
+				return 0, err
+			}
+			return res.Cycles, nil
+		},
+	}, nil
 }
 
 // RenderExtensionAblation prints the slowdown matrix.
@@ -115,32 +150,52 @@ type BankSweepPoint struct {
 	ConflictRate float64
 }
 
-// BankSweep measures the 4-core matmul against the number of TCDM banks:
-// with fewer banks than cores the interconnect serializes (the ablation
-// behind the "2 banks per core" rule of PULP clusters).
+// BankSweep measures the 4-core matmul against the number of TCDM banks,
+// using a default engine.
 func BankSweep(k *kernels.Instance) ([]BankSweepPoint, error) {
+	return BankSweepWith(defaultEngine(), k)
+}
+
+// BankSweepWith measures the 4-core kernel against the number of TCDM
+// banks: with fewer banks than cores the interconnect serializes (the
+// ablation behind the "2 banks per core" rule of PULP clusters). One job
+// per bank count.
+func BankSweepWith(eng *sweep.Engine, k *kernels.Instance) ([]BankSweepPoint, error) {
 	prog, err := k.Build(isa.PULPFull, devrt.Accel)
 	if err != nil {
 		return nil, err
 	}
 	in := k.Input(1)
-	var pts []BankSweepPoint
-	for _, banks := range []int{1, 2, 4, 8, 16} {
+	ph, err := progKey(prog)
+	if err != nil {
+		return nil, err
+	}
+	bankCounts := []int{1, 2, 4, 8, 16}
+	jobs := make([]sweep.Job[BankSweepPoint], 0, len(bankCounts))
+	for _, banks := range bankCounts {
+		banks := banks
 		cfg := cluster.PULPConfig()
 		cfg.TCDMBanks = banks
+		key := fmt.Sprintf("banksweep|%s|%s|prog=%s|threads=4|max=%d",
+			kernelKey(k, in), clusterKey(cfg), ph, uint64(measureMaxCycles))
 		job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: 4, Args: k.Args()}
-		res, err := cluster.RunJob(cfg, devrt.Accel, job, 4_000_000_000)
-		if err != nil {
-			return nil, fmt.Errorf("banks=%d: %w", banks, err)
-		}
-		tot := res.Stats.TCDMAccess + res.Stats.TCDMConf
-		rate := 0.0
-		if tot > 0 {
-			rate = float64(res.Stats.TCDMConf) / float64(tot)
-		}
-		pts = append(pts, BankSweepPoint{Banks: banks, Cycles: res.Cycles, ConflictRate: rate})
+		jobs = append(jobs, sweep.Job[BankSweepPoint]{
+			Key: key,
+			Run: func() (BankSweepPoint, error) {
+				res, err := cluster.RunJob(cfg, devrt.Accel, job, measureMaxCycles)
+				if err != nil {
+					return BankSweepPoint{}, fmt.Errorf("banks=%d: %w", banks, err)
+				}
+				tot := res.Stats.TCDMAccess + res.Stats.TCDMConf
+				rate := 0.0
+				if tot > 0 {
+					rate = float64(res.Stats.TCDMConf) / float64(tot)
+				}
+				return BankSweepPoint{Banks: banks, Cycles: res.Cycles, ConflictRate: rate}, nil
+			},
+		})
 	}
-	return pts, nil
+	return sweep.Run(eng, jobs)
 }
 
 // RenderBankSweep prints the sweep.
@@ -170,10 +225,17 @@ type LinkAblationPoint struct {
 	PerIterTime float64
 }
 
-// LinkAblation quantifies Section V's proposal: at a slow MCU clock the
-// tied SPI strangles the pipeline; decoupling the link clock (here 32 MHz)
-// removes the bottleneck without raising the MCU frequency.
+// LinkAblation quantifies Section V's decoupled-link proposal, using a
+// default engine.
 func LinkAblation(k *kernels.Instance, m *Measurements) ([]LinkAblationPoint, error) {
+	return LinkAblationWith(defaultEngine(), k, m)
+}
+
+// LinkAblationWith quantifies Section V's proposal: at a slow MCU clock
+// the tied SPI strangles the pipeline; decoupling the link clock (here
+// 32 MHz) removes the bottleneck without raising the MCU frequency. One
+// job per (MCU frequency, coupling) point.
+func LinkAblationWith(eng *sweep.Engine, k *kernels.Instance, m *Measurements) ([]LinkAblationPoint, error) {
 	km, ok := m.ByK[k.Name]
 	if !ok {
 		return nil, fmt.Errorf("paper: kernel %q not measured", k.Name)
@@ -183,8 +245,12 @@ func LinkAblation(k *kernels.Instance, m *Measurements) ([]LinkAblationPoint, er
 		return nil, err
 	}
 	in := k.Input(1)
+	ph, err := progKey(prog)
+	if err != nil {
+		return nil, err
+	}
 	host := power.STM32L476
-	var pts []LinkAblationPoint
+	var jobs []sweep.Job[LinkAblationPoint]
 	for _, f := range []float64{2e6, 4e6, 8e6} {
 		budget := EnvelopeW - host.RunPowerW(f)
 		v, fp, ok := power.BestOp(budget, km.Activity)
@@ -192,27 +258,35 @@ func LinkAblation(k *kernels.Instance, m *Measurements) ([]LinkAblationPoint, er
 			continue
 		}
 		for _, decoupled := range []bool{false, true} {
+			f, decoupled := f, decoupled
 			cfg := core.Config{Host: host, HostFreqHz: f, Lanes: 4, AccVdd: v, AccFreqHz: fp}
 			if decoupled {
 				cfg.LinkClockHz = 32e6
 			}
-			sys, err := core.NewSystem(cfg)
-			if err != nil {
-				return nil, err
-			}
+			key := fmt.Sprintf("linkablate|%s|%s|prog=%s|decoupled=%v|iters=64|db=true",
+				kernelKey(k, in), systemKey(cfg), ph, decoupled)
 			job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: 4, Args: k.Args()}
-			_, rep, err := sys.Offload(job, core.Options{Iterations: 64, DoubleBuffer: true})
-			if err != nil {
-				return nil, err
-			}
-			pts = append(pts, LinkAblationPoint{
-				MCUFreqHz: f, LinkHz: sys.Link.Cfg.ClockHz, Decoupled: decoupled,
-				Efficiency:  rep.Efficiency,
-				PerIterTime: rep.TotalTime / float64(rep.Iterations),
+			jobs = append(jobs, sweep.Job[LinkAblationPoint]{
+				Key: key,
+				Run: func() (LinkAblationPoint, error) {
+					sys, err := core.NewSystem(cfg)
+					if err != nil {
+						return LinkAblationPoint{}, err
+					}
+					_, rep, err := sys.Offload(job, core.Options{Iterations: 64, DoubleBuffer: true})
+					if err != nil {
+						return LinkAblationPoint{}, err
+					}
+					return LinkAblationPoint{
+						MCUFreqHz: f, LinkHz: sys.Link.Cfg.ClockHz, Decoupled: decoupled,
+						Efficiency:  rep.Efficiency,
+						PerIterTime: rep.TotalTime / float64(rep.Iterations),
+					}, nil
+				},
 			})
 		}
 	}
-	return pts, nil
+	return sweep.Run(eng, jobs)
 }
 
 // RenderLinkAblation prints the comparison.
@@ -235,9 +309,17 @@ type SensorAblationPoint struct {
 	EnergyPerIt float64
 }
 
-// SensorAblation runs a camera-fed hog pipeline with the sample routed
-// through the host (Figure 1) and directly into L2 (Section V variant).
+// SensorAblation runs the camera-fed pipeline comparison with a default
+// engine.
 func SensorAblation(k *kernels.Instance, m *Measurements, cam sensor.Sensor, mcuHz float64) ([]SensorAblationPoint, error) {
+	return SensorAblationWith(defaultEngine(), k, m, cam, mcuHz)
+}
+
+// SensorAblationWith runs a camera-fed pipeline with the sample routed
+// through the host (Figure 1) and directly into L2 (Section V variant).
+// Both paths share one simulated system, exactly like the serial study,
+// so they form a single job.
+func SensorAblationWith(eng *sweep.Engine, k *kernels.Instance, m *Measurements, cam sensor.Sensor, mcuHz float64) ([]SensorAblationPoint, error) {
 	km, ok := m.ByK[k.Name]
 	if !ok {
 		return nil, fmt.Errorf("paper: kernel %q not measured", k.Name)
@@ -250,36 +332,51 @@ func SensorAblation(k *kernels.Instance, m *Measurements, cam sensor.Sensor, mcu
 		return nil, err
 	}
 	in := k.Input(1)
+	ph, err := progKey(prog)
+	if err != nil {
+		return nil, err
+	}
 	budget := EnvelopeW - power.STM32L476.RunPowerW(mcuHz)
 	v, fp, ok := power.BestOp(budget, km.Activity)
 	if !ok {
 		return nil, fmt.Errorf("paper: envelope infeasible at %.0f MHz", mcuHz/1e6)
 	}
-	sys, err := core.NewSystem(core.Config{
-		Host: power.STM32L476, HostFreqHz: mcuHz, Lanes: 4, AccVdd: v, AccFreqHz: fp,
-	})
+	cfg := core.Config{Host: power.STM32L476, HostFreqHz: mcuHz, Lanes: 4, AccVdd: v, AccFreqHz: fp}
+	key := fmt.Sprintf("sensorablate|%s|%s|prog=%s|cam=%+v|iters=64|db=true",
+		kernelKey(k, in), systemKey(cfg), ph, cam)
+	job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: 4, Args: k.Args()}
+	jobs := []sweep.Job[[]SensorAblationPoint]{{
+		Key: key,
+		Run: func() ([]SensorAblationPoint, error) {
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				return nil, err
+			}
+			var pts []SensorAblationPoint
+			for _, path := range []sensor.Path{sensor.HostPath, sensor.DirectPath} {
+				at, ej, via := cam.Feed(path)
+				_, rep, err := sys.Offload(job, core.Options{
+					Iterations: 64, DoubleBuffer: true,
+					Sensor: &core.SensorFeed{AcquireTime: at, SampleEnergyJ: ej, ViaLink: via},
+				})
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, SensorAblationPoint{
+					Path:        path,
+					Efficiency:  rep.Efficiency,
+					PerIterTime: rep.TotalTime / float64(rep.Iterations),
+					EnergyPerIt: rep.Energy.TotalJ() / float64(rep.Iterations),
+				})
+			}
+			return pts, nil
+		},
+	}}
+	res, err := sweep.Run(eng, jobs)
 	if err != nil {
 		return nil, err
 	}
-	var pts []SensorAblationPoint
-	for _, path := range []sensor.Path{sensor.HostPath, sensor.DirectPath} {
-		at, ej, via := cam.Feed(path)
-		job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: 4, Args: k.Args()}
-		_, rep, err := sys.Offload(job, core.Options{
-			Iterations: 64, DoubleBuffer: true,
-			Sensor: &core.SensorFeed{AcquireTime: at, SampleEnergyJ: ej, ViaLink: via},
-		})
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, SensorAblationPoint{
-			Path:        path,
-			Efficiency:  rep.Efficiency,
-			PerIterTime: rep.TotalTime / float64(rep.Iterations),
-			EnergyPerIt: rep.Energy.TotalJ() / float64(rep.Iterations),
-		})
-	}
-	return pts, nil
+	return res[0], nil
 }
 
 // RenderSensorAblation prints the comparison.
@@ -301,36 +398,59 @@ type ScalingPoint struct {
 	Speedup float64 // vs 1 thread
 }
 
-// ScalingStudy extends Fig. 4's parallel panel beyond the paper's 4-core
-// cluster: the same binaries run on an 8-core cluster (16 TCDM banks,
-// doubled I$) with team sizes 1..8, showing where the kernels stop
-// scaling.
+// ScalingStudy extends Fig. 4's parallel panel with a default engine.
 func ScalingStudy(k *kernels.Instance) ([]ScalingPoint, error) {
+	return ScalingStudyWith(defaultEngine(), k)
+}
+
+// ScalingStudyWith extends Fig. 4's parallel panel beyond the paper's
+// 4-core cluster: the same binaries run on an 8-core cluster (16 TCDM
+// banks, doubled I$) with team sizes 1..8, showing where the kernels stop
+// scaling. One job per team size.
+func ScalingStudyWith(eng *sweep.Engine, k *kernels.Instance) ([]ScalingPoint, error) {
 	prog, err := k.Build(isa.PULPFull, devrt.Accel)
 	if err != nil {
 		return nil, err
 	}
 	in := k.Input(1)
-	var pts []ScalingPoint
-	var base uint64
-	for _, threads := range []int{1, 2, 4, 6, 8} {
+	ph, err := progKey(prog)
+	if err != nil {
+		return nil, err
+	}
+	teamSizes := []int{1, 2, 4, 6, 8}
+	jobs := make([]sweep.Job[uint64], 0, len(teamSizes))
+	for _, threads := range teamSizes {
+		threads := threads
 		cfg := cluster.PULPConfig()
 		cfg.Cores = 8
 		cfg.TCDMBanks = 16
 		cfg.ICacheSize = 8 * 1024
+		key := fmt.Sprintf("scaling|%s|%s|prog=%s|threads=%d|max=%d",
+			kernelKey(k, in), clusterKey(cfg), ph, threads, uint64(measureMaxCycles))
 		job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1,
 			Threads: uint32(threads), Args: k.Args()}
-		res, err := cluster.RunJob(cfg, devrt.Accel, job, 4_000_000_000)
-		if err != nil {
-			return nil, fmt.Errorf("threads=%d: %w", threads, err)
-		}
-		if threads == 1 {
-			base = res.Cycles
-		}
+		jobs = append(jobs, sweep.Job[uint64]{
+			Key: key,
+			Run: func() (uint64, error) {
+				res, err := cluster.RunJob(cfg, devrt.Accel, job, measureMaxCycles)
+				if err != nil {
+					return 0, fmt.Errorf("threads=%d: %w", threads, err)
+				}
+				return res.Cycles, nil
+			},
+		})
+	}
+	cycles, err := sweep.Run(eng, jobs)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]ScalingPoint, 0, len(teamSizes))
+	base := cycles[0]
+	for i, threads := range teamSizes {
 		pts = append(pts, ScalingPoint{
 			Threads: threads,
-			Cycles:  res.Cycles,
-			Speedup: float64(base) / float64(res.Cycles),
+			Cycles:  cycles[i],
+			Speedup: float64(base) / float64(cycles[i]),
 		})
 	}
 	return pts, nil

@@ -5,11 +5,16 @@
 // Fig. 5b (offload-cost amortization). Each generator returns structured
 // rows (consumed by the benchmarks and the hetexp tool) and has a Render
 // function producing the ASCII form recorded in EXPERIMENTS.md.
+//
+// Every simulation is expressed as an internal/sweep job: the generators
+// are producers (they emit self-describing jobs with stable content keys)
+// and consumers (they fold the in-order results into rows), so the whole
+// evaluation parallelizes across a worker pool and memoizes into the run
+// cache while staying byte-identical to a serial run.
 package paper
 
 import (
 	"fmt"
-	"sync"
 
 	"hetsim/internal/cluster"
 	"hetsim/internal/devrt"
@@ -17,6 +22,7 @@ import (
 	"hetsim/internal/kernels"
 	"hetsim/internal/loader"
 	"hetsim/internal/power"
+	"hetsim/internal/sweep"
 )
 
 // configKey identifies a measurement configuration.
@@ -30,6 +36,9 @@ const (
 	cfgPULP2 configKey = "pulp2" // team of 2
 	cfgPULP4 configKey = "pulp4" // team of 4
 )
+
+// measureMaxCycles bounds every suite simulation.
+const measureMaxCycles = 4_000_000_000
 
 // kernelMeasurement holds everything the figures need about one kernel.
 type kernelMeasurement struct {
@@ -50,88 +59,136 @@ type Measurements struct {
 	seed  uint64
 }
 
-// Measure runs the whole suite on every configuration. With the paper
-// suite this simulates ~100M core cycles; the per-kernel simulations are
-// independent, so they run concurrently.
+// defaultEngine backs the argument-free entry points: full parallelism,
+// no cache.
+func defaultEngine() *sweep.Engine { return sweep.New(sweep.Config{}) }
+
+// measureRun is one (configuration, target, mode, team size) row of the
+// per-kernel measurement matrix.
+type measureRun struct {
+	key     configKey
+	tgt     isa.Target
+	mode    devrt.Mode
+	threads uint32
+}
+
+var measureRuns = []measureRun{
+	{cfgPlain, isa.PULPPlain, devrt.Host, 1},
+	{cfgM3, isa.CortexM3, devrt.Host, 1},
+	{cfgM4, isa.CortexM4, devrt.Host, 1},
+	{cfgPULP1, isa.PULPFull, devrt.Accel, 1},
+	{cfgPULP2, isa.PULPFull, devrt.Accel, 2},
+	{cfgPULP4, isa.PULPFull, devrt.Accel, 4},
+}
+
+// measureResult is the cacheable outcome of one (kernel, configuration)
+// simulation. Retired is only meaningful for cfgPlain, Activity and
+// BinBytes only for cfgPULP4; the other runs leave them zero.
+type measureResult struct {
+	Cycles   uint64
+	Retired  uint64
+	Activity power.Activity
+	BinBytes int
+}
+
+// Measure runs the whole suite on every configuration with a default
+// engine (one worker per CPU, no cache).
 func Measure(suite []*kernels.Instance) (*Measurements, error) {
+	return MeasureWith(defaultEngine(), suite)
+}
+
+// MeasureWith runs the whole suite on every configuration through the
+// given sweep engine: every (kernel, configuration) pair is one job. With
+// the paper suite this simulates ~100M core cycles across 60 mutually
+// independent jobs.
+func MeasureWith(eng *sweep.Engine, suite []*kernels.Instance) (*Measurements, error) {
 	m := &Measurements{Suite: suite, ByK: make(map[string]*kernelMeasurement), seed: 1}
-	var (
-		mu      sync.Mutex
-		wg      sync.WaitGroup
-		firstEr error
-	)
+	var jobs []sweep.Job[measureResult]
 	for _, k := range suite {
-		k := k
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			km, err := m.measureKernel(k)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstEr == nil {
-				firstEr = err
-				return
+		if _, dup := m.ByK[k.Name]; dup {
+			return nil, fmt.Errorf("paper: suite has two kernels named %q", k.Name)
+		}
+		in := k.Input(m.seed)
+		m.ByK[k.Name] = &kernelMeasurement{
+			K:        k,
+			Cycles:   make(map[configKey]uint64),
+			InBytes:  len(in),
+			OutBytes: int(k.OutLen()),
+		}
+		for _, rc := range measureRuns {
+			job, err := measureJob(k, in, rc)
+			if err != nil {
+				return nil, err
 			}
-			m.ByK[k.Name] = km
-		}()
+			jobs = append(jobs, job)
+		}
 	}
-	wg.Wait()
-	if firstEr != nil {
-		return nil, firstEr
+	results, err := sweep.Run(eng, jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, k := range suite {
+		km := m.ByK[k.Name]
+		for _, rc := range measureRuns {
+			r := results[i]
+			i++
+			km.Cycles[rc.key] = r.Cycles
+			switch rc.key {
+			case cfgPlain:
+				km.RISCOps = r.Retired
+			case cfgPULP4:
+				km.Activity = r.Activity
+				km.BinBytes = r.BinBytes
+			}
+		}
 	}
 	return m, nil
 }
 
-func (m *Measurements) measureKernel(k *kernels.Instance) (*kernelMeasurement, error) {
-	km := &kernelMeasurement{K: k, Cycles: make(map[configKey]uint64)}
-	in := k.Input(m.seed)
-	km.InBytes = len(in)
-	km.OutBytes = int(k.OutLen())
-
-	type runCfg struct {
-		key     configKey
-		tgt     isa.Target
-		mode    devrt.Mode
-		threads uint32
+// measureJob builds the sweep job of one (kernel, configuration) pair.
+// The program is emitted here, producer-side, because its bytes are part
+// of the content key; the simulation itself runs worker-side.
+func measureJob(k *kernels.Instance, in []byte, rc measureRun) (sweep.Job[measureResult], error) {
+	prog, err := k.Build(rc.tgt, rc.mode)
+	if err != nil {
+		return sweep.Job[measureResult]{}, err
 	}
-	runs := []runCfg{
-		{cfgPlain, isa.PULPPlain, devrt.Host, 1},
-		{cfgM3, isa.CortexM3, devrt.Host, 1},
-		{cfgM4, isa.CortexM4, devrt.Host, 1},
-		{cfgPULP1, isa.PULPFull, devrt.Accel, 1},
-		{cfgPULP2, isa.PULPFull, devrt.Accel, 2},
-		{cfgPULP4, isa.PULPFull, devrt.Accel, 4},
+	var cfg cluster.Config
+	if rc.mode == devrt.Accel {
+		cfg = cluster.PULPConfig()
+	} else {
+		cfg = cluster.MCUConfig(rc.tgt)
 	}
-	for _, rc := range runs {
-		prog, err := k.Build(rc.tgt, rc.mode)
-		if err != nil {
-			return nil, err
-		}
-		var cfg cluster.Config
-		if rc.mode == devrt.Accel {
-			cfg = cluster.PULPConfig()
-		} else {
-			cfg = cluster.MCUConfig(rc.tgt)
-		}
-		job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: rc.threads, Args: k.Args()}
-		res, err := cluster.RunJob(cfg, rc.mode, job, 4_000_000_000)
-		if err != nil {
-			return nil, fmt.Errorf("paper: measuring %s on %s: %w", k.Name, rc.key, err)
-		}
-		km.Cycles[rc.key] = res.Cycles
-		switch rc.key {
-		case cfgPlain:
-			km.RISCOps = res.Stats.Retired()
-		case cfgPULP4:
-			km.Activity = power.ActivityOf(res.Stats)
-			img, err := prog.Image()
+	ph, err := progKey(prog)
+	if err != nil {
+		return sweep.Job[measureResult]{}, err
+	}
+	key := fmt.Sprintf("measure|%s|cfg=%s|mode=%d|threads=%d|%s|prog=%s|max=%d",
+		kernelKey(k, in), rc.key, rc.mode, rc.threads, clusterKey(cfg), ph, uint64(measureMaxCycles))
+	job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: rc.threads, Args: k.Args()}
+	return sweep.Job[measureResult]{
+		Key: key,
+		Run: func() (measureResult, error) {
+			res, err := cluster.RunJob(cfg, rc.mode, job, measureMaxCycles)
 			if err != nil {
-				return nil, err
+				return measureResult{}, fmt.Errorf("paper: measuring %s on %s: %w", k.Name, rc.key, err)
 			}
-			km.BinBytes = len(img)
-		}
-	}
-	return km, nil
+			r := measureResult{Cycles: res.Cycles}
+			switch rc.key {
+			case cfgPlain:
+				r.Retired = res.Stats.Retired()
+			case cfgPULP4:
+				r.Activity = power.ActivityOf(res.Stats)
+				img, err := prog.Image()
+				if err != nil {
+					return measureResult{}, err
+				}
+				r.BinBytes = len(img)
+			}
+			return r, nil
+		},
+	}, nil
 }
 
 // OpsPerCycle returns RISC operations per cycle for a configuration (the

@@ -10,12 +10,15 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 )
 
 // Start begins the profiles selected by the (possibly empty) file paths
 // and returns a stop function that must run before the process exits:
 // it flushes the CPU profile and captures the heap profile. An empty path
 // disables that profile; Start with both paths empty returns a no-op stop.
+// The stop function is idempotent, so error paths can call it
+// unconditionally before exiting without breaking the normal-exit call.
 func Start(cpuPath, memPath string) (stop func() error, err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
@@ -28,24 +31,33 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("prof: starting CPU profile: %w", err)
 		}
 	}
-	return func() error {
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			if err := cpuFile.Close(); err != nil {
-				return fmt.Errorf("prof: %w", err)
-			}
+	var once sync.Once
+	var stopErr error
+	stop = func() error {
+		once.Do(func() { stopErr = flush(cpuFile, memPath) })
+		return stopErr
+	}
+	return stop, nil
+}
+
+// flush ends the CPU profile and captures the heap profile.
+func flush(cpuFile *os.File, memPath string) error {
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := cpuFile.Close(); err != nil {
+			return fmt.Errorf("prof: %w", err)
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				return fmt.Errorf("prof: %w", err)
-			}
-			defer f.Close()
-			runtime.GC() // settle live objects so the heap profile is stable
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				return fmt.Errorf("prof: writing heap profile: %w", err)
-			}
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
 		}
-		return nil
-	}, nil
+		defer f.Close()
+		runtime.GC() // settle live objects so the heap profile is stable
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("prof: writing heap profile: %w", err)
+		}
+	}
+	return nil
 }

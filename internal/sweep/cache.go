@@ -1,0 +1,137 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Cache is the content-addressed run cache: one JSON file per completed
+// job, addressed by the SHA-256 of the versioned job key. Entries store
+// the full key alongside the value, so a (vanishingly unlikely) hash
+// collision or a truncated file degrades to a miss, never to a wrong
+// result. Writes go through a temp file plus rename, so concurrent
+// workers — or concurrent processes sharing a cache directory — can race
+// on the same key without corrupting it.
+type Cache struct {
+	dir string
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	writes  atomic.Uint64
+	flushEr atomic.Uint64
+}
+
+// CacheStats counts cache traffic.
+type CacheStats struct {
+	Hits       uint64 // get served from disk
+	Misses     uint64 // get found nothing usable
+	Writes     uint64 // entries written
+	WriteFails uint64 // entries that could not be written (non-fatal)
+}
+
+// Open creates (if needed) and opens a cache rooted at dir.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sweep: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: opening cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats snapshots the traffic counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Writes:     c.writes.Load(),
+		WriteFails: c.flushEr.Load(),
+	}
+}
+
+// entry is the on-disk format.
+type entry struct {
+	Version int             `json:"version"`
+	Key     string          `json:"key"`
+	Value   json.RawMessage `json:"value"`
+}
+
+// path maps a job key to its cache file, fanned out over 256 two-hex-digit
+// subdirectories so huge sweeps don't pile every entry into one directory.
+func (c *Cache) path(key string) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("v%d|%s", Version, key)))
+	h := hex.EncodeToString(sum[:])
+	return filepath.Join(c.dir, h[:2], h[2:]+".json")
+}
+
+// get decodes the cached value for key into out (a pointer). Any problem
+// — absent file, unreadable JSON, version or key mismatch — is a miss.
+func (c *Cache) get(key string, out any) bool {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		return false
+	}
+	var e entry
+	if json.Unmarshal(b, &e) != nil || e.Version != Version || e.Key != key {
+		c.misses.Add(1)
+		return false
+	}
+	if json.Unmarshal(e.Value, out) != nil {
+		c.misses.Add(1)
+		return false
+	}
+	c.hits.Add(1)
+	return true
+}
+
+// put stores the value for key. Failures are counted, not fatal: a cache
+// that cannot persist only costs a future re-simulation.
+func (c *Cache) put(key string, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		c.flushEr.Add(1)
+		return
+	}
+	b, err := json.Marshal(entry{Version: Version, Key: key, Value: raw})
+	if err != nil {
+		c.flushEr.Add(1)
+		return
+	}
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		c.flushEr.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp")
+	if err != nil {
+		c.flushEr.Add(1)
+		return
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		c.flushEr.Add(1)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		c.flushEr.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		c.flushEr.Add(1)
+		return
+	}
+	c.writes.Add(1)
+}

@@ -1,0 +1,176 @@
+// Package sweep is the deterministic parallel job scheduler behind the
+// paper reproduction: every simulation the evaluation needs (a kernel on
+// a configuration, an ablation variant, an offload study point) becomes a
+// self-describing Job with a stable content key, a worker pool fans the
+// jobs out across goroutines, and results are committed in submission
+// order — so every table and figure rendered from the results is
+// byte-identical to a serial run, at any worker count.
+//
+// On top of the pool sits a content-addressed run cache (cache.go):
+// completed jobs are memoized on disk under a hash of their key, which
+// includes the emitted program bytes and the input buffer, so a repeat
+// invocation — or a single re-rendered figure after a full run — skips
+// already-simulated points entirely.
+//
+// The scheduler itself never inspects results: values only need to
+// round-trip through encoding/json (Go's float64 encoding is exact, so
+// cached results are bit-identical to fresh ones).
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Version tags every cache entry. The job keys capture program bytes,
+// inputs and configuration, but not the simulator's own semantics: bump
+// this whenever a change to the timing or power models alters results for
+// an unchanged key, invalidating every prior cache entry at once.
+const Version = 1
+
+// Job is one unit of work: a stable content key plus the function that
+// computes the result. T must round-trip through encoding/json; Run is
+// only called on a cache miss.
+type Job[T any] struct {
+	Key string
+	Run func() (T, error)
+}
+
+// Event reports one completed job to the Progress callback.
+type Event struct {
+	Done   int    // jobs finished in the current batch (including this one)
+	Total  int    // jobs in the current batch
+	Cached int    // batch jobs served from the cache so far
+	Key    string // key of the job that just finished
+	Hit    bool   // whether this job was a cache hit
+}
+
+// Config shapes an Engine.
+type Config struct {
+	// Workers is the pool size; <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache memoizes completed jobs on disk (nil disables caching).
+	Cache *Cache
+	// Progress, when set, is called after every completed job. Callbacks
+	// may arrive from any worker goroutine, but never concurrently.
+	Progress func(Event)
+}
+
+// Stats counts what an engine has done across all Run batches.
+type Stats struct {
+	Jobs      int // jobs scheduled
+	Executed  int // jobs actually simulated (cache miss or no cache)
+	CacheHits int // jobs served from the cache
+}
+
+// Engine is a reusable scheduler: one engine typically serves every sweep
+// of a tool invocation, so its Stats aggregate the whole run.
+type Engine struct {
+	workers  int
+	cache    *Cache
+	progress func(Event)
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New builds an engine from the config.
+func New(cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: w, cache: cfg.Cache, progress: cfg.Progress}
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Cache returns the engine's cache (nil when caching is disabled).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Run executes the batch on the engine's worker pool and returns the
+// results indexed exactly like jobs — the ordering guarantee every
+// renderer depends on. Workers claim jobs in submission order; on a
+// failure the pool stops claiming new jobs, finishes what is in flight,
+// and returns the failed job's error (the lowest-indexed one when several
+// fail). Successful results of a failed batch are discarded.
+func Run[T any](e *Engine, jobs []Job[T]) ([]T, error) {
+	n := len(jobs)
+	results := make([]T, n)
+	errs := make([]error, n)
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		next   atomic.Int64 // next job index to claim
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		done   int // guarded by e.mu, batch-local
+		cached int // guarded by e.mu, batch-local
+	)
+	next.Store(-1)
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1))
+			if i >= n || failed.Load() {
+				return
+			}
+			j := jobs[i]
+			hit := false
+			if e.cache != nil {
+				hit = e.cache.get(j.Key, &results[i])
+			}
+			if !hit {
+				v, err := j.Run()
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+				} else {
+					results[i] = v
+					if e.cache != nil {
+						e.cache.put(j.Key, v) // best effort: a failed write is only a future miss
+					}
+				}
+			}
+			e.mu.Lock()
+			done++
+			if hit {
+				cached++
+				e.stats.CacheHits++
+			} else {
+				e.stats.Executed++
+			}
+			e.stats.Jobs++
+			if e.progress != nil {
+				// Called under the engine lock so events arrive serialized
+				// and in Done order; callbacks must not call back into the
+				// engine.
+				e.progress(Event{Done: done, Total: n, Cached: cached, Key: j.Key, Hit: hit})
+			}
+			e.mu.Unlock()
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go worker()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: job %q: %w", jobs[i].Key, err)
+		}
+	}
+	return results, nil
+}
