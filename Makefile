@@ -8,9 +8,9 @@ GO ?= go
 # its speedup against the same reference point.
 BENCH_BASELINE ?= 6.922
 
-.PHONY: ci vet build test race race-sweep differential fault-drill bench bench-smoke sweep-bench
+.PHONY: ci vet build test race race-sweep differential fault-drill chaos-drill bench bench-smoke sweep-bench
 
-ci: vet build race race-sweep differential fault-drill bench-smoke
+ci: vet build race race-sweep differential fault-drill chaos-drill bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +42,17 @@ fault-drill:
 	$(GO) run ./cmd/hetsim -kernel matmul -faults seed=7,hang=1 -watchdog 2000000 -retries 1 -fallback >/dev/null
 	$(GO) run ./cmd/hetsim -kernel "svm (RBF)" -faults seed=13,rate=0.2,max=6 -crc -watchdog 2000000 -retries 2 -fallback >/dev/null
 	@echo "fault drills passed"
+
+# Seeded memory-fault chaos campaign (DESIGN.md §9): SEU bit-flips in
+# TCDM and L2, I-cache parity errors and DMA transfer corruption on the
+# reduced matmul. -chaos-drill 1 makes hetexp exit non-zero unless every
+# fault class shows at least one detected-and-recovered trial and every
+# trial carries a known verdict — so each detector provably fires and
+# recovers in CI, and no outcome escapes classification.
+chaos-drill:
+	$(GO) run ./cmd/hetexp -chaos -small -no-cache -chaos-trials 6 \
+		-chaos-rates 2e-3 -chaos-seed 1 -chaos-drill 1 >/dev/null
+	@echo "chaos drill passed"
 
 # Differential cycle-accuracy: the event-driven run loop must agree with
 # the naive reference loop on cycles, outputs and stats for every kernel

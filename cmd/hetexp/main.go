@@ -8,20 +8,37 @@
 // -small runs reduced-size kernels (seconds instead of minutes); the
 // recorded EXPERIMENTS.md numbers come from the full-size run.
 //
+// Chaos mode runs the memory-fault reliability campaign instead of the
+// paper figures:
+//
+//	hetexp -chaos [-chaos-kernels matmul,fir] [-chaos-classes tcdm,l2,parity,dma]
+//	       [-chaos-rates 1e-5,1e-4] [-chaos-trials 8] [-chaos-seed 1]
+//	       [-chaos-drill N]
+//
 // Every simulation goes through the internal/sweep engine: -j sets the
 // worker count (default: one per CPU) and completed simulations are
 // memoized in a content-addressed cache under -cache-dir, so a repeat
 // invocation — or `-exp fig4` after `-exp all` — skips already-simulated
-// points. Output is byte-identical at any -j and on warm cache.
+// points. Output is byte-identical at any -j and on warm cache. SIGINT
+// cancels cleanly: in-flight jobs drain into the cache, a partial chaos
+// report is rendered, profiles are flushed, and the exit code is non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
 
+	"hetsim/internal/chaos"
+	"hetsim/internal/fault"
 	"hetsim/internal/kernels"
 	"hetsim/internal/paper"
 	"hetsim/internal/prof"
@@ -42,6 +59,15 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the run cache")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-simulation time budget (0 = unbounded)")
+	chaosOn := flag.Bool("chaos", false, "run the memory-fault chaos campaign instead of the paper figures")
+	chaosKernels := flag.String("chaos-kernels", "matmul", "comma-separated kernels for the chaos campaign")
+	chaosClasses := flag.String("chaos-classes", "", "comma-separated fault classes (default: tcdm,l2,parity,dma)")
+	chaosRates := flag.String("chaos-rates", "", "comma-separated per-decision fault rates (default: 1e-5,1e-4)")
+	chaosTrials := flag.Int("chaos-trials", 0, "trials per (kernel, class, rate) cell (default 8)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "campaign seed (default 1)")
+	chaosE2E := flag.Int("chaos-e2e-retries", 0, "acceptance-check retry budget (default 1, negative disables)")
+	chaosDrill := flag.Int("chaos-drill", 0, "assert >= N detected recoveries per fault class (implies -chaos)")
 	flag.Parse()
 
 	var err error
@@ -49,6 +75,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// SIGINT/SIGTERM cancel the engine: workers stop claiming, in-flight
+	// simulations drain into the cache, partial results are rendered, and
+	// the process exits non-zero through fatal.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
 
 	var cache *sweep.Cache
 	if !*noCache && *cacheDir != "" {
@@ -58,8 +90,10 @@ func main() {
 		}
 	}
 	eng := sweep.New(sweep.Config{
-		Workers: *workers,
-		Cache:   cache,
+		Workers:    *workers,
+		Cache:      cache,
+		Context:    ctx,
+		JobTimeout: *jobTimeout,
 		Progress: func(ev sweep.Event) {
 			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d jobs (%d cached)", ev.Done, ev.Total, ev.Cached)
 			if ev.Done == ev.Total {
@@ -71,6 +105,22 @@ func main() {
 	suite := kernels.PaperSuite()
 	if *small {
 		suite = kernels.SmallSuite()
+	}
+
+	if *chaosOn || *chaosDrill > 0 {
+		cerr := runChaos(eng, suite, chaosOpts{
+			kernels: *chaosKernels, classes: *chaosClasses, rates: *chaosRates,
+			trials: *chaosTrials, seed: *chaosSeed, e2e: *chaosE2E,
+			drill: *chaosDrill, out: os.Stdout,
+		})
+		sweepStats(eng)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	fmt.Fprintf(os.Stderr, "measuring kernel suite (each kernel on 6 configurations, %d workers)...\n", eng.Workers())
@@ -178,12 +228,103 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
-	st := eng.Stats()
-	fmt.Fprintf(os.Stderr, "sweep: %d jobs, %d simulated, %d served from cache\n",
-		st.Jobs, st.Executed, st.CacheHits)
+	sweepStats(eng)
 	if err := stopProf(); err != nil {
 		fatal(err)
 	}
+}
+
+// sweepStats prints the engine's cumulative counters; it runs on success
+// and on a cancelled or failed campaign alike, so a SIGINT still reports
+// what was completed (and what a future warm run will skip).
+func sweepStats(eng *sweep.Engine) {
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "sweep: %d jobs, %d simulated, %d served from cache\n",
+		st.Jobs, st.Executed, st.CacheHits)
+	if c := eng.Cache(); c != nil {
+		if cs := c.Stats(); cs.Corrupt > 0 {
+			fmt.Fprintf(os.Stderr, "cache: %d unusable entr(ies) re-simulated\n", cs.Corrupt)
+		}
+	}
+}
+
+// chaosOpts carries the -chaos-* flags into runChaos.
+type chaosOpts struct {
+	kernels string
+	classes string
+	rates   string
+	trials  int
+	seed    uint64
+	e2e     int
+	drill   int
+	out     io.Writer
+}
+
+// runChaos parses the campaign spec against the active suite, runs it on
+// the shared engine, and renders the reliability report. A cancelled
+// campaign still renders its completed prefix (marked PARTIAL) before the
+// error is returned.
+func runChaos(eng *sweep.Engine, suite []*kernels.Instance, o chaosOpts) error {
+	var ks []*kernels.Instance
+	for _, name := range strings.Split(o.kernels, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		var k *kernels.Instance
+		for _, c := range suite {
+			if c.Name == name {
+				k = c
+				break
+			}
+		}
+		if k == nil {
+			return fmt.Errorf("chaos: kernel %q not in the active suite", name)
+		}
+		ks = append(ks, k)
+	}
+	var classes []fault.Class
+	for _, s := range strings.Split(o.classes, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		cl, err := fault.ParseClass(s)
+		if err != nil {
+			return err
+		}
+		classes = append(classes, cl)
+	}
+	var rates []float64
+	for _, s := range strings.Split(o.rates, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("chaos: bad rate %q: %v", s, err)
+		}
+		rates = append(rates, r)
+	}
+	c := chaos.Campaign{
+		Kernels: ks, Classes: classes, Rates: rates,
+		Trials: o.trials, Seed: o.seed, E2ERetries: o.e2e,
+	}
+	rep, err := c.Run(eng)
+	if rep != nil && len(rep.Cells) > 0 || err == nil {
+		fmt.Fprintln(o.out, "== Chaos campaign: memory-fault reliability ==")
+		chaos.Render(o.out, rep)
+	}
+	if err != nil {
+		return err
+	}
+	if o.drill > 0 {
+		if err := rep.Drill(o.drill); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.out, "chaos drill: ok (every class >= %d detected recoveries, all %d trials classified)\n",
+			o.drill, rep.TrialsPerCell*len(rep.Cells))
+	}
+	return nil
 }
 
 // defaultCacheDir places the run cache under the user cache directory

@@ -23,9 +23,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
 	"hetsim/internal/core"
 	"hetsim/internal/devrt"
@@ -41,6 +45,10 @@ import (
 // of a failing run is still written. Replaced once prof.Start runs.
 var stopProf = func() error { return nil }
 
+// exiting flags an orderly shutdown so the signal watcher stands down
+// instead of racing the normal exit path's own profile flush.
+var exiting atomic.Bool
+
 func main() {
 	name := flag.String("kernel", "matmul", "Table I kernel name")
 	hostName := flag.String("host", "STM32-L476", "host MCU model (see Fig. 3 set)")
@@ -53,7 +61,7 @@ func main() {
 	db := flag.Bool("db", false, "double-buffer transfers with computation")
 	lanes := flag.Int("lanes", 4, "link lanes (1=SPI, 4=QSPI)")
 	seed := flag.Uint64("seed", 1, "input generator seed")
-	faults := flag.String("faults", "", "fault injection spec, e.g. seed=3,rate=0.01 (keys: seed,rate,corrupt,drop,hang,desc,max)")
+	faults := flag.String("faults", "", "fault injection spec, e.g. seed=3,rate=0.01 (keys: seed,rate,corrupt,drop,hang,desc,tcdm,l2,parity,dma,max)")
 	crc := flag.Bool("crc", false, "enable CRC-32 link framing (detect+retransmit link faults)")
 	watchdog := flag.Uint64("watchdog", 0, "EOC watchdog in accelerator cycles (0 = off)")
 	retries := flag.Int("retries", 0, "recovery attempts after a watchdog trip")
@@ -67,6 +75,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// A single simulation has no incremental results to save, but SIGINT
+	// must still flush any active profile before dying non-zero.
+	sigCtx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+	go func() {
+		<-sigCtx.Done()
+		if exiting.Load() {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "\nhetsim: interrupted, flushing profiles")
+		stopProf()
+		os.Exit(130)
+	}()
 
 	k, err := kernels.ByName(*name)
 	if err != nil {
@@ -160,6 +182,10 @@ func main() {
 			fmt.Printf("              %.3f ms / %.2f uJ spent on recovery\n",
 				rep.RecoveryTime*1e3, rep.RecoveryEnergyJ*1e6)
 		}
+		if rep.MemFlips > 0 || rep.ParityErrors > 0 || rep.DMACorrupted > 0 {
+			fmt.Printf("memory      : %d SEU flip(s), %d I$ parity error(s), %d DMA word(s) corrupted (final attempt)\n",
+				rep.MemFlips, rep.ParityErrors, rep.DMACorrupted)
+		}
 	}
 	fmt.Printf("accelerator : %d cycles on %d threads @ %.1f MHz (%.2f V) = %.3f ms\n",
 		rep.ComputeCycles, *threads, accHz/1e6, accVdd, rep.ComputeTime*1e3)
@@ -176,12 +202,14 @@ func main() {
 		base.Seconds*float64(rep.Iterations)/rep.TotalTime)
 	eBase := base.EnergyJ * float64(rep.Iterations)
 	fmt.Printf("energy gain : %.1fx\n", eBase/rep.Energy.TotalJ())
+	exiting.Store(true)
 	if err := stopProf(); err != nil {
 		fatal(err)
 	}
 }
 
 func fatal(err error) {
+	exiting.Store(true)
 	stopProf() // best effort: keep the partial CPU profile of a failed run
 	fmt.Fprintln(os.Stderr, "hetsim:", err)
 	os.Exit(1)

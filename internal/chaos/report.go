@@ -1,0 +1,167 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+)
+
+// tally aggregates the verdicts of a set of trials.
+type tally struct {
+	n                                 int
+	clean, recov, detected, sdc, hang int
+	hangOK                            int // hang-fallback trials whose fallback output was still correct
+	recCycles, recJ                   float64
+	recN                              int // trials that paid any recovery overhead
+	injected                          int
+}
+
+func (t *tally) add(trials []Trial) {
+	for _, tr := range trials {
+		t.n++
+		t.injected += tr.Injected
+		switch tr.Verdict {
+		case VerdictClean:
+			t.clean++
+		case VerdictRecov:
+			t.recov++
+		case VerdictDetected:
+			t.detected++
+		case VerdictSDC:
+			t.sdc++
+		case VerdictHang:
+			t.hang++
+			if tr.OutputOK {
+				t.hangOK++
+			}
+		}
+		if tr.RecoveryCycles > 0 || tr.RecoveryEnergyJ > 0 {
+			t.recN++
+			t.recCycles += tr.RecoveryCycles
+			t.recJ += tr.RecoveryEnergyJ
+		}
+	}
+}
+
+// faulted counts trials in which at least the classifier saw a fault
+// effect — everything that is not clean.
+func (t *tally) faulted() int { return t.n - t.clean }
+
+// coverage is the recovery coverage: of the faulted trials, the fraction
+// that still ended with a correct output (masked, detected-and-retried,
+// or rescued by the host fallback). SDC and failed fallbacks are the
+// complement.
+func (t *tally) coverage() float64 {
+	f := t.faulted()
+	if f == 0 {
+		return 1
+	}
+	return float64(t.recov+t.detected+t.hangOK) / float64(f)
+}
+
+// sdcRate is silent corruptions over all trials.
+func (t *tally) sdcRate() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return float64(t.sdc) / float64(t.n)
+}
+
+func (t *tally) meanRecCycles() float64 {
+	if t.recN == 0 {
+		return 0
+	}
+	return t.recCycles / float64(t.recN)
+}
+
+func (t *tally) meanRecJ() float64 {
+	if t.recN == 0 {
+		return 0
+	}
+	return t.recJ / float64(t.recN)
+}
+
+// Render writes the deterministic reliability report: one row per
+// (kernel, class, rate) cell in campaign order, then a per-class rollup
+// and the campaign totals. Same campaign spec, same report bytes — at
+// any worker count, cached or fresh.
+func Render(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "chaos campaign: seed=%d trials/cell=%d cells=%d",
+		rep.Seed, rep.TrialsPerCell, len(rep.Cells))
+	if rep.Partial {
+		fmt.Fprintf(w, " [PARTIAL: interrupted, completed prefix only]")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s %-14s %9s %6s %6s %6s %6s %5s %5s %8s %10s %10s\n",
+		"Kernel", "Class", "Rate", "clean", "recov", "det", "sdc", "hang", "inj", "cover%", "rec-cyc", "rec-J")
+	classOrder := []string{}
+	perClass := map[string]*tally{}
+	var total tally
+	for _, cell := range rep.Cells {
+		var t tally
+		t.add(cell.Trials)
+		fmt.Fprintf(w, "%-12s %-14s %9g %6d %6d %6d %6d %5d %5d %7.1f%% %10.0f %10.3g\n",
+			cell.Kernel, cell.Class, cell.Rate,
+			t.clean, t.recov, t.detected, t.sdc, t.hang, t.injected,
+			t.coverage()*100, t.meanRecCycles(), t.meanRecJ())
+		pc := perClass[cell.Class]
+		if pc == nil {
+			pc = &tally{}
+			perClass[cell.Class] = pc
+			classOrder = append(classOrder, cell.Class)
+		}
+		pc.add(cell.Trials)
+		total.add(cell.Trials)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "per-class rollup:\n")
+	for _, cl := range classOrder {
+		t := perClass[cl]
+		fmt.Fprintf(w, "  %-14s trials=%-4d faulted=%-4d coverage=%5.1f%% sdc=%5.1f%% detected=%d masked=%d fallback-saved=%d\n",
+			cl, t.n, t.faulted(), t.coverage()*100, t.sdcRate()*100,
+			t.detected, t.recov, t.hangOK)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "campaign: trials=%d faulted=%d recovery-coverage=%.1f%% sdc-rate=%.2f%%\n",
+		total.n, total.faulted(), total.coverage()*100, total.sdcRate()*100)
+	fmt.Fprintf(w, "mean recovery overhead (over %d recovering trials): %.0f acc-cycles, %.3g J\n",
+		total.recN, total.meanRecCycles(), total.meanRecJ())
+}
+
+// Drill validates a short seeded campaign as a CI gate: the campaign must
+// have completed (not partial), every trial must carry a known verdict,
+// and every fault class must show at least min detected-and-recovered
+// trials — proof that each detector actually fires and recovers, not just
+// that nothing crashed.
+func (rep *Report) Drill(min int) error {
+	if rep.Partial {
+		return fmt.Errorf("chaos drill: campaign is partial")
+	}
+	known := map[Verdict]bool{}
+	for _, v := range Verdicts {
+		known[v] = true
+	}
+	detected := map[string]int{}
+	classes := []string{}
+	for _, cell := range rep.Cells {
+		if _, ok := detected[cell.Class]; !ok {
+			detected[cell.Class] = 0
+			classes = append(classes, cell.Class)
+		}
+		for i, tr := range cell.Trials {
+			if !known[tr.Verdict] {
+				return fmt.Errorf("chaos drill: unclassified trial %d in cell %s/%s/%g (verdict %q)",
+					i, cell.Kernel, cell.Class, cell.Rate, tr.Verdict)
+			}
+			if tr.Verdict == VerdictDetected {
+				detected[cell.Class]++
+			}
+		}
+	}
+	for _, cl := range classes {
+		if detected[cl] < min {
+			return fmt.Errorf("chaos drill: class %s: %d detected-and-recovered trials, want >= %d",
+				cl, detected[cl], min)
+		}
+	}
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 	"hetsim/internal/asm"
 	"hetsim/internal/cpu"
 	"hetsim/internal/dma"
+	"hetsim/internal/fault"
 	"hetsim/internal/hw"
 	"hetsim/internal/hwsync"
 	"hetsim/internal/isa"
@@ -159,6 +160,21 @@ func New(cfg Config) *Cluster {
 		cl.order[r] = append(rot, cl.Cores[:r]...)
 	}
 	return cl
+}
+
+// AttachFaults wires a seeded fault injector into the memory system: SEU
+// bit-flips on TCDM and L2 word writes, I-cache parity errors on fetch
+// hits, and in-flight DMA beat corruption. Attach before LoadProgram so
+// the loader's own writes are as vulnerable as runtime stores; nil
+// detaches. With no injector every check on the hot paths is a single
+// nil compare, so clean runs are untouched.
+func (cl *Cluster) AttachFaults(in *fault.Injector) {
+	cl.TCDM.AttachFaults(in, fault.TCDMFlip)
+	cl.L2.AttachFaults(in, fault.L2Flip)
+	if cl.IC != nil {
+		cl.IC.Inject = in
+	}
+	cl.DMA.Inject = in
 }
 
 // Now returns the current cycle.
@@ -616,7 +632,8 @@ func (m *dmaMem) WriteWord(addr uint32, v uint32) error {
 
 // --- PMU ---------------------------------------------------------------------
 
-// Stats aggregates the performance counters the power model consumes.
+// Stats aggregates the performance counters the power model consumes,
+// plus the fault-injection ledger (all zero on clean runs).
 type Stats struct {
 	Cycles     uint64
 	Cores      []cpu.Stats
@@ -625,6 +642,12 @@ type Stats struct {
 	TCDMConf   uint64
 	ICHits     uint64
 	ICMisses   uint64
+
+	// Injected-fault accounting (see AttachFaults).
+	ICParity     uint64 // detected I-cache parity errors (refilled)
+	TCDMFlips    uint64 // SEU bit-flips landed in TCDM words
+	L2Flips      uint64 // SEU bit-flips landed in L2 words
+	DMACorrupted uint64 // DMA beats corrupted in flight
 }
 
 // Retired sums retired instructions over all cores.
@@ -645,9 +668,13 @@ func (cl *Cluster) CollectStats() Stats {
 		TCDMConf:   cl.TCDM.Conflicts,
 		Cores:      make([]cpu.Stats, 0, len(cl.Cores)),
 	}
+	s.TCDMFlips = cl.TCDM.Flips
+	s.L2Flips = cl.L2.Flips
+	s.DMACorrupted = cl.DMA.Corrupted
 	if cl.IC != nil {
 		s.ICHits = cl.IC.Hits
 		s.ICMisses = cl.IC.Misses
+		s.ICParity = cl.IC.ParityErrors
 	}
 	for _, c := range cl.Cores {
 		s.Cores = append(s.Cores, c.Stats)

@@ -240,14 +240,22 @@ type Report struct {
 	LinkPowerW float64 // link while clocking
 
 	// Resilience accounting. All zero on a clean run.
-	Retries            int    // recovery attempts actually performed
-	WatchdogTrips      int    // attempts that ended without a usable EOC
-	Retransmits        uint64 // link bursts repeated under CRC framing
-	RetransmittedBytes uint64 // wire bytes spent on those repeats
-	DescRewrites       int    // descriptor write-verify mismatches recovered
-	FallbackUsed       bool   // the job ran on the host Baseline path
+	Retries            int     // recovery attempts actually performed
+	WatchdogTrips      int     // attempts that ended without a usable EOC
+	Retransmits        uint64  // link bursts repeated under CRC framing
+	RetransmittedBytes uint64  // wire bytes spent on those repeats
+	DescRewrites       int     // descriptor write-verify mismatches recovered
+	FallbackUsed       bool    // the job ran on the host Baseline path
 	RecoveryTime       float64 // seconds added by watchdog waits, backoff and reloads
 	RecoveryEnergyJ    float64 // energy added by the same
+
+	// Memory-fault accounting (see cluster.AttachFaults). Counters come
+	// from the cluster of the final attempt; a full-reload retry rebuilds
+	// the cluster, so faults absorbed by earlier attempts show up in the
+	// injector's own Count(), not here.
+	ParityErrors uint64 // detected I-cache parity errors (refill recovered)
+	MemFlips     uint64 // SEU bit-flips landed in TCDM/L2 words
+	DMACorrupted uint64 // DMA beats corrupted in flight
 }
 
 // gpioCycles is the cost of a GPIO edge plus interrupt entry on the host
@@ -480,14 +488,19 @@ func (r *offloadRun) run() ([]byte, *Report, error) {
 		DescRewrites:       r.descRewrites,
 		RecoveryTime:       recT,
 		RecoveryEnergyJ:    recE,
+		ParityErrors:       stats.ICParity,
+		MemFlips:           stats.TCDMFlips + stats.L2Flips,
+		DMACorrupted:       stats.DMACorrupted,
 	}
 	return out, rep, nil
 }
 
 // buildCluster builds (or rebuilds, on a full reload) the accelerator and
-// installs the parsed program.
+// installs the parsed program. The fault injector attaches before the
+// program lands so the load itself is exposed to memory faults.
 func (r *offloadRun) buildCluster() error {
 	acc := cluster.New(r.sys.AccCfg)
+	acc.AttachFaults(r.opts.Faults)
 	if err := acc.LoadProgram(r.parsed, false); err != nil {
 		return err
 	}

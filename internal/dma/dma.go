@@ -7,6 +7,7 @@ package dma
 import (
 	"fmt"
 
+	"hetsim/internal/fault"
 	"hetsim/internal/hw"
 )
 
@@ -40,11 +41,19 @@ type Engine struct {
 	// by a write to DMAStart).
 	src, dst, length uint32
 
+	// Inject, when set, rolls one in-flight bit-flip per beat
+	// (fault.DMACorrupt): the lightweight DMA has no ECC, so a corrupted
+	// beat lands silently. Nil costs one compare per beat. Wiring, not
+	// transfer state: Reset keeps it, like the activity counters.
+	Inject *fault.Injector
+
 	// BusyCycles counts cycles in which the engine moved (or tried to
 	// move) data; feeds the chi_dma term of the power model.
 	BusyCycles uint64
 	// Beats counts words actually moved.
 	Beats uint64
+	// Corrupted counts beats that landed with an injected bit-flip.
+	Corrupted uint64
 	// Err records the first transfer error (bad address/alignment).
 	Err error
 }
@@ -166,6 +175,12 @@ func (e *Engine) Step() {
 	}
 	v, err := e.mem.ReadWord(src)
 	if err == nil {
+		if e.Inject != nil {
+			if mask := e.Inject.SEUMask(fault.DMACorrupt, 32); mask != 0 {
+				v ^= mask
+				e.Corrupted++
+			}
+		}
 		err = e.mem.WriteWord(dst, v)
 	}
 	if err != nil {

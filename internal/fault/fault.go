@@ -32,6 +32,19 @@ const (
 	// DescCorrupt: the job descriptor is corrupted in L2 after the write
 	// (a memory fault the link CRC cannot see).
 	DescCorrupt
+	// TCDMFlip: a single-event upset flips one bit of a word as it is
+	// written into the TCDM (core store, DMA beat or loader word).
+	TCDMFlip
+	// L2Flip: the same SEU model for the SoC L2 memory.
+	L2Flip
+	// ICacheParity: an instruction-cache line fails its parity check on a
+	// hit. Parity errors are always *detected*: the line is invalidated and
+	// refilled from L2, so the fault costs a refill penalty, never wrong
+	// execution.
+	ICacheParity
+	// DMACorrupt: one bit of a DMA beat flips in flight between L2 and the
+	// TCDM (the lightweight DMA has no ECC, so this lands silently).
+	DMACorrupt
 
 	numClasses
 )
@@ -46,8 +59,52 @@ func (c Class) String() string {
 		return "eoc-hang"
 	case DescCorrupt:
 		return "desc-corrupt"
+	case TCDMFlip:
+		return "tcdm-flip"
+	case L2Flip:
+		return "l2-flip"
+	case ICacheParity:
+		return "icache-parity"
+	case DMACorrupt:
+		return "dma-corrupt"
 	}
 	return "?"
+}
+
+// MemClasses lists the memory-level fault classes, the campaign axis of
+// the chaos engine (internal/chaos). Link and protocol classes
+// (LinkCorrupt, LinkDrop, EOCHang, DescCorrupt) are covered by the PR 1
+// resilience drills.
+var MemClasses = []Class{TCDMFlip, L2Flip, ICacheParity, DMACorrupt}
+
+// ParseClass parses a class name as printed by Class.String, accepting
+// the short spec-key aliases used by ParseSpec ("tcdm", "l2", "parity",
+// "dma") as well.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "tcdm":
+		return TCDMFlip, nil
+	case "l2":
+		return L2Flip, nil
+	case "parity":
+		return ICacheParity, nil
+	case "dma":
+		return DMACorrupt, nil
+	case "corrupt":
+		return LinkCorrupt, nil
+	case "drop":
+		return LinkDrop, nil
+	case "hang":
+		return EOCHang, nil
+	case "desc":
+		return DescCorrupt, nil
+	}
+	for c := Class(0); c < numClasses; c++ {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown fault class %q", s)
 }
 
 // Outcome is the fate of one link burst attempt.
@@ -72,10 +129,65 @@ type Config struct {
 	EOCHangRate     float64 // per offload attempt
 	DescCorruptRate float64 // per descriptor write
 
+	// Memory-level fault rates (SEU model). Flip rates roll once per word
+	// written — the upset strikes the cell as the write lands — and the
+	// parity rate rolls once per I-cache fetch hit.
+	TCDMFlipRate   float64 // per TCDM word write
+	L2FlipRate     float64 // per L2 word write
+	ParityRate     float64 // per I-cache fetch hit
+	DMACorruptRate float64 // per DMA beat
+
 	// MaxFaults bounds the total number of injected faults (0 = no bound),
 	// so tests can express "the first k decisions fail, then the hardware
 	// heals" and recovery paths terminate deterministically.
 	MaxFaults int
+}
+
+// Rate returns the configured rate of one class.
+func (c Config) Rate(cl Class) float64 {
+	switch cl {
+	case LinkCorrupt:
+		return c.LinkCorruptRate
+	case LinkDrop:
+		return c.LinkDropRate
+	case EOCHang:
+		return c.EOCHangRate
+	case DescCorrupt:
+		return c.DescCorruptRate
+	case TCDMFlip:
+		return c.TCDMFlipRate
+	case L2Flip:
+		return c.L2FlipRate
+	case ICacheParity:
+		return c.ParityRate
+	case DMACorrupt:
+		return c.DMACorruptRate
+	}
+	return 0
+}
+
+// SetRate sets the rate of one class, the programmatic counterpart of the
+// per-class ParseSpec keys (the chaos engine builds one single-class
+// config per trial this way).
+func (c *Config) SetRate(cl Class, r float64) {
+	switch cl {
+	case LinkCorrupt:
+		c.LinkCorruptRate = r
+	case LinkDrop:
+		c.LinkDropRate = r
+	case EOCHang:
+		c.EOCHangRate = r
+	case DescCorrupt:
+		c.DescCorruptRate = r
+	case TCDMFlip:
+		c.TCDMFlipRate = r
+	case L2Flip:
+		c.L2FlipRate = r
+	case ICacheParity:
+		c.ParityRate = r
+	case DMACorrupt:
+		c.DMACorruptRate = r
+	}
 }
 
 func (c Config) validate() error {
@@ -87,8 +199,14 @@ func (c Config) validate() error {
 		{"drop", c.LinkDropRate},
 		{"hang", c.EOCHangRate},
 		{"desc", c.DescCorruptRate},
+		{"tcdm", c.TCDMFlipRate},
+		{"l2", c.L2FlipRate},
+		{"parity", c.ParityRate},
+		{"dma", c.DMACorruptRate},
 	} {
-		if r.v < 0 || r.v > 1 {
+		// The inverted form also rejects NaN, which passes both `< 0`
+		// and `> 1` and would otherwise sail through ParseFloat("NaN").
+		if !(r.v >= 0 && r.v <= 1) {
 			return fmt.Errorf("fault: %s rate %v out of [0, 1]", r.name, r.v)
 		}
 	}
@@ -169,6 +287,27 @@ func (in *Injector) DescCorrupt() bool {
 	return in != nil && in.roll(in.cfg.DescCorruptRate, DescCorrupt)
 }
 
+// SEUMask rolls one memory-level fault of class c for a value that is
+// `bits` wide (8, 16 or 32) and returns an XOR mask with exactly one bit
+// set when the upset strikes, 0 otherwise. The caller applies the mask to
+// the word being written (TCDMFlip, L2Flip) or moved (DMACorrupt); a nil
+// injector or a zero rate returns 0 without touching the PRNG stream.
+func (in *Injector) SEUMask(c Class, bits uint32) uint32 {
+	if in == nil {
+		return 0
+	}
+	if !in.roll(in.cfg.Rate(c), c) {
+		return 0
+	}
+	return 1 << (in.next() % uint64(bits))
+}
+
+// ParityHit decides whether this I-cache fetch hit sees a parity error
+// (detected: the line is invalidated and refilled).
+func (in *Injector) ParityHit() bool {
+	return in != nil && in.roll(in.cfg.ParityRate, ICacheParity)
+}
+
 // CorruptBit flips one deterministically chosen bit of data in place.
 func (in *Injector) CorruptBit(data []byte) {
 	if in == nil || len(data) == 0 {
@@ -213,15 +352,39 @@ func (in *Injector) String() string {
 	return b.String()
 }
 
+// DeriveSeed mixes parts into base through the same splitmix64 stream the
+// injector uses, yielding a deterministic per-trial seed from a campaign
+// seed plus coordinates (kernel index, fault class, rate bits, trial
+// number). Unlike a plain XOR it separates trials that differ in a single
+// low bit.
+func DeriveSeed(base uint64, parts ...uint64) uint64 {
+	s := Injector{state: base}
+	out := s.next()
+	for _, p := range parts {
+		// Feed the mixed previous output back in so the fold is
+		// position-sensitive: a plain state += p would make (…,1,0)
+		// and (…,0,1) collide (addition commutes under splitmix).
+		s.state = out ^ p
+		out = s.next()
+	}
+	return out
+}
+
 // ParseSpec parses a command-line fault specification of the form
 // "seed=3,rate=0.2" — comma-separated key=value pairs. Keys:
 //
 //	seed    PRNG seed (uint)
-//	rate    shorthand: sets all four class rates at once
+//	rate    shorthand: sets the four link/protocol class rates at once
+//	        (corrupt, drop, hang, desc — NOT the memory classes, which
+//	        would silently corrupt outputs and have their own keys)
 //	corrupt link bit-flip rate per burst
 //	drop    lost-burst rate per burst
 //	hang    EOC-hang rate per offload attempt
 //	desc    descriptor-corruption rate per descriptor write
+//	tcdm    SEU bit-flip rate per TCDM word write
+//	l2      SEU bit-flip rate per L2 word write
+//	parity  I-cache parity-error rate per fetch hit
+//	dma     DMA beat corruption rate per word moved
 //	max     total fault bound (0 = unlimited)
 //
 // Specific class keys override the shorthand regardless of order.
@@ -254,7 +417,7 @@ func ParseSpec(spec string) (Config, error) {
 				return Config{}, fmt.Errorf("fault: bad max %q: %v", v, err)
 			}
 			cfg.MaxFaults = n
-		case "rate", "corrupt", "drop", "hang", "desc":
+		case "rate", "corrupt", "drop", "hang", "desc", "tcdm", "l2", "parity", "dma":
 			f, err := strconv.ParseFloat(v, 64)
 			if err != nil {
 				return Config{}, fmt.Errorf("fault: bad %s %q: %v", k, v, err)
@@ -273,6 +436,14 @@ func ParseSpec(spec string) (Config, error) {
 				hang = override{true, f}
 			case "desc":
 				desc = override{true, f}
+			case "tcdm":
+				cfg.TCDMFlipRate = f
+			case "l2":
+				cfg.L2FlipRate = f
+			case "parity":
+				cfg.ParityRate = f
+			case "dma":
+				cfg.DMACorruptRate = f
 			}
 		default:
 			return Config{}, fmt.Errorf("fault: unknown key %q", k)

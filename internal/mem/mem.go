@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"hetsim/internal/fault"
 	"hetsim/internal/hw"
 )
 
@@ -23,6 +24,23 @@ import (
 type SRAM struct {
 	Base uint32
 	Buf  []byte
+
+	// SEU injection (AttachFaults). inj nil — the only state clean runs
+	// ever see — keeps the write path at a single pointer compare.
+	inj      *fault.Injector
+	injClass fault.Class
+
+	// Flips counts SEU bit-flips landed in this memory.
+	Flips uint64
+}
+
+// AttachFaults wires a seeded injector into this memory's write path:
+// every word written rolls one SEU of the given fault class (per-word-
+// write model — the upset strikes the cell as the write lands). nil
+// detaches.
+func (m *SRAM) AttachFaults(in *fault.Injector, class fault.Class) {
+	m.inj = in
+	m.injClass = class
 }
 
 // NewSRAM allocates a memory of the given size at the given base address.
@@ -54,6 +72,12 @@ func (m *SRAM) Read(addr, n uint32) uint32 {
 
 // Write stores the low n bytes of v at addr, little-endian.
 func (m *SRAM) Write(addr, n, v uint32) {
+	if m.inj != nil {
+		if mask := m.inj.SEUMask(m.injClass, n*8); mask != 0 {
+			v ^= mask
+			m.Flips++
+		}
+	}
 	off := addr - m.Base
 	switch n {
 	case 4:
@@ -89,7 +113,30 @@ func (m *SRAM) WriteBytes(addr uint32, b []byte) error {
 			len(b), addr, m.Base, m.Base+uint32(len(m.Buf)))
 	}
 	copy(m.Buf[addr-m.Base:], b)
+	if m.inj != nil {
+		m.flipBulk(addr-m.Base, uint32(len(b)))
+	}
 	return nil
+}
+
+// flipBulk applies the per-word-write SEU model to a bulk write: one roll
+// per full word landed, plus one per trailing byte. Bulk writes are the
+// loader and link paths, so injected campaigns see binary images, staged
+// inputs and descriptors as vulnerable as core stores.
+func (m *SRAM) flipBulk(off, n uint32) {
+	for ; n >= 4; n, off = n-4, off+4 {
+		if mask := m.inj.SEUMask(m.injClass, 32); mask != 0 {
+			w := binary.LittleEndian.Uint32(m.Buf[off:])
+			binary.LittleEndian.PutUint32(m.Buf[off:], w^mask)
+			m.Flips++
+		}
+	}
+	for ; n > 0; n, off = n-1, off+1 {
+		if mask := m.inj.SEUMask(m.injClass, 8); mask != 0 {
+			m.Buf[off] ^= byte(mask)
+			m.Flips++
+		}
+	}
 }
 
 // TCDM is the multi-banked tightly-coupled data memory. Storage is a single
@@ -207,8 +254,15 @@ type ICache struct {
 
 	refillFree uint64 // next cycle the refill engine is available
 
-	Hits   uint64
-	Misses uint64
+	// Inject, when set, rolls a parity error on every fetch hit
+	// (fault.ICacheParity): the line is dropped and refilled from L2, so a
+	// parity upset is always detected and costs a refill penalty, never a
+	// wrong instruction. Nil (the clean-run state) costs one compare.
+	Inject *fault.Injector
+
+	Hits         uint64
+	Misses       uint64
+	ParityErrors uint64 // detected parity errors (each also counted a miss)
 }
 
 // NewICache builds a 2-way instruction cache of the given total size.
@@ -253,6 +307,14 @@ func (c *ICache) Fetch(pc uint32, now uint64) uint64 {
 	for w := 0; w < c.Ways; w++ {
 		if tags[w] == line {
 			if ready[w] <= now {
+				if c.Inject != nil && c.Inject.ParityHit() {
+					// Detected parity error: invalidate the line and fall
+					// through to the miss path, which refills it (the
+					// just-invalidated way is picked first as the victim).
+					c.ParityErrors++
+					tags[w] = 0xffffffff
+					break
+				}
 				c.Hits++
 				return now
 			}

@@ -1,0 +1,135 @@
+package mem
+
+import (
+	"bytes"
+	"math/bits"
+	"testing"
+
+	"hetsim/internal/fault"
+)
+
+func TestSRAMWordWriteSEU(t *testing.T) {
+	m := NewSRAM(0, 64)
+	m.AttachFaults(fault.New(fault.Config{Seed: 3, TCDMFlipRate: 1}), fault.TCDMFlip)
+	m.Write(0, 4, 0xdeadbeef)
+	got := m.Read(0, 4)
+	if got == 0xdeadbeef {
+		t.Fatal("rate-1 SEU did not flip the stored word")
+	}
+	if bits.OnesCount32(got^0xdeadbeef) != 1 {
+		t.Fatalf("SEU flipped %d bits, want exactly 1 (%#x vs %#x)",
+			bits.OnesCount32(got^0xdeadbeef), got, 0xdeadbeef)
+	}
+	if m.Flips != 1 {
+		t.Fatalf("Flips = %d, want 1", m.Flips)
+	}
+	// A byte write strikes within the byte.
+	m.Write(8, 1, 0xff)
+	if got := m.Read(8, 1); got == 0xff || bits.OnesCount32(got^0xff) != 1 || got > 0xff {
+		t.Fatalf("byte SEU: got %#x", got)
+	}
+}
+
+func TestSRAMBulkWriteSEU(t *testing.T) {
+	m := NewSRAM(0, 256)
+	m.AttachFaults(fault.New(fault.Config{Seed: 5, L2FlipRate: 1}), fault.L2Flip)
+	src := make([]byte, 41) // deliberately not word-aligned: 10 words + 1 tail byte
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	if err := m.WriteBytes(0, src); err != nil {
+		t.Fatal(err)
+	}
+	got := m.ReadBytes(0, uint32(len(src)))
+	diff := 0
+	for i := range src {
+		diff += bits.OnesCount8(got[i] ^ src[i])
+	}
+	// Rate 1: exactly one flip per word plus one in the tail byte.
+	if want := 11; diff != want {
+		t.Fatalf("bulk SEU flipped %d bits, want %d", diff, want)
+	}
+	if m.Flips != 11 {
+		t.Fatalf("Flips = %d, want 11", m.Flips)
+	}
+}
+
+func TestSRAMDetachedInjectorIsClean(t *testing.T) {
+	m := NewSRAM(0, 64)
+	in := fault.New(fault.Config{Seed: 1, TCDMFlipRate: 1})
+	m.AttachFaults(in, fault.TCDMFlip)
+	m.AttachFaults(nil, fault.TCDMFlip)
+	m.Write(0, 4, 0x12345678)
+	if got := m.Read(0, 4); got != 0x12345678 {
+		t.Fatalf("detached SRAM corrupted a write: %#x", got)
+	}
+	// Zero rate with an attached injector is equally clean.
+	m2 := NewSRAM(0, 64)
+	m2.AttachFaults(fault.New(fault.Config{Seed: 1}), fault.TCDMFlip)
+	src := []byte{1, 2, 3, 4, 5}
+	if err := m2.WriteBytes(0, src); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m2.ReadBytes(0, 5), src) {
+		t.Fatal("zero-rate SRAM corrupted a bulk write")
+	}
+}
+
+// TestICacheParityDetectedAsRefill checks the parity model: a hit that
+// rolls a parity error is demoted to a miss (the line is invalidated and
+// refilled), counted, and never left resident — detection with a refill
+// penalty, never a wrong instruction.
+func TestICacheParityDetectedAsRefill(t *testing.T) {
+	c := NewICache(4096, 16)
+	c.Inject = fault.New(fault.Config{Seed: 2, ParityRate: 1})
+
+	// Cold fetch: a plain miss, parity cannot fire on an absent line.
+	done := c.Fetch(0x100, 0)
+	if done == 0 {
+		t.Fatal("cold fetch cannot hit")
+	}
+	if c.ParityErrors != 0 {
+		t.Fatal("parity fired on a miss")
+	}
+	// Refetch once resident: rate-1 parity must demote the hit.
+	hits, misses := c.Hits, c.Misses
+	c.Fetch(0x100, done)
+	if c.ParityErrors != 1 {
+		t.Fatalf("ParityErrors = %d, want 1", c.ParityErrors)
+	}
+	if c.Hits != hits {
+		t.Fatal("parity-struck fetch still counted as a hit")
+	}
+	if c.Misses != misses+1 {
+		t.Fatal("parity-struck fetch must refill (count a miss)")
+	}
+}
+
+func TestICacheNilInjectorUnchanged(t *testing.T) {
+	// The same access pattern with and without a zero-rate injector must
+	// produce identical timing and counters: the fault hook is free when
+	// disarmed.
+	run := func(inject *fault.Injector) (uint64, uint64, uint64) {
+		c := NewICache(1024, 16)
+		c.Inject = inject
+		now := uint64(0)
+		for i := 0; i < 200; i++ {
+			pc := uint32((i * 52) % 4096)
+			for {
+				r := c.Fetch(pc, now)
+				if r <= now {
+					break
+				}
+				now = r
+			}
+			now++
+		}
+		return c.Hits, c.Misses, now
+	}
+	h0, m0, t0 := run(nil)
+	h1, m1, t1 := run(fault.New(fault.Config{Seed: 9}))
+	if h0 != h1 || m0 != m1 || t0 != t1 {
+		t.Fatalf("zero-rate parity changed behaviour: (%d,%d,%d) vs (%d,%d,%d)",
+			h0, m0, t0, h1, m1, t1)
+	}
+}

@@ -22,6 +22,7 @@ type Cache struct {
 
 	hits    atomic.Uint64
 	misses  atomic.Uint64
+	corrupt atomic.Uint64
 	writes  atomic.Uint64
 	flushEr atomic.Uint64
 }
@@ -30,6 +31,7 @@ type Cache struct {
 type CacheStats struct {
 	Hits       uint64 // get served from disk
 	Misses     uint64 // get found nothing usable
+	Corrupt    uint64 // of the misses: entry existed but was unusable (truncated, mismatched)
 	Writes     uint64 // entries written
 	WriteFails uint64 // entries that could not be written (non-fatal)
 }
@@ -53,6 +55,7 @@ func (c *Cache) Stats() CacheStats {
 	return CacheStats{
 		Hits:       c.hits.Load(),
 		Misses:     c.misses.Load(),
+		Corrupt:    c.corrupt.Load(),
 		Writes:     c.writes.Load(),
 		WriteFails: c.flushEr.Load(),
 	}
@@ -74,7 +77,12 @@ func (c *Cache) path(key string) string {
 }
 
 // get decodes the cached value for key into out (a pointer). Any problem
-// — absent file, unreadable JSON, version or key mismatch — is a miss.
+// — absent file, unreadable JSON, version or key mismatch — is a miss,
+// never an error: a zero-length or truncated entry (an interrupted writer
+// on a non-atomic filesystem, a torn copy) must only cost a
+// re-simulation. Unusable-but-present entries are additionally counted in
+// CacheStats.Corrupt so an ailing cache directory is visible in the sweep
+// stats instead of silently re-simulating forever.
 func (c *Cache) get(key string, out any) bool {
 	b, err := os.ReadFile(c.path(key))
 	if err != nil {
@@ -84,10 +92,12 @@ func (c *Cache) get(key string, out any) bool {
 	var e entry
 	if json.Unmarshal(b, &e) != nil || e.Version != Version || e.Key != key {
 		c.misses.Add(1)
+		c.corrupt.Add(1)
 		return false
 	}
 	if json.Unmarshal(e.Value, out) != nil {
 		c.misses.Add(1)
+		c.corrupt.Add(1)
 		return false
 	}
 	c.hits.Add(1)

@@ -1,0 +1,175 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPanicFailsOneJobNotTheProcess checks worker hardening: a panicking
+// job becomes a typed *PanicError carrying the panic value and stack, its
+// siblings still execute, and the process survives.
+func TestPanicFailsOneJobNotTheProcess(t *testing.T) {
+	e := New(Config{Workers: 2})
+	var ran atomic.Int64
+	sibling := make(chan struct{})
+	jobs := make([]Job[int], 6)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Key: "ok", Run: func() (int, error) {
+			if ran.Add(1) == 1 {
+				close(sibling)
+			}
+			return i, nil
+		}}
+	}
+	// The panicking job waits until one sibling has completed, so the
+	// isolation claim — siblings finish, the panicker fails alone — is
+	// deterministic rather than a scheduling race.
+	jobs[0] = Job[int]{Key: "boom", Run: func() (int, error) {
+		<-sibling
+		panic("seu in the scheduler")
+	}}
+	_, err := Run(e, jobs)
+	if err == nil {
+		t.Fatal("batch with a panicking job must fail")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *PanicError", err)
+	}
+	if pe.Value != "seu in the scheduler" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "harden_test") {
+		t.Fatal("panic stack does not point at the panicking job")
+	}
+	// Workers stop claiming after a failure, but the jobs already in
+	// flight on the second worker completed; at least one sibling ran.
+	if ran.Load() == 0 {
+		t.Fatal("no sibling job completed alongside the panic")
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	e := New(Config{Workers: 1, JobTimeout: 5 * time.Millisecond})
+	_, err := Run(e, []Job[int]{
+		{Key: "stuck", Run: func() (int, error) {
+			<-release // hung simulation
+			return 0, nil
+		}},
+	})
+	if !errors.Is(err, ErrJobTimeout) {
+		t.Fatalf("err = %v, want ErrJobTimeout", err)
+	}
+}
+
+func TestJobTimeoutNotTriggeredByFastJobs(t *testing.T) {
+	e := New(Config{Workers: 2, JobTimeout: time.Minute})
+	res, err := Run(e, []Job[int]{
+		{Key: "a", Run: func() (int, error) { return 1, nil }},
+		{Key: "b", Run: func() (int, error) { return 2, nil }},
+	})
+	if err != nil || res[0] != 1 || res[1] != 2 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+// TestCancellationStopsClaiming checks SIGINT semantics: once the context
+// is cancelled, workers stop claiming jobs, Run reports the context error,
+// and the remaining jobs never execute.
+func TestCancellationStopsClaiming(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e := New(Config{Workers: 1, Context: ctx})
+	var ran atomic.Int64
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		jobs[i] = Job[int]{Key: "j", Run: func() (int, error) {
+			if ran.Add(1) == 2 {
+				cancel() // "SIGINT" lands while job 2 is in flight
+			}
+			return 0, nil
+		}}
+	}
+	_, err := Run(e, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Job 2 saw the cancel mid-run and still finished; nothing after the
+	// next claim check may start.
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("%d jobs ran after cancellation, want 2", got)
+	}
+	if e.Context().Err() == nil {
+		t.Fatal("engine context must report cancellation")
+	}
+}
+
+func TestPreCancelledContextRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := New(Config{Workers: 4, Context: ctx})
+	var ran atomic.Int64
+	jobs := []Job[int]{{Key: "j", Run: func() (int, error) { ran.Add(1); return 0, nil }}}
+	if _, err := Run(e, jobs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("job ran under a pre-cancelled context")
+	}
+}
+
+// TestTruncatedCacheFileIsCountedMiss is the regression for interrupted
+// writers on non-atomic filesystems: a zero-length or truncated entry
+// must cost exactly one re-simulation — a counted miss, never an error or
+// a wrong result.
+func TestTruncatedCacheFileIsCountedMiss(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.put("k", payload{Cycles: 9})
+	path := c.path("k")
+	for name, b := range map[string][]byte{
+		"zero-length": {},
+		"truncated":   []byte(`{"version":2,"key":"k","val`),
+	} {
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		before := c.Stats()
+		var got payload
+		if c.get("k", &got) {
+			t.Fatalf("%s: expected a miss", name)
+		}
+		after := c.Stats()
+		if after.Misses != before.Misses+1 {
+			t.Fatalf("%s: miss not counted", name)
+		}
+		if after.Corrupt != before.Corrupt+1 {
+			t.Fatalf("%s: corrupt entry not counted (stats %+v)", name, after)
+		}
+		// The slot still works: a rewrite serves hits again.
+		c.put("k", payload{Cycles: 9})
+		if !c.get("k", &got) || got.Cycles != 9 {
+			t.Fatalf("%s: cache slot did not recover after rewrite", name)
+		}
+	}
+	// An absent entry is a plain miss, not a corrupt one.
+	before := c.Stats()
+	var got payload
+	if c.get("absent", &got) {
+		t.Fatal("unexpected hit")
+	}
+	after := c.Stats()
+	if after.Corrupt != before.Corrupt || after.Misses != before.Misses+1 {
+		t.Fatalf("absent entry miscounted: %+v -> %+v", before, after)
+	}
+}

@@ -15,20 +15,32 @@
 // The scheduler itself never inspects results: values only need to
 // round-trip through encoding/json (Go's float64 encoding is exact, so
 // cached results are bit-identical to fresh ones).
+//
+// The runtime is hardened for long campaigns: a panicking job is
+// recovered into a typed *PanicError that fails its batch without killing
+// the process, Config.JobTimeout bounds each job, and Config.Context
+// threads cancellation through every batch so SIGINT drains in-flight
+// work and flushes partial state instead of corrupting it.
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Version tags every cache entry. The job keys capture program bytes,
 // inputs and configuration, but not the simulator's own semantics: bump
 // this whenever a change to the timing or power models alters results for
 // an unchanged key, invalidating every prior cache entry at once.
-const Version = 1
+// History: 2 — fault-injection knobs entered the content keys (chaos
+// campaigns) and the memory system gained SEU hooks.
+const Version = 2
 
 // Job is one unit of work: a stable content key plus the function that
 // computes the result. T must round-trip through encoding/json; Run is
@@ -56,6 +68,17 @@ type Config struct {
 	// Progress, when set, is called after every completed job. Callbacks
 	// may arrive from any worker goroutine, but never concurrently.
 	Progress func(Event)
+	// Context, when set, threads cancellation through every Run: once it
+	// is done, workers stop claiming new jobs, in-flight jobs finish (and
+	// still land in the cache), and Run returns the context's error. This
+	// is how SIGINT on cmd/hetexp drains a campaign cleanly instead of
+	// killing it mid-write. Nil means never cancelled.
+	Context context.Context
+	// JobTimeout bounds each job's Run call (0 = unbounded). A job that
+	// exceeds it fails with ErrJobTimeout; its goroutine is abandoned (the
+	// simulator's own MaxCycles bound eventually ends it) and its late
+	// result is discarded, never cached.
+	JobTimeout time.Duration
 }
 
 // Stats counts what an engine has done across all Run batches.
@@ -71,6 +94,8 @@ type Engine struct {
 	workers  int
 	cache    *Cache
 	progress func(Event)
+	ctx      context.Context
+	timeout  time.Duration
 
 	mu    sync.Mutex
 	stats Stats
@@ -82,7 +107,12 @@ func New(cfg Config) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: w, cache: cfg.Cache, progress: cfg.Progress}
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Engine{workers: w, cache: cfg.Cache, progress: cfg.Progress,
+		ctx: ctx, timeout: cfg.JobTimeout}
 }
 
 // Workers returns the pool size.
@@ -91,6 +121,11 @@ func (e *Engine) Workers() int { return e.workers }
 // Cache returns the engine's cache (nil when caching is disabled).
 func (e *Engine) Cache() *Cache { return e.cache }
 
+// Context returns the engine's cancellation context (never nil), so
+// multi-batch drivers like the chaos campaign can stop scheduling new
+// batches as soon as the engine is cancelled.
+func (e *Engine) Context() context.Context { return e.ctx }
+
 // Stats snapshots the engine's counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
@@ -98,12 +133,71 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
+// PanicError is the typed per-job error a worker produces when a job's
+// Run function panics: the panic is recovered inside the worker, so one
+// crashing job fails its batch with a diagnosable error instead of
+// killing the whole process (and every sibling sweep) mid-campaign.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // the panicking goroutine's stack
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job panicked: %v", e.Value)
+}
+
+// ErrJobTimeout marks a job that exceeded Config.JobTimeout.
+var ErrJobTimeout = errors.New("sweep: job exceeded its time budget")
+
+// exec runs one job with the worker-side guards: a recover() that turns a
+// panic into a *PanicError, and — when the engine has a JobTimeout — a
+// watchdog that abandons the job's goroutine and fails it with
+// ErrJobTimeout. A timed-out job's late result is discarded (the buffered
+// channel keeps its goroutine from leaking on send) and never cached.
+func exec[T any](e *Engine, j Job[T]) (T, error) {
+	if e.timeout <= 0 {
+		return runRecover(j)
+	}
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := runRecover(j)
+		ch <- outcome{v, err}
+	}()
+	timer := time.NewTimer(e.timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-timer.C:
+		var zero T
+		return zero, ErrJobTimeout
+	}
+}
+
+// runRecover invokes the job, converting a panic into a *PanicError.
+func runRecover[T any](j Job[T]) (v T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return j.Run()
+}
+
 // Run executes the batch on the engine's worker pool and returns the
 // results indexed exactly like jobs — the ordering guarantee every
 // renderer depends on. Workers claim jobs in submission order; on a
 // failure the pool stops claiming new jobs, finishes what is in flight,
 // and returns the failed job's error (the lowest-indexed one when several
-// fail). Successful results of a failed batch are discarded.
+// fail). A panicking job is recovered into a *PanicError and fails the
+// batch the same way — its siblings complete, the process survives. When
+// the engine's Context is cancelled, workers stop claiming, in-flight
+// jobs finish (and still land in the cache), and Run returns the context
+// error. Successful results of a failed or cancelled batch are discarded.
 func Run[T any](e *Engine, jobs []Job[T]) ([]T, error) {
 	n := len(jobs)
 	results := make([]T, n)
@@ -124,7 +218,7 @@ func Run[T any](e *Engine, jobs []Job[T]) ([]T, error) {
 		defer wg.Done()
 		for {
 			i := int(next.Add(1))
-			if i >= n || failed.Load() {
+			if i >= n || failed.Load() || e.ctx.Err() != nil {
 				return
 			}
 			j := jobs[i]
@@ -133,7 +227,7 @@ func Run[T any](e *Engine, jobs []Job[T]) ([]T, error) {
 				hit = e.cache.get(j.Key, &results[i])
 			}
 			if !hit {
-				v, err := j.Run()
+				v, err := exec(e, j)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -171,6 +265,9 @@ func Run[T any](e *Engine, jobs []Job[T]) ([]T, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sweep: job %q: %w", jobs[i].Key, err)
 		}
+	}
+	if err := e.ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: batch cancelled: %w", err)
 	}
 	return results, nil
 }
