@@ -8,9 +8,16 @@ GO ?= go
 # its speedup against the same reference point.
 BENCH_BASELINE ?= 6.922
 
-.PHONY: ci vet build test race race-sweep differential fault-drill chaos-drill bench bench-smoke sweep-bench
+# Pre-PR 5 simulator throughput (best of 3) on the same workload: the
+# reference the observability layer is gated against. With observability
+# detached the simulator must stay within 1% of this (the zero-cost
+# claim); OBS_FLOOR is the absolute backstop under it.
+OBS_BASELINE ?= 13.70
+OBS_FLOOR ?= 12.0
 
-ci: vet build race race-sweep differential fault-drill chaos-drill bench-smoke
+.PHONY: ci vet build test race race-sweep differential fault-drill chaos-drill bench bench-smoke sweep-bench obs-bench
+
+ci: vet build race race-sweep differential fault-drill chaos-drill bench-smoke obs-bench
 
 vet:
 	$(GO) vet ./...
@@ -70,6 +77,17 @@ bench:
 # in CI without the cost (or the noise sensitivity) of a full bench run.
 bench-smoke:
 	$(GO) test -run xxx -bench=SimulatorThroughput -benchtime=1x .
+
+# Observability cost gate: runs the plain and observed throughput
+# benchmarks best-of-3 and writes BENCH_PR5.json. Fails if the obs-OFF
+# simulator lost more than 1% vs the pre-PR baseline (zero-cost claim) or
+# fell under the absolute floor; the report also records the obs-ON
+# overhead under "obs_overhead". Bit-identical cycle counts either way
+# are enforced separately by the differential tests in internal/cluster,
+# internal/core and internal/paper.
+obs-bench:
+	$(GO) test -run xxx -bench 'SimulatorThroughput$$|SimulatorThroughputObs$$' -benchtime=2s -count=3 . \
+		| $(GO) run ./cmd/benchreport -o BENCH_PR5.json -before $(OBS_BASELINE) -max-loss 0.01 -min $(OBS_FLOOR)
 
 # Sweep wall-clock record: times the reduced evaluation cold at -j1, cold
 # at -j4 and on a warm run cache, and writes BENCH_PR3.json. The -warm-max

@@ -289,3 +289,41 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.ReportMetric(float64(cycles)/secs/1e6, "Msimcycles/s")
 	}
 }
+
+// BenchmarkSimulatorThroughputObs is BenchmarkSimulatorThroughput with the
+// full observability layer attached — per-core cycle attribution plus the
+// span timeline. benchreport compares its Msimcycles/s against the plain
+// benchmark to gate the observed-mode overhead; the obs-OFF zero-cost
+// claim is gated separately by -max-loss against the pre-PR baseline.
+func BenchmarkSimulatorThroughputObs(b *testing.B) {
+	k := hetsim.MatMulChar(64)
+	prog, err := k.Build(hetsim.PULPFull, hetsim.Accel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := k.Input(1)
+	sys, err := hetsim.NewSystem(hetsim.SystemConfig{
+		Host: hetsim.STM32L476, HostFreqHz: 16e6, Lanes: 4,
+		AccVdd: 0.8, AccFreqHz: 200e6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, rep, err := sys.Offload(hetsim.Job{
+			Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: 4, Args: k.Args(),
+		}, hetsim.OffloadOptions{
+			Obs: hetsim.NewAttribution(0), Timeline: hetsim.NewTimeline(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += rep.ComputeCycles
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(cycles)/secs/1e6, "Msimcycles/s")
+	}
+}

@@ -11,8 +11,15 @@
 // -before records the pre-optimization simulator throughput so the report
 // carries its own baseline; -min (Msimcycles/s) makes the tool exit
 // non-zero when the measured throughput falls below a floor, turning any
-// CI bench run into a regression gate. The format is documented in
-// EXPERIMENTS.md ("Simulator throughput").
+// CI bench run into a regression gate. -max-loss additionally bounds the
+// relative regression against -before (e.g. -max-loss 0.01 fails if the
+// measured throughput lost more than 1% vs the baseline — the
+// observability-off zero-cost gate). When the stream contains
+// SimulatorThroughputObs (the observed-mode twin), the report records the
+// on/off overhead under "obs_overhead". Repeated benchmark lines from
+// -count=N are folded best-of (min ns/op, max custom metrics) so the
+// gates judge the machine's capability, not its noise floor. The format
+// is documented in EXPERIMENTS.md ("Simulator throughput").
 package main
 
 import (
@@ -42,6 +49,7 @@ type Report struct {
 	Benchmarks map[string]Benchmark `json:"benchmarks"`
 	Throughput *Throughput          `json:"throughput,omitempty"`
 	Sweep      *Sweep               `json:"sweep,omitempty"`
+	Obs        *ObsOverhead         `json:"obs_overhead,omitempty"`
 }
 
 // Sweep is the evaluation wall-clock record from BenchmarkSweepWallclock:
@@ -64,9 +72,18 @@ type Throughput struct {
 	Speedup float64 `json:"speedup,omitempty"`
 }
 
+// ObsOverhead records what attaching the observability layer costs: the
+// plain vs observed simulator throughput and the relative loss.
+type ObsOverhead struct {
+	OffMsimcyclesS float64 `json:"off_msimcycles_s"`
+	OnMsimcyclesS  float64 `json:"on_msimcycles_s"`
+	OverheadFrac   float64 `json:"overhead_frac"` // 1 - on/off
+}
+
 const throughputBench = "SimulatorThroughput"
 const throughputMetric = "Msimcycles/s"
 const sweepBench = "SweepWallclock"
+const obsBench = "SimulatorThroughputObs"
 
 var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
@@ -74,6 +91,7 @@ func main() {
 	out := flag.String("o", "BENCH_PR2.json", "output JSON path")
 	before := flag.Float64("before", 0, "baseline simulator throughput (Msimcycles/s) recorded alongside the measurement")
 	min := flag.Float64("min", 0, "fail (exit 1) if simulator throughput is below this floor, 0 = off")
+	maxLoss := flag.Float64("max-loss", 0, "fail (exit 1) if simulator throughput lost more than this fraction vs -before (e.g. 0.01 = 1%), 0 = off")
 	warmMax := flag.Float64("warm-max", 0, "fail (exit 1) if the warm-cache sweep exceeds this fraction of the cold serial one, 0 = off")
 	flag.Parse()
 
@@ -115,7 +133,7 @@ func main() {
 		if len(b.Metrics) == 0 {
 			b.Metrics = nil
 		}
-		rep.Benchmarks[mm[1]] = b
+		rep.Benchmarks[mm[1]] = bestOf(rep.Benchmarks[mm[1]], b)
 	}
 	if err := sc.Err(); err != nil {
 		fatal(err)
@@ -131,6 +149,17 @@ func main() {
 				t.Speedup = after / *before
 			}
 			rep.Throughput = t
+		}
+	}
+	if rep.Throughput != nil {
+		if ob, ok := rep.Benchmarks[obsBench]; ok {
+			if on, ok := ob.Metrics[throughputMetric]; ok && rep.Throughput.After > 0 {
+				rep.Obs = &ObsOverhead{
+					OffMsimcyclesS: rep.Throughput.After,
+					OnMsimcyclesS:  on,
+					OverheadFrac:   1 - on/rep.Throughput.After,
+				}
+			}
 		}
 	}
 	if sb, ok := rep.Benchmarks[sweepBench]; ok {
@@ -165,6 +194,19 @@ func main() {
 				rep.Throughput.After, throughputMetric, *min))
 		}
 	}
+	if *maxLoss > 0 {
+		if rep.Throughput == nil {
+			fatal(fmt.Errorf("-max-loss set but %s did not report %s", throughputBench, throughputMetric))
+		}
+		if *before <= 0 {
+			fatal(fmt.Errorf("-max-loss needs -before to compare against"))
+		}
+		if rep.Throughput.After < *before*(1-*maxLoss) {
+			fatal(fmt.Errorf("simulator throughput %.2f %s lost %.1f%% vs baseline %.2f, above the %.1f%% ceiling",
+				rep.Throughput.After, throughputMetric,
+				(1-rep.Throughput.After / *before)*100, *before, *maxLoss*100))
+		}
+	}
 	if *warmMax > 0 {
 		if rep.Sweep == nil {
 			fatal(fmt.Errorf("-warm-max set but %s reported no sweep metrics", sweepBench))
@@ -174,6 +216,18 @@ func main() {
 				rep.Sweep.WarmFraction*100, *warmMax*100))
 		}
 	}
+}
+
+// bestOf folds repeated runs of the same benchmark (go test -count=N)
+// into the fastest one, wholesale: the run with the lowest ns/op wins and
+// keeps all its metrics together, so derived numbers stay internally
+// consistent. Gates then judge the machine's capability, not its noise
+// floor, while a genuine regression still moves every repetition.
+func bestOf(prev, b Benchmark) Benchmark {
+	if prev.Iterations == 0 || (b.NsPerOp > 0 && b.NsPerOp < prev.NsPerOp) {
+		return b
+	}
+	return prev
 }
 
 func fatal(err error) {

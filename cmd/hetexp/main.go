@@ -3,10 +3,14 @@
 // Usage:
 //
 //	hetexp [-exp table1|fig3|fig4|fig5a|fig5b|all] [-small] [-kernel name]
-//	       [-j N] [-cache-dir DIR] [-no-cache]
+//	       [-j N] [-cache-dir DIR] [-no-cache] [-breakdown]
 //
 // -small runs reduced-size kernels (seconds instead of minutes); the
 // recorded EXPERIMENTS.md numbers come from the full-size run.
+// -breakdown measures the pulp-4t configuration with cycle attribution
+// attached (internal/obs) and prints the per-kernel stall-breakdown table
+// in addition to the selected experiments; every shared number stays
+// byte-identical to an unobserved run.
 //
 // Chaos mode runs the memory-fault reliability campaign instead of the
 // paper figures:
@@ -52,6 +56,7 @@ var stopProf = func() error { return nil }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5a, fig5b, ablate or all")
+	breakdown := flag.Bool("breakdown", false, "also measure with cycle attribution and print the pulp-4t stall-breakdown table")
 	small := flag.Bool("small", false, "use reduced kernel sizes (fast smoke run)")
 	kernel := flag.String("kernel", "matmul", "kernel for fig5b")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
@@ -124,7 +129,11 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "measuring kernel suite (each kernel on 6 configurations, %d workers)...\n", eng.Workers())
-	m, err := paper.MeasureWith(eng, suite)
+	measure := paper.MeasureWith
+	if *breakdown {
+		measure = paper.MeasureObservedWith
+	}
+	m, err := measure(eng, suite)
 	if err != nil {
 		fatal(err)
 	}
@@ -132,6 +141,15 @@ func main() {
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 	out := os.Stdout
 
+	if *breakdown {
+		fmt.Fprintln(out, "== Stall breakdown: pulp-4t cycle attribution (beyond paper) ==")
+		rows, err := m.BreakdownTable()
+		if err != nil {
+			fatal(err)
+		}
+		paper.RenderBreakdown(out, rows)
+		fmt.Fprintln(out)
+	}
 	if run("table1") {
 		fmt.Fprintln(out, "== Table I: benchmark summary ==")
 		paper.RenderTable1(out, m.Table1())

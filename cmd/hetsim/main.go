@@ -19,6 +19,12 @@
 // which corrupts ~1% of link bursts and offload attempts under seed 3,
 // recovers them through CRC retransmission, the EOC watchdog and retry
 // backoff, and degrades to native host execution if recovery runs out.
+//
+// With -timeline out.json the offload additionally records a span
+// timeline (host protocol phases, SPI bursts, recovery events, per-core
+// run/sleep spans, DMA transfers, barriers) as Chrome trace-event JSON —
+// loadable in Perfetto or chrome://tracing — and prints the per-class
+// stall breakdown of the accelerator cycles.
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"hetsim/internal/isa"
 	"hetsim/internal/kernels"
 	"hetsim/internal/loader"
+	"hetsim/internal/obs"
 	"hetsim/internal/power"
 	"hetsim/internal/prof"
 )
@@ -66,6 +73,7 @@ func main() {
 	watchdog := flag.Uint64("watchdog", 0, "EOC watchdog in accelerator cycles (0 = off)")
 	retries := flag.Int("retries", 0, "recovery attempts after a watchdog trip")
 	fallback := flag.Bool("fallback", false, "fall back to native host execution when recovery is exhausted")
+	timeline := flag.String("timeline", "", "write a Chrome trace-event timeline of the offload to this JSON file (load in Perfetto)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -166,6 +174,14 @@ func main() {
 	if *fallback {
 		opts.HostFallback = hostProg
 	}
+	var tl *obs.Timeline
+	var at *obs.Attribution
+	if *timeline != "" {
+		tl = obs.NewTimeline()
+		at = obs.NewAttribution(0)
+		opts.Timeline = tl
+		opts.Obs = at
+	}
 	out, rep, err := sys.Offload(job, opts)
 	if err != nil {
 		fatal(err)
@@ -202,6 +218,36 @@ func main() {
 		base.Seconds*float64(rep.Iterations)/rep.TotalTime)
 	eBase := base.EnergyJ * float64(rep.Iterations)
 	fmt.Printf("energy gain : %.1fx\n", eBase/rep.Energy.TotalJ())
+	if tl != nil {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tl.Export(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timeline    : %d events -> %s (open in Perfetto or chrome://tracing)\n",
+			tl.Events(), *timeline)
+		sum := at.Sum()
+		var total uint64
+		for _, c := range sum {
+			total += c
+		}
+		if total > 0 {
+			fmt.Printf("stalls      :")
+			for cl, c := range sum {
+				if c == 0 {
+					continue
+				}
+				fmt.Printf(" %s %.1f%%", obs.Class(cl), 100*float64(c)/float64(total))
+			}
+			fmt.Println()
+		}
+	}
 	exiting.Store(true)
 	if err := stopProf(); err != nil {
 		fatal(err)

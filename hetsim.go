@@ -36,6 +36,7 @@ import (
 	"hetsim/internal/kernels"
 	"hetsim/internal/loader"
 	"hetsim/internal/mcu"
+	"hetsim/internal/obs"
 	"hetsim/internal/omp"
 	"hetsim/internal/paper"
 	"hetsim/internal/power"
@@ -256,6 +257,23 @@ func FeedFrom(s Sensor, p SensorPath) *SensorFeed {
 	at, ej, via := s.Feed(p)
 	return &SensorFeed{AcquireTime: at, SampleEnergyJ: ej, ViaLink: via}
 }
+
+// --- Observability ----------------------------------------------------------
+
+// Attribution is the per-core cycle attribution of an observed run; pass
+// one via OffloadOptions.Obs (see internal/obs for the class taxonomy).
+type Attribution = obs.Attribution
+
+// NewAttribution builds an attribution ledger (OffloadOptions.Obs grows
+// it to the cluster size, so 0 cores is fine).
+var NewAttribution = obs.NewAttribution
+
+// Timeline collects the offload-level span timeline; pass one via
+// OffloadOptions.Timeline and Export it as Chrome trace-event JSON.
+type Timeline = obs.Timeline
+
+// NewTimeline builds an empty timeline.
+var NewTimeline = obs.NewTimeline
 
 // --- Experiments ----------------------------------------------------------------------
 

@@ -22,6 +22,7 @@ import (
 	"hetsim/internal/hwsync"
 	"hetsim/internal/isa"
 	"hetsim/internal/mem"
+	"hetsim/internal/obs"
 	"hetsim/internal/trace"
 )
 
@@ -48,6 +49,12 @@ type Config struct {
 	// EOC values and stats; the differential cycle-accuracy test steps
 	// them against each other over the whole kernel suite.
 	ReferenceRun bool
+
+	// Observe attaches per-core cycle attribution (internal/obs) to the
+	// cluster built by RunJob. Attribution is purely observational: cycle
+	// counts, stats and outputs are bit-identical either way (enforced by
+	// the observability differential test).
+	Observe bool
 }
 
 // PULPConfig returns the PULP3 cluster of the paper: 4 OR10N cores, 8-bank
@@ -120,7 +127,22 @@ type Cluster struct {
 
 	tracer *trace.Tracer
 
+	// obs is the attached observability bundle (nil = detached); sleepMark
+	// tracks each core's open sleep interval and current run span for the
+	// sleep/wake trace events and timeline spans.
+	obs       *obs.Observer
+	sleepMark []sleepMark
+
 	err error
+}
+
+// sleepMark is the per-core sleep/run bookkeeping behind the SleepHook.
+type sleepMark struct {
+	start    uint64 // cycle the open sleep interval began
+	lastWake uint64 // cycle the current run span began
+	sleep0   uint64 // core's Stats.Sleep at the sleep transition
+	kind     cpu.SleepKind
+	open     bool
 }
 
 // New builds a cluster from the config.
@@ -142,6 +164,12 @@ func New(cfg Config) *Cluster {
 		cl.IC = mem.NewICache(cfg.ICacheSize, line)
 	}
 	cl.DMA = dma.New((*dmaMem)(cl))
+	// The DMA engine and event unit stamp timeline spans with the cluster
+	// cycle; hand them the clock up front (reads are gated on a non-nil
+	// span recorder, so this costs nothing until AttachObs).
+	cl.DMA.Now = &cl.now
+	cl.Evt.Now = &cl.now
+	cl.sleepMark = make([]sleepMark, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		c := cpu.New(i, cfg.Target, cl)
 		if cl.IC != nil {
@@ -230,8 +258,11 @@ func (cl *Cluster) Start(entry uint32) {
 	cl.err = nil
 	cl.Evt.Reset()
 	cl.DMA.Reset()
-	for _, c := range cl.Cores {
+	for i, c := range cl.Cores {
 		c.Start(entry)
+		// Stats survive Start (they accumulate across retry attempts), so
+		// the sleep baseline must be re-snapshotted, not zeroed.
+		cl.sleepMark[i] = sleepMark{lastWake: cl.now, start: cl.now, sleep0: c.Stats.Sleep}
 	}
 }
 
@@ -343,6 +374,17 @@ type RunResult struct {
 // bit-identical to the naive loop (Config.ReferenceRun); the differential
 // cycle-accuracy test enforces this over the whole kernel suite.
 func (cl *Cluster) Run(maxCycles uint64) (RunResult, error) {
+	res, err := cl.runLoop(maxCycles)
+	// Close open sleep intervals and run spans on every exit path, so
+	// trace-derived sleep cycles always reconcile with CollectStats even
+	// when the run ends inside a fast-forwarded idle window.
+	cl.flushObs()
+	return res, err
+}
+
+// runLoop dispatches to the event-driven or reference loop; Run wraps it
+// so observability flushing happens exactly once per run on either.
+func (cl *Cluster) runLoop(maxCycles uint64) (RunResult, error) {
 	if cl.Cfg.ReferenceRun {
 		return cl.runReference(maxCycles)
 	}
@@ -454,8 +496,9 @@ func (cl *Cluster) runReference(maxCycles uint64) (RunResult, error) {
 	return RunResult{Cycles: cl.now - start}, fmt.Errorf("cluster: exceeded %d cycles", maxCycles)
 }
 
-// AttachTracer routes every core's retirement stream and the cluster-level
-// events into the tracer. Attach before Start; pass nil to detach.
+// AttachTracer routes every core's retirement stream, sleep/wake
+// transitions and the cluster-level events into the tracer. Attach before
+// Start; pass nil to detach.
 func (cl *Cluster) AttachTracer(tr *trace.Tracer) {
 	cl.tracer = tr
 	for _, c := range cl.Cores {
@@ -467,6 +510,135 @@ func (cl *Cluster) AttachTracer(tr *trace.Tracer) {
 		c.Trace = func(cycle uint64, pc uint32, in isa.Inst) {
 			tr.Emit(trace.Event{Cycle: cycle, Core: id, Kind: trace.KindRetire, PC: pc, Inst: in})
 		}
+	}
+	cl.wireSleepHooks()
+}
+
+// AttachObs attaches the observability layer (DESIGN.md §10): per-core
+// cycle attribution into o.Attr (allocated if nil) and, when o.TL is set,
+// cycle-domain timeline spans from the cores, DMA engine, event unit and
+// I$ refill engine. Attach before Start; pass nil to detach. Attaching
+// never changes simulated timing — only counters and spans are recorded.
+func (cl *Cluster) AttachObs(o *obs.Observer) {
+	cl.obs = o
+	var tl *obs.ClusterTL
+	if o != nil {
+		if o.Attr == nil {
+			o.Attr = obs.NewAttribution(len(cl.Cores))
+		}
+		o.Attr.Ensure(len(cl.Cores))
+		tl = o.TL
+	}
+	for i, c := range cl.Cores {
+		if o == nil {
+			c.Obs = nil
+			continue
+		}
+		co := &o.Attr.Cores[i]
+		co.TL = tl
+		co.Tid = obs.TidCore0 + i
+		c.Obs = co
+	}
+	cl.DMA.TL = tl
+	cl.Evt.TL = tl
+	if cl.IC != nil {
+		cl.IC.TL = tl
+	}
+	cl.wireSleepHooks()
+}
+
+// obsTL returns the attached cycle-domain span recorder, or nil.
+func (cl *Cluster) obsTL() *obs.ClusterTL {
+	if cl.obs == nil {
+		return nil
+	}
+	return cl.obs.TL
+}
+
+// wireSleepHooks installs (or removes) the per-core sleep-transition
+// hooks. They are needed whenever a tracer wants sleep/wake events or a
+// timeline wants run/sleep spans; transitions are rare, so the closures
+// stay off the per-cycle path.
+func (cl *Cluster) wireSleepHooks() {
+	need := cl.tracer != nil || cl.obsTL() != nil
+	for _, c := range cl.Cores {
+		if !need {
+			c.SleepHook = nil
+			continue
+		}
+		c := c
+		c.SleepHook = func(now uint64, kind cpu.SleepKind, sleeping bool) {
+			cl.sleepWake(c, now, kind, sleeping)
+		}
+	}
+}
+
+func sleepKindName(k cpu.SleepKind) string {
+	if k == cpu.SleepBarrier {
+		return "barrier"
+	}
+	return "event"
+}
+
+// sleepWake handles one core sleep transition: trace events carry the
+// credited sleep cycles on wake ("slept=N"), and the timeline gets the
+// core's run span closed on sleep and its sleep span closed on wake.
+func (cl *Cluster) sleepWake(c *cpu.Core, now uint64, kind cpu.SleepKind, sleeping bool) {
+	mk := &cl.sleepMark[c.ID]
+	tl := cl.obsTL()
+	if sleeping {
+		mk.start, mk.sleep0, mk.kind, mk.open = now, c.Stats.Sleep, kind, true
+		if cl.tracer != nil {
+			cl.tracer.Emit(trace.Event{Cycle: now, Core: c.ID, Kind: trace.KindSleep,
+				Note: sleepKindName(kind)})
+		}
+		if tl != nil && mk.lastWake < now {
+			tl.Span(obs.TidCore0+c.ID, "run", "run", mk.lastWake, now, nil)
+		}
+		return
+	}
+	slept := c.Stats.Sleep - mk.sleep0
+	if cl.tracer != nil {
+		cl.tracer.Emit(trace.Event{Cycle: now, Core: c.ID, Kind: trace.KindWake,
+			Note: fmt.Sprintf("slept=%d (%s)", slept, sleepKindName(kind))})
+	}
+	if tl != nil && mk.open && mk.start < now {
+		tl.Span(obs.TidCore0+c.ID, "sleep: "+sleepKindName(kind), "sleep", mk.start, now, nil)
+	}
+	mk.open = false
+	mk.lastWake = now
+}
+
+// flushObs synthesizes the observability records a run's end would
+// otherwise lose: cores still asleep get a wake event carrying the sleep
+// cycles credited so far — including windows fast-forwarded by CreditIdle,
+// which emit no per-cycle events — and open run/sleep spans are closed at
+// the final cycle. Without this, trace-derived sleep totals disagree with
+// CollectStats whenever a run ends while cores sleep (the normal case:
+// slaves park in WFE before the master raises EOC).
+func (cl *Cluster) flushObs() {
+	if cl.tracer == nil && cl.obs == nil {
+		return
+	}
+	tl := cl.obsTL()
+	for i, c := range cl.Cores {
+		mk := &cl.sleepMark[i]
+		if mk.open {
+			slept := c.Stats.Sleep - mk.sleep0
+			if cl.tracer != nil {
+				cl.tracer.Emit(trace.Event{Cycle: cl.now, Core: c.ID, Kind: trace.KindWake,
+					Note: fmt.Sprintf("slept=%d (%s, end of run)", slept, sleepKindName(mk.kind))})
+			}
+			if tl != nil && mk.start < cl.now {
+				tl.Span(obs.TidCore0+c.ID, "sleep: "+sleepKindName(mk.kind), "sleep", mk.start, cl.now, nil)
+			}
+			mk.open = false
+			mk.sleep0 = c.Stats.Sleep
+			mk.start = cl.now
+		} else if tl != nil && !c.Halted && mk.lastWake < cl.now {
+			tl.Span(obs.TidCore0+c.ID, "run", "run", mk.lastWake, cl.now, nil)
+		}
+		mk.lastWake = cl.now
 	}
 }
 
@@ -499,6 +671,13 @@ func (cl *Cluster) Access(core int, store bool, addr, size, wdata uint32) (uint3
 			return 0, 0, cpu.AccessOK, nil
 		}
 		v, err := cl.DMA.ReadReg(addr - hw.DMABase)
+		if addr-hw.DMABase == hw.DMAStatus && cl.DMA.Busy() {
+			// A status poll that observed a busy engine is the dma_wait spin
+			// loop: attribute the issuing cycle to DMAWait, not Issue.
+			if o := cl.Cores[core].Obs; o != nil {
+				o.MarkDMAPoll()
+			}
+		}
 		return v, 0, cpu.AccessOK, err
 
 	case addr >= hw.SoCCtlBase && addr < hw.SoCCtlBase+0x100:
@@ -561,7 +740,9 @@ func (cl *Cluster) evtAccess(core int, store bool, off, wdata uint32) (uint32, i
 		if cl.Evt.TryLock(core) {
 			return 1, 0, cpu.AccessOK, nil
 		}
-		return 0, 0, cpu.AccessRetry, nil
+		// A contended mutex spins like a bank conflict but is synchronization
+		// time, not memory pressure: retry under the Sync attribution class.
+		return 0, 0, cpu.AccessRetrySync, nil
 	case hw.EvtMutexUnlock:
 		cl.Evt.Unlock()
 		return 0, 0, cpu.AccessOK, nil

@@ -6,6 +6,7 @@ import (
 	"hetsim/internal/devrt"
 	"hetsim/internal/hw"
 	"hetsim/internal/loader"
+	"hetsim/internal/obs"
 )
 
 // JobResult is the outcome of a standalone RunJob.
@@ -14,6 +15,10 @@ type JobResult struct {
 	Cycles uint64
 	Stats  Stats
 	Layout loader.Layout
+
+	// Attr is the per-core cycle attribution of the run; non-nil exactly
+	// when Config.Observe was set.
+	Attr *obs.Attribution
 }
 
 // RunJob executes one offload job on a fresh cluster without a host: the
@@ -50,6 +55,11 @@ func RunJob(cfg Config, mode devrt.Mode, job loader.Job, maxCycles uint64) (*Job
 			return nil, err
 		}
 	}
+	var at *obs.Attribution
+	if cfg.Observe {
+		at = obs.NewAttribution(cfg.Cores)
+		cl.AttachObs(&obs.Observer{Attr: at})
+	}
 	cl.Start(job.Prog.Entry)
 	res, err := cl.Run(maxCycles)
 	if err != nil {
@@ -65,7 +75,7 @@ func RunJob(cfg Config, mode devrt.Mode, job loader.Job, maxCycles uint64) (*Job
 			return nil, fmt.Errorf("cluster: job %s did not trap cleanly: %+v", job.Prog.Name, res)
 		}
 	}
-	out := &JobResult{Cycles: res.Cycles, Stats: cl.CollectStats(), Layout: l}
+	out := &JobResult{Cycles: res.Cycles, Stats: cl.CollectStats(), Layout: l, Attr: at}
 	if job.OutLen > 0 {
 		if mode == devrt.Host {
 			out.Out = cl.TCDM.ReadBytes(l.OutVMA, job.OutLen)

@@ -44,6 +44,7 @@ import (
 	"hetsim/internal/hw"
 	"hetsim/internal/loader"
 	"hetsim/internal/mcu"
+	"hetsim/internal/obs"
 	"hetsim/internal/power"
 	"hetsim/internal/spilink"
 	"hetsim/internal/trace"
@@ -200,6 +201,20 @@ type Options struct {
 	// Tracer, when set, is attached to the cluster and additionally
 	// receives offload-level fault/recovery events as KindNote.
 	Tracer *trace.Tracer
+
+	// Obs, when set, accumulates the per-core cycle attribution of every
+	// cluster run of this offload (across retry attempts; see internal/obs).
+	// Nil keeps the cluster's zero-cost fast paths.
+	Obs *obs.Attribution
+	// Timeline, when set, receives the offload-level span timeline: host
+	// protocol phases, SPI bursts (incl. retransmissions), recovery events,
+	// and the accelerator-side spans (core run/sleep, DMA transfers,
+	// barriers, I$ refills) anchored to the wall clock of each attempt.
+	// Timeline.Export writes Chrome trace-event JSON loadable in Perfetto.
+	// The timeline shows the measured first iteration; further iterations
+	// and the HostTaskFraction stretch are composed analytically into the
+	// Report and marked with a summary instant, not expanded span by span.
+	Timeline *obs.Timeline
 }
 
 // SensorFeed describes the per-iteration input acquisition path.
@@ -338,6 +353,61 @@ type offloadRun struct {
 	trips        int
 	retries      int
 	descRewrites int
+
+	// Observability. tl is the wall-clock timeline (nil unless
+	// Options.Timeline is set), ctl the cycle-domain span recorder drained
+	// after each cluster run, clk the host wall clock in seconds. eLink0
+	// snapshots the link energy meter at offload start: the fallback path
+	// reports the meter delta, which stays correct when a transfer dies
+	// mid-phase and the per-phase snapshots never see its energy.
+	tl     *obs.Timeline
+	ctl    *obs.ClusterTL
+	clk    float64
+	eLink0 float64
+}
+
+// hostSpan emits one host-side phase span on the protocol track and
+// advances the host clock by its duration.
+func (r *offloadRun) hostSpan(name, cat string, dur float64, args map[string]any) {
+	if r.tl != nil {
+		r.tl.Span(obs.PidHost, obs.TidPhases, name, cat, r.clk*1e6, dur*1e6, args)
+	}
+	r.clk += dur
+}
+
+// hostEvent drops an instant marker on the runtime-events track at the
+// current host clock.
+func (r *offloadRun) hostEvent(name string, args map[string]any) {
+	if r.tl != nil {
+		r.tl.Instant(obs.PidHost, obs.TidEvents, name, "recover", r.clk*1e6, args)
+	}
+}
+
+// linkSeek aligns the link's burst cursor with the host clock before a
+// link-driven phase.
+func (r *offloadRun) linkSeek() {
+	if r.tl != nil {
+		r.sys.Link.TLSeek(r.clk)
+	}
+}
+
+// nameTracks emits the process/thread metadata for the timeline's track
+// layout (see internal/obs).
+func (r *offloadRun) nameTracks() {
+	s := r.sys
+	r.tl.NameProcess(obs.PidHost, "host MCU ("+s.Host.Model.Name+")")
+	r.tl.NameProcess(obs.PidAccel, fmt.Sprintf("PULP cluster (%d cores)", s.AccCfg.Cores))
+	r.tl.NameThread(obs.PidHost, obs.TidPhases, "offload protocol")
+	r.tl.NameThread(obs.PidHost, obs.TidLink, "SPI link")
+	r.tl.NameThread(obs.PidHost, obs.TidEvents, "runtime events")
+	for i := 0; i < s.AccCfg.Cores; i++ {
+		r.tl.NameThread(obs.PidAccel, obs.TidCore0+i, fmt.Sprintf("core %d", i))
+	}
+	for i := 0; i < hw.NumDMAChannels; i++ {
+		r.tl.NameThread(obs.PidAccel, obs.TidDMA0+i, fmt.Sprintf("dma ch %d", i))
+	}
+	r.tl.NameThread(obs.PidAccel, obs.TidSync, "barrier unit")
+	r.tl.NameThread(obs.PidAccel, obs.TidICache, "icache refill")
 }
 
 // note emits an offload-level event into the attached tracer.
@@ -362,20 +432,34 @@ func (r *offloadRun) run() ([]byte, *Report, error) {
 	defer func() { s.Link.Inject = prevInject }()
 	retrans0 := s.Link.Retransmits
 	retransB0 := s.Link.RetransmittedBytes
+	r.eLink0 = s.Link.EnergyJ
+
+	if r.opts.Timeline != nil {
+		r.tl = r.opts.Timeline
+		r.ctl = &obs.ClusterTL{}
+		r.nameTracks()
+		prevTL := s.Link.TL
+		s.Link.TL, s.Link.TLPid, s.Link.TLTid = r.tl, obs.PidHost, obs.TidLink
+		defer func() { s.Link.TL = prevTL }()
+	}
 
 	if err := r.buildCluster(); err != nil {
 		return nil, nil, err
 	}
+	r.linkSeek()
 	tBin, eBin, err := r.loadImage()
 	if err != nil {
 		return r.fail(err, retrans0, retransB0)
 	}
 	r.tBin, r.eBin = tBin, eBin
+	r.hostSpan("load image+descriptor", "phase", tBin, map[string]any{"bytes": len(r.image)})
+	r.linkSeek()
 	tIn, eIn, err := r.writeInput()
 	if err != nil {
 		return r.fail(err, retrans0, retransB0)
 	}
 	r.tIn, r.eIn = tIn, eIn
+	r.hostSpan("write input", "phase", tIn, map[string]any{"bytes": len(r.job.In)})
 
 	res, err := r.attempts()
 	if err != nil {
@@ -391,6 +475,7 @@ func (r *offloadRun) run() ([]byte, *Report, error) {
 	tOut := float64(gpioCycles) / s.Host.FreqHz
 	eOut := 0.0
 	if r.job.OutLen > 0 {
+		r.linkSeek()
 		e0 := s.Link.EnergyJ
 		data, t, err := s.Link.Read(r.acc.L2, r.lay.OutLMA, r.job.OutLen)
 		if err != nil {
@@ -399,6 +484,11 @@ func (r *offloadRun) run() ([]byte, *Report, error) {
 		out = data
 		tOut += t
 		eOut = s.Link.EnergyJ - e0
+	}
+	r.hostSpan("read output", "phase", tOut, map[string]any{"bytes": r.job.OutLen})
+	if r.tl != nil && r.opts.Iterations > 1 {
+		r.tl.Instant(obs.PidHost, obs.TidPhases,
+			fmt.Sprintf("x%d iterations (first shown)", r.opts.Iterations), "phase", r.clk*1e6, nil)
 	}
 
 	tBin, tIn = r.tBin, r.tIn
@@ -505,6 +595,12 @@ func (r *offloadRun) buildCluster() error {
 		return err
 	}
 	acc.AttachTracer(r.opts.Tracer)
+	if r.opts.Obs != nil || r.ctl != nil {
+		// Attribution accumulates across full-reload rebuilds; the span
+		// recorder is drained (with the attempt's wall-clock anchor) after
+		// every cluster run.
+		acc.AttachObs(&obs.Observer{Attr: r.opts.Obs, TL: r.ctl})
+	}
 	r.acc = acc
 	return nil
 }
@@ -613,10 +709,12 @@ func (r *offloadRun) attempts() (cluster.RunResult, error) {
 			r.retries++
 			backoff := r.opts.BackoffBase * float64(uint64(1)<<uint(attempt-1))
 			r.recSleep += backoff
+			r.hostSpan(fmt.Sprintf("backoff %d", attempt), "recover", backoff, nil)
 			if attempt == 1 {
 				// First retry: the cheapest plausible recovery, a fresh
 				// fetch-enable edge on the already-loaded state.
 				r.recActive += float64(gpioCycles) / s.Host.FreqHz
+				r.hostEvent("retry: re-raise fetch-enable", nil)
 				r.note("retry %d: re-raising fetch-enable after %.2f ms backoff", attempt, backoff*1e3)
 			} else {
 				// Later retries assume device state is lost: rebuild the
@@ -625,15 +723,19 @@ func (r *offloadRun) attempts() (cluster.RunResult, error) {
 				if err := r.buildCluster(); err != nil {
 					return res, err
 				}
-				tl, el, err := r.loadImage()
+				r.linkSeek()
+				trl, el, err := r.loadImage()
 				if err != nil {
 					return res, err
 				}
+				r.hostSpan("reload image+descriptor", "recover", trl, nil)
+				r.linkSeek()
 				ti, ei, err := r.writeInput()
 				if err != nil {
 					return res, err
 				}
-				r.recActive += tl + ti
+				r.hostSpan("rewrite input", "recover", ti, nil)
+				r.recActive += trl + ti
 				r.recLinkE += el + ei
 			}
 		}
@@ -643,9 +745,19 @@ func (r *offloadRun) attempts() (cluster.RunResult, error) {
 			r.note("injecting EOC hang for attempt %d", attempt+1)
 		}
 		r.acc.Start(r.parsed.Entry)
+		c0 := r.acc.Now()
+		base := r.clk
 		var err error
 		res, err = r.acc.Run(r.opts.WatchdogCycles)
+		ran := float64(r.acc.Now()-c0) / s.FAcc
+		if r.ctl != nil {
+			// Anchor this attempt's accelerator spans: cluster cycle c0 maps
+			// to the host clock at fetch-enable.
+			r.ctl.DrainInto(r.tl, obs.PidAccel, c0, base*1e6, 1e6/s.FAcc)
+		}
 		if err == nil && res.EOC && res.EOCValue == 1 {
+			r.hostSpan(fmt.Sprintf("compute (attempt %d)", attempt+1), "phase", ran,
+				map[string]any{"cycles": res.Cycles})
 			if attempt > 0 {
 				r.note("attempt %d completed after %d watchdog trip(s)", attempt+1, r.trips)
 			}
@@ -670,6 +782,9 @@ func (r *offloadRun) attempts() (cluster.RunResult, error) {
 		}
 		r.recSleep += wait
 		r.recAccActive += active
+		r.hostSpan("watchdog wait", "recover", wait, nil)
+		r.hostEvent(fmt.Sprintf("watchdog trip %d", r.trips),
+			map[string]any{"attempt": attempt + 1, "cause": cause.Error()})
 		r.note("watchdog trip %d on attempt %d: %v", r.trips, attempt+1, cause)
 	}
 	return res, fmt.Errorf("%w after %d attempt(s), %d watchdog trip(s); last: %w",
@@ -685,6 +800,7 @@ func (r *offloadRun) fail(cause error, retrans0, retransB0 uint64) ([]byte, *Rep
 		return nil, nil, fmt.Errorf("core: offloaded %s: %w", r.job.Prog.Name, cause)
 	}
 	r.note("falling back to host execution: %v", cause)
+	r.hostEvent("fallback to host execution", map[string]any{"cause": cause.Error()})
 	fjob := r.job
 	fjob.Prog = r.opts.HostFallback
 	base, err := s.Baseline(fjob, r.opts.MaxCycles)
@@ -700,14 +816,21 @@ func (r *offloadRun) fail(cause error, retrans0, retransB0 uint64) ([]byte, *Rep
 	total := wasted + n*base.Seconds
 	ideal := n * base.Seconds
 	accIdle := power.PULPPowerW(s.Vdd, s.FAcc, power.IdleActivity(s.AccCfg.Cores))
-	wastedE := r.eBin + r.eIn + r.recLinkE +
+	// Link energy is the meter delta for this offload, not the sum of the
+	// per-phase snapshots: a transfer that dies mid-phase has already
+	// charged the meter for every wire byte it moved (spilink accounts
+	// failed bursts too), but the phase reports zero energy to its caller,
+	// so composing eBin+eIn+recLinkE undercounts exactly the failed phase.
+	linkE := s.Link.EnergyJ - r.eLink0
+	wastedE := linkE +
 		s.Host.RunPowerW()*(r.tBin+r.tIn+r.recActive) + s.Host.Model.SleepW*r.recSleep +
 		accIdle*wasted
 	en := power.Energy{
-		SPIJ:  r.eBin + r.eIn + r.recLinkE,
+		SPIJ:  linkE,
 		MCUJ:  s.Host.RunPowerW()*(r.tBin+r.tIn+r.recActive) + s.Host.Model.SleepW*r.recSleep + n*base.EnergyJ,
 		PULPJ: accIdle * wasted,
 	}
+	r.hostSpan(fmt.Sprintf("host execution x%d", r.opts.Iterations), "fallback", n*base.Seconds, nil)
 	if r.opts.Sensor != nil {
 		en.SensorJ = n * r.opts.Sensor.SampleEnergyJ
 	}

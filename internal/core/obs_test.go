@@ -1,0 +1,241 @@
+package core_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hetsim/internal/core"
+	"hetsim/internal/fault"
+	"hetsim/internal/kernels"
+	"hetsim/internal/obs"
+	"hetsim/internal/power"
+)
+
+// obsSystem builds a system with an optional CRC-framed link (the
+// testSystem helper has no CRC knob).
+func obsSystem(t *testing.T, crc bool) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{
+		Host:       power.STM32L476,
+		HostFreqHz: 16e6,
+		Lanes:      4,
+		LinkCRC:    crc,
+		AccVdd:     0.8,
+		AccFreqHz:  200e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestOffloadEnergyComposition pins the SPI energy composition of both
+// offload outcomes against the link's own meter, table-driven over
+// iteration counts:
+//
+//   - success: SPIJ = eBin + n*(eIn+eOut) + recovery, i.e. the metered
+//     first iteration plus (n-1) analytic input/output transfers;
+//   - fallback: SPIJ = the exact meter delta of the offload.
+//
+// The fallback rows are the regression for the fallback-energy bug: the
+// old composition summed the per-phase snapshots (eBin + eIn + recLinkE),
+// which is zero when the load dies mid-phase — loadImage returns (0, 0,
+// err) on a link failure even though the link already charged its meter
+// for every wire byte (failed bursts are accounted before the error
+// returns). The mid-load rows metered >0 J but reported 0 J before the
+// fix.
+func TestOffloadEnergyComposition(t *testing.T) {
+	k := kernels.MatMulChar(16)
+	cases := []struct {
+		name     string
+		iters    int
+		crc      bool
+		fallback bool
+		opts     func(t *testing.T) core.Options
+	}{
+		{"clean/n=1", 1, false, false,
+			func(t *testing.T) core.Options { return core.Options{} }},
+		{"clean/n=4", 4, false, false,
+			func(t *testing.T) core.Options { return core.Options{} }},
+		{"hang-fallback/n=1", 1, false, true,
+			func(t *testing.T) core.Options {
+				return core.Options{
+					WatchdogCycles: 2_000_000,
+					Retries:        1,
+					HostFallback:   hostBuild(t, k),
+					Faults:         fault.New(fault.Config{Seed: 9, EOCHangRate: 1}),
+				}
+			}},
+		{"midload-fallback/n=1", 1, true, true,
+			func(t *testing.T) core.Options {
+				return core.Options{
+					HostFallback: hostBuild(t, k),
+					Faults:       fault.New(fault.Config{Seed: 11, LinkDropRate: 1}),
+				}
+			}},
+		{"midload-fallback/n=4", 4, true, true,
+			func(t *testing.T) core.Options {
+				return core.Options{
+					HostFallback: hostBuild(t, k),
+					Faults:       fault.New(fault.Config{Seed: 13, LinkDropRate: 1}),
+				}
+			}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sys := obsSystem(t, c.crc)
+			job, want := kernelJob(t, k, 3)
+			opts := c.opts(t)
+			opts.Iterations = c.iters
+			e0 := sys.Link.EnergyJ
+			out, rep, err := sys.Offload(job, opts)
+			if err != nil {
+				t.Fatalf("offload: %v", err)
+			}
+			delta := sys.Link.EnergyJ - e0
+			expect := delta
+			if c.fallback {
+				if !rep.FallbackUsed {
+					t.Fatalf("expected host fallback, got %+v", rep)
+				}
+				if strings.HasPrefix(c.name, "midload") && delta <= 0 {
+					t.Fatal("mid-load failure metered no link energy; regression setup broken")
+				}
+			} else {
+				if !bytes.Equal(out, want) {
+					t.Fatal("clean offload output differs from golden")
+				}
+				// Iterations 2..n are composed analytically from the
+				// fault-free transfer model.
+				expect += float64(c.iters-1) *
+					(sys.Link.Cfg.TransferEnergy(rep.InBytes) + sys.Link.Cfg.TransferEnergy(rep.OutBytes))
+			}
+			if diff := math.Abs(rep.Energy.SPIJ - expect); diff > 1e-12*math.Max(expect, 1e-12) {
+				t.Fatalf("SPIJ %v != expected composition %v (meter delta %v, diff %v)",
+					rep.Energy.SPIJ, expect, delta, diff)
+			}
+		})
+	}
+}
+
+// TestOffloadObservabilityDifferential proves attaching the full observer
+// (attribution + timeline) to an offload changes nothing in the report or
+// the output.
+func TestOffloadObservabilityDifferential(t *testing.T) {
+	k := kernels.MatMulChar(16)
+	job, want := kernelJob(t, k, 7)
+
+	plain := testSystem(t, 16e6)
+	outP, repP, err := plain.Offload(job, core.Options{Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	observed := testSystem(t, 16e6)
+	at := obs.NewAttribution(0)
+	tl := obs.NewTimeline()
+	outO, repO, err := observed.Offload(job, core.Options{Iterations: 2, Obs: at, Timeline: tl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(outP, want) || !bytes.Equal(outO, want) {
+		t.Fatal("output differs from golden")
+	}
+	if !reflect.DeepEqual(repP, repO) {
+		t.Fatalf("observed report diverged:\n%+v\nvs\n%+v", repO, repP)
+	}
+	// Attribution exactness at the offload level: every observed core
+	// accounts exactly the compute cycles of the (single, clean) run.
+	for i := range at.Cores {
+		if got := at.Cores[i].Total(); got != repO.ComputeCycles {
+			t.Errorf("core %d attribution sum %d != compute cycles %d",
+				i, got, repO.ComputeCycles)
+		}
+	}
+	if tl.Events() == 0 {
+		t.Fatal("timeline recorded no events")
+	}
+}
+
+// TestOffloadTimelineExport runs a resilient offload (one transient EOC
+// hang, then success) with the timeline attached and checks the exported
+// Chrome trace JSON: parseable, metadata first, and carrying the host
+// protocol phases, SPI bursts, recovery events and accelerator core spans.
+func TestOffloadTimelineExport(t *testing.T) {
+	sys := testSystem(t, 16e6)
+	k := kernels.MatMulChar(16)
+	job, want := kernelJob(t, k, 2)
+	tl := obs.NewTimeline()
+	out, _, err := sys.Offload(job, core.Options{
+		WatchdogCycles: 2_000_000,
+		Retries:        2,
+		Timeline:       tl,
+		Faults:         fault.New(fault.Config{Seed: 4, EOCHangRate: 1, MaxFaults: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatal("offload output differs from golden")
+	}
+
+	var buf bytes.Buffer
+	if err := tl.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported timeline is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty timeline")
+	}
+	seen := map[string]bool{}
+	meta := true
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			if !meta {
+				t.Fatal("metadata event after body events")
+			}
+			continue
+		}
+		meta = false
+		switch {
+		case ev.Name == "load image+descriptor",
+			ev.Name == "write input",
+			ev.Name == "read output":
+			seen["phase"] = true
+		case strings.HasPrefix(ev.Name, "compute (attempt"):
+			seen["compute"] = true
+		case ev.Cat == "spi":
+			seen["spi"] = true
+		case ev.Cat == "recover":
+			seen["recover"] = true
+		case ev.Cat == "run" && ev.Pid == obs.PidAccel:
+			seen["run"] = true
+		case ev.Cat == "dma" && ev.Pid == obs.PidAccel:
+			seen["dma"] = true
+		}
+		if ev.Ts < 0 {
+			t.Fatalf("negative timestamp on %q", ev.Name)
+		}
+	}
+	for _, k := range []string{"phase", "compute", "spi", "recover", "run", "dma"} {
+		if !seen[k] {
+			t.Errorf("timeline missing %s events", k)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"hetsim/internal/isa"
 	"hetsim/internal/mem"
+	"hetsim/internal/obs"
 )
 
 // Status is the outcome of a data-memory access attempt.
@@ -29,6 +30,10 @@ const (
 	// AccessSleepBarrier: the store was a barrier arrival that did not
 	// complete the barrier; the core must sleep until woken.
 	AccessSleepBarrier
+	// AccessRetrySync: like AccessRetry, but the denial is a
+	// synchronization spin (contended hardware mutex) rather than a bank
+	// conflict — the retry cycles attribute to obs.Sync, not obs.Conflict.
+	AccessRetrySync
 )
 
 // Env is the cluster-side environment a core executes in.
@@ -95,6 +100,12 @@ type Core struct {
 	lastLoadReg   isa.Reg
 	Flag          bool
 
+	// stallClass is the attribution class of the current stallUntil window
+	// (obs.Class). Written whenever stallUntil is set; read by the stall
+	// branch of Step and by CreditIdle. Maintained unconditionally (a byte
+	// store) so bulk idle credits classify correctly whenever Obs is on.
+	stallClass obs.Class
+
 	// FetchLineMask models the core's line prefetch buffer: while the PC
 	// stays within the last fetched line (pc &^ mask unchanged), the cache
 	// is not consulted again. 0 disables the buffer.
@@ -113,6 +124,11 @@ type Core struct {
 	// arbitration and the data access directly, exactly as the cluster's
 	// Access would. Accesses outside the TCDM still go through env.
 	TCDM *mem.TCDM
+
+	// Obs, when non-nil, receives the per-cycle attribution of this core
+	// (DESIGN.md §10). Nil follows the fault-injector idiom: one pointer
+	// compare per site, zero cost when observability is detached.
+	Obs *obs.CoreObs
 
 	// Pre-resolved target timing (the Target struct is too large to walk
 	// on every instruction).
@@ -142,6 +158,13 @@ type Core struct {
 	// Trace, when non-nil, is called once per retired instruction (before
 	// the PC advances). Nil costs nothing on the hot path.
 	Trace func(cycle uint64, pc uint32, in isa.Inst)
+
+	// SleepHook, when non-nil, is called on every sleep transition: once
+	// when the core goes to sleep (sleeping=true, at the transition cycle)
+	// and once when it wakes (sleeping=false). Sleep transitions are rare
+	// (WFE park, barrier arrival, wake), so the hook is off the hot path;
+	// the cluster uses it for sleep/wake trace events and timeline spans.
+	SleepHook func(now uint64, kind SleepKind, sleeping bool)
 }
 
 // New builds a core with the given id and target, attached to env.
@@ -180,6 +203,7 @@ func (c *Core) Start(entry uint32) {
 	c.lpEnd = [2]uint32{lpInactive, lpInactive}
 	c.sleep = Awake
 	c.stallUntil = 0
+	c.stallClass = obs.Issue
 	c.hasPending = false
 	c.fetchedLine = ^uint32(0)
 	c.lastLoadArmed = false
@@ -200,8 +224,19 @@ func (c *Core) Wake(now uint64) {
 	if c.sleep == Awake {
 		return
 	}
+	kind := c.sleep
 	c.sleep = Awake
 	c.stallUntil = now + uint64(c.Target.Time.WakeUp)
+	// Wake-up latency attributes to the synchronization primitive the core
+	// was sleeping on: barrier wake-up is Sync, event wake-up is Sleep.
+	if kind == SleepBarrier {
+		c.stallClass = obs.Sync
+	} else {
+		c.stallClass = obs.Sleep
+	}
+	if c.SleepHook != nil {
+		c.SleepHook(now, kind, false)
+	}
 }
 
 // SleepNow forces the core to sleep (used for cores outside the team).
@@ -218,16 +253,25 @@ func (c *Core) fail(err error) {
 // argument slices constructed inline would live on the frames of Step and
 // execute, growing the prologue every instruction pays for.
 func (c *Core) failFetch() uint64 {
+	if o := c.Obs; o != nil {
+		o.Tick(obs.Issue) // the faulting cycle still counts once
+	}
 	c.fail(fmt.Errorf("fetch outside text segment"))
 	return NextEventNever
 }
 
 func (c *Core) failIllegal(in isa.Inst) uint64 {
+	if o := c.Obs; o != nil {
+		o.Tick(obs.Issue)
+	}
 	c.fail(fmt.Errorf("illegal instruction for target %s: %v", c.Target.Name, in))
 	return NextEventNever
 }
 
 func (c *Core) failUnaligned(size, addr uint32) uint64 {
+	if o := c.Obs; o != nil {
+		o.Tick(obs.Issue)
+	}
 	c.fail(fmt.Errorf("unaligned %d-byte access at %#x without unaligned support", size, addr))
 	return NextEventNever
 }
@@ -259,14 +303,29 @@ func (c *Core) setReg(r isa.Reg, v uint32) {
 // is then now+1, which keeps the aggregate conservative.
 func (c *Core) Step(now uint64) uint64 {
 	if c.Halted {
+		if o := c.Obs; o != nil {
+			// Keeps the per-core class sum equal to the cluster cycle count
+			// while other cores keep running (Stats stay untouched).
+			o.Tick(obs.Halted)
+		}
 		return NextEventNever
 	}
 	if c.sleep != Awake {
 		c.Stats.Sleep++
+		if o := c.Obs; o != nil {
+			if c.sleep == SleepBarrier {
+				o.Tick(obs.Sync)
+			} else {
+				o.Tick(obs.Sleep)
+			}
+		}
 		return NextEventNever
 	}
 	if c.stallUntil > now {
 		c.Stats.Stall++
+		if o := c.Obs; o != nil {
+			o.Tick(c.stallClass)
+		}
 		return c.stallUntil
 	}
 	var in isa.Inst
@@ -287,7 +346,14 @@ func (c *Core) Step(now uint64) uint64 {
 		if c.FetchLineMask == 0 || line != c.fetchedLine {
 			if done := ic.Fetch(c.PC, now); done > now {
 				c.stallUntil = done
+				c.stallClass = obs.ICache
 				c.Stats.Stall++
+				if o := c.Obs; o != nil {
+					o.Tick(obs.ICache)
+					if o.TL != nil {
+						o.TL.Span(o.Tid, "I$ refill", "stall", now, done, nil)
+					}
+				}
 				return done
 			}
 			c.fetchedLine = line
@@ -316,7 +382,11 @@ func (c *Core) Step(now uint64) uint64 {
 		c.lastLoadArmed = false
 		if c.loadUse > 0 && m.ReadMask&(1<<c.lastLoadReg) != 0 {
 			c.stallUntil = now + c.loadUse
+			c.stallClass = obs.LoadUse
 			c.Stats.Stall++
+			if o := c.Obs; o != nil {
+				o.Tick(obs.LoadUse)
+			}
 			return c.stallUntil
 		}
 	}
@@ -348,6 +418,9 @@ func (c *Core) Step(now uint64) uint64 {
 		extra := int(m.Cyc) - 1
 		c.Stats.Active++
 		c.Stats.Retired++
+		if o := c.Obs; o != nil {
+			o.Tick(obs.Issue)
+		}
 		if c.Trace != nil {
 			c.Trace(now, c.PC, in)
 		}
@@ -387,6 +460,9 @@ func (c *Core) Step(now uint64) uint64 {
 			c.advancePC(next)
 			if c.env.WFE(c.ID) {
 				c.sleep = SleepEvent
+				if c.SleepHook != nil {
+					c.SleepHook(now, SleepEvent, true)
+				}
 				return NextEventNever
 			}
 			return now + 1
@@ -581,8 +657,11 @@ func (c *Core) Step(now uint64) uint64 {
 
 		c.advancePC(next)
 		if extra > 0 {
-			// The instruction issued this cycle; extra cycles stall the next one.
+			// The instruction issued this cycle; extra cycles stall the next
+			// one. The trailing cycles of a multi-cycle op attribute to Issue
+			// (they are the op's own latency, not a structural stall).
 			c.stallUntil = now + uint64(extra) + 1
+			c.stallClass = obs.Issue
 			return c.stallUntil
 		}
 		return now + 1
@@ -603,7 +682,7 @@ access:
 		var extra int
 		if t := c.TCDM; t != nil && t.Contains(addr, size) {
 			if !t.Request(addr) {
-				c.park(in, m, addr, wdata)
+				c.park(in, m, addr, wdata, obs.Conflict)
 				return now + 1
 			}
 			if store {
@@ -616,24 +695,41 @@ access:
 			var err error
 			rdata, extra, st, err = c.env.Access(c.ID, store, addr, size, wdata)
 			if err != nil {
+				if o := c.Obs; o != nil {
+					o.Tick(obs.Issue)
+				}
 				c.fail(err)
 				return NextEventNever
 			}
 			switch st {
 			case AccessRetry:
-				c.park(in, m, addr, wdata)
+				c.park(in, m, addr, wdata, obs.Conflict)
+				return now + 1
+			case AccessRetrySync:
+				c.park(in, m, addr, wdata, obs.Sync)
 				return now + 1
 			case AccessSleepBarrier:
 				c.sleep = SleepBarrier
 				c.Stats.Active++
 				c.Stats.Retired++
+				if o := c.Obs; o != nil {
+					o.Tick(obs.Issue) // the arrival store issued this cycle
+				}
 				c.advancePC(c.PC + 4)
+				if c.SleepHook != nil {
+					c.SleepHook(now, SleepBarrier, true)
+				}
 				return NextEventNever
 			}
 		}
 
 		c.Stats.Active++
 		c.Stats.Retired++
+		if o := c.Obs; o != nil {
+			// DMAWait if this access was a status poll that saw a busy DMA
+			// engine (the cluster marked it during dispatch), Issue otherwise.
+			o.TickIssueMem()
+		}
 		if c.Trace != nil {
 			c.Trace(now, c.PC, in)
 		}
@@ -664,7 +760,10 @@ access:
 		}
 		c.advancePC(c.PC + 4)
 		if extra > 0 {
+			// Extra memory latency (L2/peripheral wait states, unaligned
+			// second bank cycle) attributes to ExtMem.
 			c.stallUntil = now + uint64(extra) + 1
+			c.stallClass = obs.ExtMem
 			return c.stallUntil
 		}
 		return now + 1
@@ -674,15 +773,32 @@ access:
 // CreditIdle accounts a fast-forwarded idle window: the cluster verified
 // that for the next `cycles` cycles this core would only have burned one
 // Sleep (asleep) or Stall (stalled) count per cycle, and credits them in
-// bulk. Halted cores accrue nothing, exactly as in cycle-by-cycle
-// stepping.
+// bulk. Halted cores accrue no Stats, exactly as in cycle-by-cycle
+// stepping (but still attribute Halted cycles when observability is on,
+// matching Step's halted branch so the attribution sum stays exact).
+// The window never crosses a state change — the cluster's fast-forward
+// bound is the earliest event of any core — so the bulk credit lands in
+// the same class cycle-by-cycle stepping would have charged.
 func (c *Core) CreditIdle(cycles uint64) {
 	switch {
 	case c.Halted:
+		if o := c.Obs; o != nil {
+			o.Credit(obs.Halted, cycles)
+		}
 	case c.sleep != Awake:
 		c.Stats.Sleep += cycles
+		if o := c.Obs; o != nil {
+			if c.sleep == SleepBarrier {
+				o.Credit(obs.Sync, cycles)
+			} else {
+				o.Credit(obs.Sleep, cycles)
+			}
+		}
 	default:
 		c.Stats.Stall += cycles
+		if o := c.Obs; o != nil {
+			o.Credit(c.stallClass, cycles)
+		}
 	}
 }
 
@@ -740,9 +856,13 @@ func divU(a, b uint32) uint32 {
 	return a / b
 }
 
-// park stages a denied access for retry next cycle.
-func (c *Core) park(in isa.Inst, m InstMeta, addr, wdata uint32) {
+// park stages a denied access for retry next cycle. cl is the attribution
+// class of the denied cycle (bank conflict or mutex spin).
+func (c *Core) park(in isa.Inst, m InstMeta, addr, wdata uint32, cl obs.Class) {
 	c.pending = memOp{in: in, m: m, addr: addr, wdata: wdata}
 	c.hasPending = true
 	c.Stats.Stall++
+	if o := c.Obs; o != nil {
+		o.Tick(cl)
+	}
 }

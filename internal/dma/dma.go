@@ -9,6 +9,7 @@ import (
 
 	"hetsim/internal/fault"
 	"hetsim/internal/hw"
+	"hetsim/internal/obs"
 )
 
 // Memory is the subset of the memory system the DMA needs: direct word
@@ -28,6 +29,7 @@ type channel struct {
 	length   uint32
 	pos      uint32
 	busy     bool
+	start    uint64 // cycle the transfer was launched (timeline span)
 }
 
 // Engine is the DMA controller.
@@ -46,6 +48,13 @@ type Engine struct {
 	// beat lands silently. Nil costs one compare per beat. Wiring, not
 	// transfer state: Reset keeps it, like the activity counters.
 	Inject *fault.Injector
+
+	// TL, when non-nil, receives one timeline span per completed transfer
+	// on the channel's track; Now is the cluster clock it is stamped with
+	// (set by the cluster at construction). Wiring like Inject: Reset
+	// keeps it, nil costs one compare per transfer boundary.
+	TL  *obs.ClusterTL
+	Now *uint64
 
 	// BusyCycles counts cycles in which the engine moved (or tried to
 	// move) data; feeds the chi_dma term of the power model.
@@ -123,6 +132,9 @@ func (e *Engine) Start(ch int, src, dst, length uint32) error {
 		return nil
 	}
 	e.ch[ch] = channel{src: src, dst: dst, length: length, busy: true}
+	if e.TL != nil && e.Now != nil {
+		e.ch[ch].start = *e.Now
+	}
 	e.busy++
 	return nil
 }
@@ -195,5 +207,11 @@ func (e *Engine) Step() {
 		c.busy = false
 		e.busy--
 		e.rr = (idx + 1) % hw.NumDMAChannels
+		if e.TL != nil && e.Now != nil {
+			// Completion cycle is the current beat's cycle + 1 (the word
+			// lands at the end of this cycle).
+			e.TL.Span(obs.TidDMA0+idx, fmt.Sprintf("xfer %s", obs.KB(int(c.length))),
+				"dma", c.start, *e.Now+1, map[string]any{"bytes": c.length, "src": c.src, "dst": c.dst})
+		}
 	}
 }

@@ -13,6 +13,8 @@
 // run once per barrier in the simulator's hot loop.
 package hwsync
 
+import "hetsim/internal/obs"
+
 // EventUnit is the cluster's hardware synchronizer.
 type EventUnit struct {
 	n int
@@ -23,9 +25,17 @@ type EventUnit struct {
 
 	barrierArrived int
 	barrierTeam    int
+	barrierStart   uint64 // cycle of the first arrival (timeline span)
 
 	mutexHeld  bool
 	mutexOwner int
+
+	// TL, when non-nil, receives one timeline span per completed barrier
+	// (first arrival to release) on the sync track; Now is the cluster
+	// clock (set by the cluster at construction). Nil TL costs one
+	// compare per barrier event — never per cycle.
+	TL  *obs.ClusterTL
+	Now *uint64
 
 	// Stats.
 	Barriers uint64
@@ -49,6 +59,7 @@ func (e *EventUnit) Reset() {
 	e.sleepingBar = 0
 	e.barrierArrived = 0
 	e.barrierTeam = 0
+	e.barrierStart = 0
 	e.mutexHeld = false
 	e.mutexOwner = 0
 }
@@ -64,6 +75,9 @@ func (e *EventUnit) Arrive(core, team int) (wake uint32, last bool) {
 	}
 	if e.barrierTeam == 0 {
 		e.barrierTeam = team
+		if e.TL != nil && e.Now != nil {
+			e.barrierStart = *e.Now
+		}
 	}
 	e.barrierArrived++
 	if e.barrierArrived < e.barrierTeam {
@@ -76,6 +90,13 @@ func (e *EventUnit) Arrive(core, team int) (wake uint32, last bool) {
 	e.barrierTeam = 0
 	wake = e.sleepingBar
 	e.sleepingBar = 0
+	if e.TL != nil && e.Now != nil {
+		if *e.Now > e.barrierStart {
+			e.TL.Span(obs.TidSync, "barrier", "sync", e.barrierStart, *e.Now, nil)
+		} else {
+			e.TL.Instant(obs.TidSync, "barrier", "sync", *e.Now, nil)
+		}
+	}
 	return wake, true
 }
 

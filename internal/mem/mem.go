@@ -18,6 +18,7 @@ import (
 
 	"hetsim/internal/fault"
 	"hetsim/internal/hw"
+	"hetsim/internal/obs"
 )
 
 // SRAM is a flat byte-addressable memory with little-endian word access.
@@ -260,6 +261,11 @@ type ICache struct {
 	// wrong instruction. Nil (the clean-run state) costs one compare.
 	Inject *fault.Injector
 
+	// TL, when non-nil, receives one timeline span per line refill on the
+	// shared refill-engine track (internal/obs). The check sits on the
+	// miss path only; hits never touch it.
+	TL *obs.ClusterTL
+
 	Hits         uint64
 	Misses       uint64
 	ParityErrors uint64 // detected parity errors (each also counted a miss)
@@ -363,6 +369,10 @@ func (c *ICache) Fetch(pc uint32, now uint64) uint64 {
 	c.refillFree = done
 	tags[way] = line
 	ready[way] = done
+	if c.TL != nil {
+		c.TL.Span(obs.TidICache, "refill", "icache", start, done,
+			map[string]any{"line": line << c.lineShift})
+	}
 	return done
 }
 

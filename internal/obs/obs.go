@@ -1,0 +1,170 @@
+// Package obs is the cycle-attributed observability layer (DESIGN.md §10).
+//
+// It has two independent halves, both optional and both zero-cost when
+// detached:
+//
+//   - Attribution: every simulated cycle of every core is classified into
+//     exactly one Class (issue, load-use hazard, TCDM bank conflict, I$
+//     miss refill, extra memory latency, barrier/event wait, sleep, DMA
+//     wait, halted). The counters are plain per-core uint64 arrays touched
+//     only by the simulation goroutine that owns the cluster — lock-free
+//     by construction — and the invariant "sum over classes == cluster
+//     cycles" holds exactly for every core, including cycles credited in
+//     bulk by the idle fast-forward (cpu.Core.CreditIdle).
+//
+//   - Timeline: an offload-level span timeline (host protocol phases, SPI
+//     bursts including retransmissions, DMA transfers, per-core
+//     run/stall/sleep spans, watchdog and retry events) exported as Chrome
+//     trace-event JSON, loadable in Perfetto or chrome://tracing.
+//
+// The package deliberately imports nothing from the rest of the simulator
+// so every layer (cpu, mem, dma, hwsync, cluster, spilink, core) can hook
+// into it without cycles. Hooks follow the fault-injector idiom: a nil
+// pointer means disabled, and every hot-path site guards with a single
+// nil check.
+package obs
+
+import "fmt"
+
+// Class is the attribution bucket a simulated core cycle falls into.
+// Exactly one class is charged per core per cycle; DESIGN.md §10 defines
+// the precedence when several conditions hold at once.
+type Class uint8
+
+const (
+	// Issue: the core issued an instruction this cycle, or is completing
+	// the trailing cycles of a multi-cycle ALU op (mul, div, ...).
+	Issue Class = iota
+	// LoadUse: single-cycle load-use hazard bubble.
+	LoadUse
+	// Conflict: parked on a TCDM bank conflict (arbitration denied).
+	Conflict
+	// ICache: stalled waiting for an instruction-cache miss refill.
+	ICache
+	// ExtMem: extra latency of a non-TCDM data access (L2/peripheral
+	// wait states, or the second bank cycle of an unaligned access).
+	ExtMem
+	// Sync: barrier/event synchronization — asleep at a barrier, spinning
+	// on a contended hardware mutex, or paying the wake-up latency after
+	// a barrier release.
+	Sync
+	// Sleep: asleep in WFE waiting for an event (the OpenMP slave idle
+	// loop), or paying the wake-up latency after an event arrival.
+	Sleep
+	// DMAWait: issuing a DMA status poll while the DMA engine is busy
+	// (the dma_wait spin loop of the device runtime).
+	DMAWait
+	// Halted: cycles after the core halted (trap or clean exit) while the
+	// rest of the cluster keeps running. Charging these keeps the per-core
+	// class sum exactly equal to the cluster cycle count.
+	Halted
+
+	NumClasses = iota
+)
+
+var classNames = [NumClasses]string{
+	"issue", "load-use", "conflict", "icache", "extmem",
+	"sync", "sleep", "dma-wait", "halted",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// ClassNames lists all attribution classes in charge order (the order of
+// the Class constants), for table headers.
+func ClassNames() [NumClasses]string { return classNames }
+
+// CoreObs holds the per-core attribution counters. It is embedded in
+// Attribution and handed to cpu.Core as a nilable pointer; all methods
+// are called with the receiver known non-nil from the hot path.
+type CoreObs struct {
+	// C counts cycles per class. Exported (and JSON-tagged) so
+	// attributions survive the sweep run cache round-trip.
+	C [NumClasses]uint64 `json:"c"`
+
+	// dmaPoll marks that the instruction currently completing its memory
+	// access was a DMA status poll that observed a busy engine; the issue
+	// cycle is then charged to DMAWait instead of Issue. One-shot.
+	dmaPoll bool
+
+	// TL, when non-nil, receives cycle-domain spans for this core's
+	// track (I$ refill stalls, wake-up latency). Tid is the timeline
+	// track the spans land on.
+	TL  *ClusterTL `json:"-"`
+	Tid int        `json:"-"`
+}
+
+// Tick charges one cycle to class cl.
+func (o *CoreObs) Tick(cl Class) { o.C[cl]++ }
+
+// Credit charges n cycles to class cl (idle fast-forward bulk credit).
+func (o *CoreObs) Credit(cl Class, n uint64) { o.C[cl] += n }
+
+// MarkDMAPoll flags the in-flight memory access as a DMA-busy status
+// poll; consumed by the next TickIssueMem.
+func (o *CoreObs) MarkDMAPoll() { o.dmaPoll = true }
+
+// TickIssueMem charges the issue cycle of a completed memory access:
+// DMAWait if the access was a busy-DMA status poll, Issue otherwise.
+func (o *CoreObs) TickIssueMem() {
+	if o.dmaPoll {
+		o.dmaPoll = false
+		o.C[DMAWait]++
+		return
+	}
+	o.C[Issue]++
+}
+
+// Total is the sum over all classes — exactly the number of cluster
+// cycles this core was attributed.
+func (o *CoreObs) Total() uint64 {
+	var t uint64
+	for _, v := range o.C {
+		t += v
+	}
+	return t
+}
+
+// Attribution accumulates per-core cycle attribution for one cluster (or
+// across several sequential runs of rebuilt clusters, e.g. watchdog
+// retries: attach the same Attribution to each and the counters add up).
+type Attribution struct {
+	Cores []CoreObs `json:"cores"`
+}
+
+// NewAttribution returns an Attribution sized for n cores.
+func NewAttribution(n int) *Attribution {
+	return &Attribution{Cores: make([]CoreObs, n)}
+}
+
+// Ensure grows the attribution to cover at least n cores.
+func (a *Attribution) Ensure(n int) {
+	for len(a.Cores) < n {
+		a.Cores = append(a.Cores, CoreObs{})
+	}
+}
+
+// Sum returns the cluster-wide per-class totals.
+func (a *Attribution) Sum() [NumClasses]uint64 {
+	var s [NumClasses]uint64
+	for i := range a.Cores {
+		for c, v := range a.Cores[i].C {
+			s[c] += v
+		}
+	}
+	return s
+}
+
+// Total returns the total attributed core-cycles (sum over cores and
+// classes). For a single clean run this equals cores × cluster cycles.
+func (a *Attribution) Total() uint64 {
+	var t uint64
+	for i := range a.Cores {
+		t += a.Cores[i].Total()
+	}
+	return t
+}

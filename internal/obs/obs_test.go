@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestAttributionSums(t *testing.T) {
+	a := NewAttribution(2)
+	a.Cores[0].Tick(Issue)
+	a.Cores[0].Tick(Issue)
+	a.Cores[0].Credit(Sleep, 10)
+	a.Cores[1].Tick(Conflict)
+	a.Cores[1].MarkDMAPoll()
+	a.Cores[1].TickIssueMem() // consumes the poll mark -> DMAWait
+	a.Cores[1].TickIssueMem() // plain memory issue -> Issue
+
+	if got := a.Cores[0].Total(); got != 12 {
+		t.Fatalf("core0 total = %d, want 12", got)
+	}
+	s := a.Sum()
+	if s[Issue] != 3 || s[Sleep] != 10 || s[Conflict] != 1 || s[DMAWait] != 1 {
+		t.Fatalf("sum = %v", s)
+	}
+	if a.Total() != 15 {
+		t.Fatalf("total = %d, want 15", a.Total())
+	}
+
+	// JSON round-trip must preserve counters (run-cache requirement).
+	b, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Attribution
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != a.Total() || back.Sum() != s {
+		t.Fatalf("round-trip mismatch: %v vs %v", back.Sum(), s)
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Class(0); c < NumClasses; c++ {
+		n := c.String()
+		if n == "" || seen[n] {
+			t.Fatalf("class %d has empty or duplicate name %q", c, n)
+		}
+		seen[n] = true
+	}
+}
+
+// TestTimelineExport checks that the emitted JSON is a valid Chrome
+// trace-event document: a traceEvents array whose entries carry ph, ts,
+// pid and tid, with metadata records first.
+func TestTimelineExport(t *testing.T) {
+	tl := NewTimeline()
+	tl.NameProcess(PidHost, "host")
+	tl.NameThread(PidHost, TidPhases, "phases")
+	tl.Span(PidHost, TidPhases, "write input", "phase", 10, 5, map[string]any{"bytes": 64})
+	tl.Instant(PidHost, TidEvents, "watchdog trip", "recovery", 12, nil)
+	tl.Span(PidAccel, TidCore0, "run", "run", 11, 3, nil)
+
+	var buf bytes.Buffer
+	if err := tl.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Pid  *int     `json:"pid"`
+			Tid  *int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Ph != "M" || doc.TraceEvents[1].Ph != "M" {
+		t.Fatalf("metadata records must come first: %+v", doc.TraceEvents[:2])
+	}
+	for i, e := range doc.TraceEvents {
+		if e.Ph == "" || e.Pid == nil || e.Ts == nil {
+			t.Fatalf("event %d missing required fields: %+v", i, e)
+		}
+		if e.Ph == "X" && (e.Dur == nil || *e.Dur < 0) {
+			t.Fatalf("complete event %d missing/negative dur: %+v", i, e)
+		}
+	}
+	// Body events sorted by ts.
+	last := -1.0
+	for _, e := range doc.TraceEvents[2:] {
+		if *e.Ts < last {
+			t.Fatalf("events not time-sorted")
+		}
+		last = *e.Ts
+	}
+}
+
+func TestClusterTLDrain(t *testing.T) {
+	var rec ClusterTL
+	rec.Span(TidCore0, "sleep", "sleep", 100, 150, nil)
+	rec.Instant(TidSync, "send", "sync", 120, nil)
+
+	tl := NewTimeline()
+	// Anchor: cycle 100 == 7.0 us, 0.01 us per cycle (100 MHz).
+	rec.DrainInto(tl, PidAccel, 100, 7.0, 0.01)
+	if len(rec.Spans) != 0 {
+		t.Fatalf("drain must clear the recorder")
+	}
+	if tl.Events() != 2 {
+		t.Fatalf("got %d events, want 2", tl.Events())
+	}
+	var buf bytes.Buffer
+	if err := tl.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ts  float64  `json:"ts"`
+			Dur *float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceEvents[0].Ts != 7.0 || *doc.TraceEvents[0].Dur != 0.5 {
+		t.Fatalf("span anchored wrong: %+v", doc.TraceEvents[0])
+	}
+	if doc.TraceEvents[1].Ts != 7.2 {
+		t.Fatalf("instant anchored wrong: %+v", doc.TraceEvents[1])
+	}
+}

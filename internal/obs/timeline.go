@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Timeline track layout (DESIGN.md §10). Pids separate the two sides of
+// the system; tids are tracks within a side. Perfetto sorts tracks by
+// tid, so the layout below reads top-to-bottom as host protocol → link →
+// events → cores → DMA → sync.
+const (
+	PidHost  = 1 // host MCU: protocol phases, SPI link, runtime events
+	PidAccel = 2 // PULP cluster: cores, DMA channels, barrier unit
+
+	TidPhases = 1 // host offload protocol phases
+	TidLink   = 2 // SPI bursts (incl. retransmissions)
+	TidEvents = 3 // watchdog trips, retries, fallback (instants)
+
+	TidCore0  = 10 // accelerator core n is track TidCore0+n
+	TidDMA0   = 40 // DMA channel n is track TidDMA0+n
+	TidSync   = 60 // barrier/event unit
+	TidICache = 61 // shared I$ refill engine
+)
+
+// tev is one Chrome trace-event. Field names follow the trace-event
+// format: ph "X" = complete (ts+dur), "i" = instant, "M" = metadata.
+// All timestamps are microseconds.
+type tev struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Timeline collects trace events and writes them as Chrome trace-event
+// JSON ({"traceEvents": [...]}), loadable in Perfetto. It is not
+// goroutine-safe: one timeline belongs to one offload run.
+type Timeline struct {
+	evs  []tev
+	meta []tev // process/thread name metadata, emitted first
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// NameProcess labels a pid in the trace viewer.
+func (t *Timeline) NameProcess(pid int, name string) {
+	t.meta = append(t.meta, tev{Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name}})
+}
+
+// NameThread labels a (pid, tid) track in the trace viewer.
+func (t *Timeline) NameThread(pid, tid int, name string) {
+	t.meta = append(t.meta, tev{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name}})
+}
+
+// Span records a complete event [tsUS, tsUS+durUS] on track (pid, tid).
+func (t *Timeline) Span(pid, tid int, name, cat string, tsUS, durUS float64, args map[string]any) {
+	if durUS < 0 {
+		durUS = 0
+	}
+	d := durUS
+	t.evs = append(t.evs, tev{Name: name, Cat: cat, Ph: "X", Ts: tsUS, Dur: &d,
+		Pid: pid, Tid: tid, Args: args})
+}
+
+// Instant records a zero-duration marker on track (pid, tid).
+func (t *Timeline) Instant(pid, tid int, name, cat string, tsUS float64, args map[string]any) {
+	t.evs = append(t.evs, tev{Name: name, Cat: cat, Ph: "i", Ts: tsUS,
+		Pid: pid, Tid: tid, S: "t", Args: args})
+}
+
+// Events returns the number of recorded events (metadata excluded).
+func (t *Timeline) Events() int { return len(t.evs) }
+
+// Export writes the timeline as Chrome trace-event JSON. Events are
+// emitted metadata first, then sorted by (ts, pid, tid) with a stable
+// sort so insertion order breaks ties deterministically.
+func (t *Timeline) Export(w io.Writer) error {
+	all := make([]tev, 0, len(t.meta)+len(t.evs))
+	all = append(all, t.meta...)
+	body := make([]tev, len(t.evs))
+	copy(body, t.evs)
+	sort.SliceStable(body, func(i, j int) bool {
+		if body[i].Ts != body[j].Ts {
+			return body[i].Ts < body[j].Ts
+		}
+		if body[i].Pid != body[j].Pid {
+			return body[i].Pid < body[j].Pid
+		}
+		return body[i].Tid < body[j].Tid
+	})
+	all = append(all, body...)
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []tev  `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}{TraceEvents: all, DisplayTimeUnit: "ms"})
+}
+
+// CSpan is one cycle-domain span recorded inside the cluster, before the
+// cycle→wall-time anchoring is known. End == Start encodes an instant.
+type CSpan struct {
+	Tid   int
+	Name  string
+	Cat   string
+	Start uint64
+	End   uint64
+	Args  map[string]any
+}
+
+// ClusterTL collects cycle-domain spans during a cluster run. The
+// accelerator-side components (cpu, dma, hwsync, mem, cluster) append to
+// it in cluster-cycle units; after each run the offload runtime drains it
+// into the wall-clock Timeline with the anchoring of that attempt
+// (DrainInto). A nil *ClusterTL disables recording at every hook site.
+type ClusterTL struct {
+	Spans []CSpan
+}
+
+// Span records a cycle-domain complete span on track tid.
+func (r *ClusterTL) Span(tid int, name, cat string, start, end uint64, args map[string]any) {
+	r.Spans = append(r.Spans, CSpan{Tid: tid, Name: name, Cat: cat,
+		Start: start, End: end, Args: args})
+}
+
+// Instant records a cycle-domain marker on track tid.
+func (r *ClusterTL) Instant(tid int, name, cat string, at uint64, args map[string]any) {
+	r.Spans = append(r.Spans, CSpan{Tid: tid, Name: name, Cat: cat,
+		Start: at, End: at, Args: args})
+}
+
+// DrainInto converts the recorded cycle-domain spans to wall-clock events
+// under pid, mapping cluster cycle X to baseUS + (X-baseCycle)*usPerCycle,
+// and clears the recorder for the next attempt.
+func (r *ClusterTL) DrainInto(tl *Timeline, pid int, baseCycle uint64, baseUS, usPerCycle float64) {
+	for _, s := range r.Spans {
+		ts := baseUS + float64(s.Start-baseCycle)*usPerCycle
+		if s.End == s.Start {
+			tl.Instant(pid, s.Tid, s.Name, s.Cat, ts, s.Args)
+			continue
+		}
+		tl.Span(pid, s.Tid, s.Name, s.Cat, ts, float64(s.End-s.Start)*usPerCycle, s.Args)
+	}
+	r.Spans = r.Spans[:0]
+}
+
+// Observer bundles the two observability halves for cluster attachment.
+// Attr must be non-nil (cluster.AttachObs normalizes); TL may be nil for
+// attribution-only observation.
+type Observer struct {
+	Attr *Attribution
+	TL   *ClusterTL
+}
+
+// KB formats a byte count for span args.
+func KB(n int) string {
+	if n >= 1024 && n%1024 == 0 {
+		return fmt.Sprintf("%d KiB", n/1024)
+	}
+	return fmt.Sprintf("%d B", n)
+}

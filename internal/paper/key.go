@@ -41,10 +41,17 @@ func kernelKey(k *kernels.Instance, in []byte) string {
 // spelled out (not just the name) so an ablated variant can never alias
 // the full configuration.
 func clusterKey(cfg cluster.Config) string {
-	return fmt.Sprintf("cores=%d|tgt=%s%+v%+v|tcdm=%d/%d|l2=%d|ic=%d/%d|l2lat=%d",
+	k := fmt.Sprintf("cores=%d|tgt=%s%+v%+v|tcdm=%d/%d|l2=%d|ic=%d/%d|l2lat=%d",
 		cfg.Cores, cfg.Target.Name, cfg.Target.Feat, cfg.Target.Time,
 		cfg.TCDMSize, cfg.TCDMBanks, cfg.L2Size, cfg.ICacheSize, cfg.ICacheLine,
 		cfg.L2Latency)
+	// Observation changes the cached payload (the attribution rides in the
+	// result), not the simulation; the marker is appended only when set so
+	// every pre-existing cache key stays valid.
+	if cfg.Observe {
+		k += "|obs"
+	}
+	return k
 }
 
 // systemKey identifies a host+link+accelerator system configuration.

@@ -21,6 +21,7 @@ import (
 	"hetsim/internal/isa"
 	"hetsim/internal/kernels"
 	"hetsim/internal/loader"
+	"hetsim/internal/obs"
 	"hetsim/internal/power"
 	"hetsim/internal/sweep"
 )
@@ -49,6 +50,10 @@ type kernelMeasurement struct {
 	BinBytes int // accelerator binary size (Table I)
 	InBytes  int
 	OutBytes int
+
+	// Attr is the per-core cycle attribution of the pulp-4t run; non-nil
+	// only after MeasureObserved/MeasureObservedWith (the breakdown table).
+	Attr *obs.Attribution
 }
 
 // Measurements caches the per-kernel simulation results shared by all
@@ -89,6 +94,7 @@ type measureResult struct {
 	Retired  uint64
 	Activity power.Activity
 	BinBytes int
+	Attr     *obs.Attribution `json:",omitempty"` // cfgPULP4 under observation
 }
 
 // Measure runs the whole suite on every configuration with a default
@@ -102,6 +108,25 @@ func Measure(suite []*kernels.Instance) (*Measurements, error) {
 // the paper suite this simulates ~100M core cycles across 60 mutually
 // independent jobs.
 func MeasureWith(eng *sweep.Engine, suite []*kernels.Instance) (*Measurements, error) {
+	return measureWith(eng, suite, false)
+}
+
+// MeasureObserved is MeasureObservedWith on a default engine.
+func MeasureObserved(suite []*kernels.Instance) (*Measurements, error) {
+	return MeasureObservedWith(defaultEngine(), suite)
+}
+
+// MeasureObservedWith measures like MeasureWith but runs the pulp-4t
+// configuration with cycle attribution attached (see internal/obs), so
+// the Measurements can additionally produce the stall-breakdown table.
+// Attribution is purely observational: every number shared with an
+// unobserved measurement is bit-identical (the differential test pins
+// this), and only the observed job's cache key carries the "|obs" marker.
+func MeasureObservedWith(eng *sweep.Engine, suite []*kernels.Instance) (*Measurements, error) {
+	return measureWith(eng, suite, true)
+}
+
+func measureWith(eng *sweep.Engine, suite []*kernels.Instance, observe bool) (*Measurements, error) {
 	m := &Measurements{Suite: suite, ByK: make(map[string]*kernelMeasurement), seed: 1}
 	var jobs []sweep.Job[measureResult]
 	for _, k := range suite {
@@ -116,7 +141,7 @@ func MeasureWith(eng *sweep.Engine, suite []*kernels.Instance) (*Measurements, e
 			OutBytes: int(k.OutLen()),
 		}
 		for _, rc := range measureRuns {
-			job, err := measureJob(k, in, rc)
+			job, err := measureJob(k, in, rc, observe)
 			if err != nil {
 				return nil, err
 			}
@@ -140,6 +165,7 @@ func MeasureWith(eng *sweep.Engine, suite []*kernels.Instance) (*Measurements, e
 			case cfgPULP4:
 				km.Activity = r.Activity
 				km.BinBytes = r.BinBytes
+				km.Attr = r.Attr
 			}
 		}
 	}
@@ -149,7 +175,7 @@ func MeasureWith(eng *sweep.Engine, suite []*kernels.Instance) (*Measurements, e
 // measureJob builds the sweep job of one (kernel, configuration) pair.
 // The program is emitted here, producer-side, because its bytes are part
 // of the content key; the simulation itself runs worker-side.
-func measureJob(k *kernels.Instance, in []byte, rc measureRun) (sweep.Job[measureResult], error) {
+func measureJob(k *kernels.Instance, in []byte, rc measureRun, observe bool) (sweep.Job[measureResult], error) {
 	prog, err := k.Build(rc.tgt, rc.mode)
 	if err != nil {
 		return sweep.Job[measureResult]{}, err
@@ -160,6 +186,9 @@ func measureJob(k *kernels.Instance, in []byte, rc measureRun) (sweep.Job[measur
 	} else {
 		cfg = cluster.MCUConfig(rc.tgt)
 	}
+	// Only the run whose attribution is kept pays for observation; every
+	// other job reuses the exact cache entries of an unobserved measure.
+	cfg.Observe = observe && rc.key == cfgPULP4
 	ph, err := progKey(prog)
 	if err != nil {
 		return sweep.Job[measureResult]{}, err
@@ -185,6 +214,7 @@ func measureJob(k *kernels.Instance, in []byte, rc measureRun) (sweep.Job[measur
 					return measureResult{}, err
 				}
 				r.BinBytes = len(img)
+				r.Attr = res.Attr
 			}
 			return r, nil
 		},

@@ -28,6 +28,7 @@ import (
 
 	"hetsim/internal/fault"
 	"hetsim/internal/mem"
+	"hetsim/internal/obs"
 	"hetsim/internal/power"
 )
 
@@ -142,6 +143,16 @@ type Link struct {
 	// nothing.
 	Inject *fault.Injector
 
+	// TL, when non-nil, receives one wall-clock span per burst attempt on
+	// track (TLPid, TLTid); retransmitted attempts carry category "retx" so
+	// the repeats are visible in the viewer. The cursor is the wall-clock
+	// position of the next burst, advanced by each attempt's wire time; the
+	// offload runtime seeks it to the host clock before each link-driven
+	// phase (TLSeek). Nil costs one compare per burst attempt.
+	TL           *obs.Timeline
+	TLPid, TLTid int
+	tlCursor     float64 // seconds
+
 	// Stats.
 	TxBytes      uint64 // payload bytes host -> accelerator
 	RxBytes      uint64 // payload bytes accelerator -> host
@@ -172,6 +183,19 @@ func New(cfg Config) *Link {
 	return &Link{Cfg: cfg}
 }
 
+// TLSeek positions the timeline burst cursor (seconds on the wall clock)
+// for subsequent transfers.
+func (l *Link) TLSeek(t float64) { l.tlCursor = t }
+
+// tlBurst emits one burst-attempt span and advances the cursor by its
+// wire time. Callers guard on l.TL != nil.
+func (l *Link) tlBurst(name, cat string, wire int) {
+	t := float64(wire) / l.Cfg.ByteRate()
+	l.TL.Span(l.TLPid, l.TLTid, name, cat, l.tlCursor*1e6, t*1e6,
+		map[string]any{"wire_bytes": wire})
+	l.tlCursor += t
+}
+
 // account charges one completed transfer to the counters and returns its
 // wall-clock time.
 func (l *Link) account(wire int) float64 {
@@ -193,12 +217,15 @@ func (l *Link) Write(dst *mem.SRAM, addr uint32, data []byte) (float64, error) {
 			return 0, fmt.Errorf("spilink: %w", err)
 		}
 		l.TxBytes += uint64(len(data))
+		if l.TL != nil {
+			l.tlBurst("tx "+obs.KB(len(data)), "spi", l.Cfg.wireBytes(len(data)))
+		}
 		return l.account(l.Cfg.wireBytes(len(data))), nil
 	}
 	if !dst.Contains(addr, uint32(len(data))) {
 		return 0, fmt.Errorf("spilink: write of %d bytes at %#x outside accelerator memory", len(data), addr)
 	}
-	wire, err := l.moveBursts(len(data), func(off, n int) error {
+	wire, err := l.moveBursts(len(data), "tx", func(off, n int) error {
 		chunk := data[off : off+n]
 		switch l.Inject.LinkBurst() {
 		case fault.BurstCorrupt:
@@ -250,10 +277,13 @@ func (l *Link) Read(src *mem.SRAM, addr uint32, n uint32) ([]byte, float64, erro
 		// The slice is read-only and valid until the next device write.
 		data := src.Bytes(addr, n)
 		l.RxBytes += uint64(len(data))
+		if l.TL != nil {
+			l.tlBurst("rx "+obs.KB(len(data)), "spi", l.Cfg.wireBytes(len(data)))
+		}
 		return data, l.account(l.Cfg.wireBytes(len(data))), nil
 	}
 	data := src.ReadBytes(addr, n)
-	wire, err := l.moveBursts(len(data), func(off, n int) error {
+	wire, err := l.moveBursts(len(data), "rx", func(off, n int) error {
 		chunk := data[off : off+n]
 		switch l.Inject.LinkBurst() {
 		case fault.BurstCorrupt:
@@ -301,8 +331,9 @@ var (
 // moveBursts drives the burst loop shared by Write and Read: it splits an
 // n-byte payload, invokes move for every burst attempt, and retries
 // detected-bad attempts while the retransmission budget lasts. It returns
-// the total wire bytes consumed, including repeats.
-func (l *Link) moveBursts(n int, move func(off, n int) error) (wire int, err error) {
+// the total wire bytes consumed, including repeats. dir labels the burst
+// spans on the timeline ("tx"/"rx").
+func (l *Link) moveBursts(n int, dir string, move func(off, n int) error) (wire int, err error) {
 	if n == 0 {
 		return 0, nil
 	}
@@ -315,6 +346,15 @@ func (l *Link) moveBursts(n int, move func(off, n int) error) (wire int, err err
 		}
 		for attempt := 0; ; attempt++ {
 			wire += size + over
+			if l.TL != nil {
+				// The attempt's wire time is spent whether or not the burst
+				// lands; retransmits get their own category.
+				if attempt > 0 {
+					l.tlBurst(dir+" retransmit", "retx", size+over)
+				} else {
+					l.tlBurst(dir+" burst", "spi", size+over)
+				}
+			}
 			err := move(off, size)
 			if err == nil {
 				break

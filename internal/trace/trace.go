@@ -84,6 +84,10 @@ func (t *Tracer) Emit(e Event) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.max > 0 && t.n >= t.max {
+		// Past the cap the tracer never writes, but it must keep counting:
+		// a truncated trace that also loses the count of what it dropped
+		// would read as "nothing else happened".
+		t.dropped++
 		return
 	}
 	t.n++
@@ -114,9 +118,10 @@ func (t *Tracer) Count() uint64 {
 	return t.n
 }
 
-// Dropped returns the number of events whose formatted output could not
-// be written to the sink. A non-zero value means the trace on disk is
-// incomplete and should not be trusted as evidence of what did not happen.
+// Dropped returns the number of events that were not written to the sink:
+// emits past the truncation cap plus events whose formatted output failed
+// to write. A non-zero value means the trace on disk is incomplete and
+// should not be trusted as evidence of what did not happen.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0

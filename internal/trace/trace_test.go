@@ -57,8 +57,20 @@ func TestTracerTruncation(t *testing.T) {
 	if tr.Count() != 3 {
 		t.Fatalf("count = %d", tr.Count())
 	}
-	if !strings.Contains(sb.String(), "truncated") {
+	// Post-cap emits must never write, but must keep counting into
+	// Dropped(): Count+Dropped always equals the events offered.
+	if tr.Dropped() != 7 {
+		t.Fatalf("Dropped = %d, want 7", tr.Dropped())
+	}
+	if got := tr.Count() + tr.Dropped(); got != 10 {
+		t.Fatalf("Count+Dropped = %d, want 10", got)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "truncated") {
 		t.Error("no truncation marker")
+	}
+	if strings.Count(out, "\n") != 4 { // 3 events + the truncation marker
+		t.Errorf("post-cap emits leaked into the sink:\n%s", out)
 	}
 }
 
