@@ -15,9 +15,9 @@ BENCH_BASELINE ?= 6.922
 OBS_BASELINE ?= 13.70
 OBS_FLOOR ?= 12.0
 
-.PHONY: ci vet build test race race-sweep differential fault-drill chaos-drill bench bench-smoke sweep-bench obs-bench
+.PHONY: ci vet build test race race-sweep differential fault-drill chaos-drill serve-drill bench bench-smoke sweep-bench obs-bench
 
-ci: vet build race race-sweep differential fault-drill chaos-drill bench-smoke obs-bench
+ci: vet build race race-sweep differential fault-drill chaos-drill serve-drill bench-smoke obs-bench
 
 vet:
 	$(GO) vet ./...
@@ -60,6 +60,19 @@ chaos-drill:
 	$(GO) run ./cmd/hetexp -chaos -small -no-cache -chaos-trials 6 \
 		-chaos-rates 2e-3 -chaos-seed 1 -chaos-drill 1 >/dev/null
 	@echo "chaos drill passed"
+
+# Seeded soak of the simulation service (DESIGN.md §11): a client herd
+# hammers hetsimd's serving layer under injected slow jobs, cache-write
+# failures and mid-request cancellations, then drains. Asserts zero
+# duplicated executions per key, no stuck waiters, a clean drain, and
+# byte-identical remote-vs-local tables — all under the race detector,
+# bounded in wall clock. Also fuzzes the job-request decoder briefly.
+serve-drill:
+	$(GO) test -race -count=1 -timeout 120s \
+		-run 'TestServeSoak|TestRemoteEquivalence|TestLateResultAfterTimeoutIsDiscarded' \
+		./internal/serve ./internal/sweep
+	$(GO) test -run FuzzParseJobRequest -fuzz FuzzParseJobRequest -fuzztime 5s ./internal/paper
+	@echo "serve drill passed"
 
 # Differential cycle-accuracy: the event-driven run loop must agree with
 # the naive reference loop on cycles, outputs and stats for every kernel

@@ -4,6 +4,15 @@
 //
 //	hetexp [-exp table1|fig3|fig4|fig5a|fig5b|all] [-small] [-kernel name]
 //	       [-j N] [-cache-dir DIR] [-no-cache] [-breakdown]
+//	       [-remote URL] [-tenant NAME]
+//
+// -remote routes the measurement sweep through a hetsimd server instead
+// of simulating locally: each (kernel, configuration) point becomes a
+// content-keyed job request, deduplicated server-side and served from
+// the shared cache. The rendered tables are byte-identical to local
+// execution for the measurement experiments (table1, fig3, fig4, fig5a,
+// -breakdown); ablate/fig5b/chaos simulate extra local points and are
+// skipped (-exp all) or rejected under -remote.
 //
 // -small runs reduced-size kernels (seconds instead of minutes); the
 // recorded EXPERIMENTS.md numbers come from the full-size run.
@@ -25,28 +34,31 @@
 // invocation — or `-exp fig4` after `-exp all` — skips already-simulated
 // points. Output is byte-identical at any -j and on warm cache. SIGINT
 // cancels cleanly: in-flight jobs drain into the cache, a partial chaos
-// report is rendered, profiles are flushed, and the exit code is non-zero.
+// report is rendered, profiles are flushed, and the exit code is
+// non-zero; a second SIGINT force-exits with status 3 instead of waiting
+// on a wedged drain.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
-	"syscall"
 
 	"hetsim/internal/chaos"
+	"hetsim/internal/cli"
 	"hetsim/internal/fault"
 	"hetsim/internal/kernels"
 	"hetsim/internal/paper"
 	"hetsim/internal/prof"
 	"hetsim/internal/sensor"
+	"hetsim/internal/serve"
 	"hetsim/internal/sweep"
 )
 
@@ -65,6 +77,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-simulation time budget (0 = unbounded)")
+	remote := flag.String("remote", "", "route the measurement sweep through a hetsimd server at this base URL")
+	tenant := flag.String("tenant", "", "tenant name sent with -remote requests (rate limiting/quota identity)")
 	chaosOn := flag.Bool("chaos", false, "run the memory-fault chaos campaign instead of the paper figures")
 	chaosKernels := flag.String("chaos-kernels", "matmul", "comma-separated kernels for the chaos campaign")
 	chaosClasses := flag.String("chaos-classes", "", "comma-separated fault classes (default: tcdm,l2,parity,dma)")
@@ -83,8 +97,10 @@ func main() {
 
 	// SIGINT/SIGTERM cancel the engine: workers stop claiming, in-flight
 	// simulations drain into the cache, partial results are rendered, and
-	// the process exits non-zero through fatal.
-	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// the process exits non-zero through fatal. A second signal skips the
+	// drain entirely and force-exits with a distinct status, so a wedged
+	// job can't hold the process hostage.
+	ctx, stopSig := cli.NotifyDrain("hetexp")
 	defer stopSig()
 
 	var cache *sweep.Cache
@@ -113,6 +129,9 @@ func main() {
 	}
 
 	if *chaosOn || *chaosDrill > 0 {
+		if *remote != "" {
+			fatal(fmt.Errorf("-chaos runs locally; it cannot be combined with -remote"))
+		}
 		cerr := runChaos(eng, suite, chaosOpts{
 			kernels: *chaosKernels, classes: *chaosClasses, rates: *chaosRates,
 			trials: *chaosTrials, seed: *chaosSeed, e2e: *chaosE2E,
@@ -128,17 +147,51 @@ func main() {
 		return
 	}
 
-	fmt.Fprintf(os.Stderr, "measuring kernel suite (each kernel on 6 configurations, %d workers)...\n", eng.Workers())
-	measure := paper.MeasureWith
-	if *breakdown {
-		measure = paper.MeasureObservedWith
-	}
-	m, err := measure(eng, suite)
-	if err != nil {
-		fatal(err)
+	var m *paper.Measurements
+	if *remote != "" {
+		switch *exp {
+		case "all", "table1", "fig3", "fig4", "fig5a":
+		default:
+			fatal(fmt.Errorf("-exp %s simulates extra local points; -remote serves table1, fig3, fig4, fig5a", *exp))
+		}
+		fmt.Fprintf(os.Stderr, "measuring kernel suite via %s (each kernel on 6 configurations, %d concurrent requests)...\n",
+			*remote, *workers)
+		client := &serve.Client{BaseURL: *remote, Tenant: *tenant}
+		runner := client.RunSpec
+		if *jobTimeout > 0 {
+			// Deadline propagation: the per-simulation budget becomes the
+			// per-request budget, carried to the server in the job request.
+			runner = func(ctx context.Context, spec paper.JobSpec) (json.RawMessage, error) {
+				ctx, cancel := context.WithTimeout(ctx, *jobTimeout)
+				defer cancel()
+				return client.RunSpec(ctx, spec)
+			}
+		}
+		m, err = paper.MeasureRemote(ctx, runner, suite, *small, *breakdown, *workers)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "measuring kernel suite (each kernel on 6 configurations, %d workers)...\n", eng.Workers())
+		measure := paper.MeasureWith
+		if *breakdown {
+			measure = paper.MeasureObservedWith
+		}
+		m, err = measure(eng, suite)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
-	run := func(name string) bool { return *exp == "all" || *exp == name }
+	run := func(name string) bool {
+		if *remote != "" && (name == "ablate" || name == "fig5b") {
+			if *exp == "all" {
+				fmt.Fprintf(os.Stderr, "hetexp: skipping %s under -remote (simulates extra local points)\n", name)
+			}
+			return false
+		}
+		return *exp == "all" || *exp == name
+	}
 	out := os.Stdout
 
 	if *breakdown {
@@ -260,8 +313,16 @@ func sweepStats(eng *sweep.Engine) {
 	fmt.Fprintf(os.Stderr, "sweep: %d jobs, %d simulated, %d served from cache\n",
 		st.Jobs, st.Executed, st.CacheHits)
 	if c := eng.Cache(); c != nil {
-		if cs := c.Stats(); cs.Corrupt > 0 {
+		cs := c.Stats()
+		if cs.Corrupt > 0 {
 			fmt.Fprintf(os.Stderr, "cache: %d unusable entr(ies) re-simulated\n", cs.Corrupt)
+		}
+		if cs.WriteFails > 0 {
+			// Memoization silently degrading (full disk, bad permissions)
+			// must be visible: every unwritten entry is a re-simulation on
+			// the next run.
+			fmt.Fprintf(os.Stderr, "cache: warning: %d result(s) could not be persisted to %s; the next run will re-simulate them\n",
+				cs.WriteFails, c.Dir())
 		}
 	}
 }

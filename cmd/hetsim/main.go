@@ -29,14 +29,12 @@ package main
 
 import (
 	"bytes"
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sync/atomic"
-	"syscall"
 
+	"hetsim/internal/cli"
 	"hetsim/internal/core"
 	"hetsim/internal/devrt"
 	"hetsim/internal/fault"
@@ -85,8 +83,10 @@ func main() {
 	}
 
 	// A single simulation has no incremental results to save, but SIGINT
-	// must still flush any active profile before dying non-zero.
-	sigCtx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// must still flush any active profile before dying non-zero. A second
+	// signal force-exits with a distinct status (cli.ForceExitCode) even
+	// if that flush — or a wedged simulation — never returns.
+	sigCtx, stopSig := cli.NotifyDrain("hetsim")
 	defer stopSig()
 	go func() {
 		<-sigCtx.Done()

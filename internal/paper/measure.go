@@ -127,21 +127,14 @@ func MeasureObservedWith(eng *sweep.Engine, suite []*kernels.Instance) (*Measure
 }
 
 func measureWith(eng *sweep.Engine, suite []*kernels.Instance, observe bool) (*Measurements, error) {
-	m := &Measurements{Suite: suite, ByK: make(map[string]*kernelMeasurement), seed: 1}
+	m, ins, err := newMeasurements(suite)
+	if err != nil {
+		return nil, err
+	}
 	var jobs []sweep.Job[measureResult]
-	for _, k := range suite {
-		if _, dup := m.ByK[k.Name]; dup {
-			return nil, fmt.Errorf("paper: suite has two kernels named %q", k.Name)
-		}
-		in := k.Input(m.seed)
-		m.ByK[k.Name] = &kernelMeasurement{
-			K:        k,
-			Cycles:   make(map[configKey]uint64),
-			InBytes:  len(in),
-			OutBytes: int(k.OutLen()),
-		}
+	for i, k := range suite {
 		for _, rc := range measureRuns {
-			job, err := measureJob(k, in, rc, observe)
+			job, err := measureJob(k, ins[i], rc, observe)
 			if err != nil {
 				return nil, err
 			}
@@ -152,8 +145,38 @@ func measureWith(eng *sweep.Engine, suite []*kernels.Instance, observe bool) (*M
 	if err != nil {
 		return nil, err
 	}
+	m.fold(results)
+	return m, nil
+}
+
+// newMeasurements builds the empty measurement set for a suite (with the
+// duplicate-name guard every folder depends on) and the per-kernel input
+// buffers, indexed like the suite. It is shared by the local path
+// (measureWith) and the remote one (MeasureRemote, wire.go) so both fold
+// results identically.
+func newMeasurements(suite []*kernels.Instance) (*Measurements, [][]byte, error) {
+	m := &Measurements{Suite: suite, ByK: make(map[string]*kernelMeasurement), seed: 1}
+	ins := make([][]byte, len(suite))
+	for i, k := range suite {
+		if _, dup := m.ByK[k.Name]; dup {
+			return nil, nil, fmt.Errorf("paper: suite has two kernels named %q", k.Name)
+		}
+		ins[i] = k.Input(m.seed)
+		m.ByK[k.Name] = &kernelMeasurement{
+			K:        k,
+			Cycles:   make(map[configKey]uint64),
+			InBytes:  len(ins[i]),
+			OutBytes: int(k.OutLen()),
+		}
+	}
+	return m, ins, nil
+}
+
+// fold commits the results of the (suite × measureRuns) job matrix, in
+// production order, into the measurement set.
+func (m *Measurements) fold(results []measureResult) {
 	i := 0
-	for _, k := range suite {
+	for _, k := range m.Suite {
 		km := m.ByK[k.Name]
 		for _, rc := range measureRuns {
 			r := results[i]
@@ -169,7 +192,6 @@ func measureWith(eng *sweep.Engine, suite []*kernels.Instance, observe bool) (*M
 			}
 		}
 	}
-	return m, nil
 }
 
 // measureJob builds the sweep job of one (kernel, configuration) pair.

@@ -1,0 +1,260 @@
+package paper
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hetsim/internal/kernels"
+	"hetsim/internal/sweep"
+)
+
+// This file is the wire codec of the simulation service (internal/serve,
+// cmd/hetsimd): a JobSpec names one measurement point of the paper sweep
+// compactly — kernel, suite size, input seed, configuration — and
+// BuildSpecJob deterministically reconstructs the exact sweep job (same
+// program bytes, same input, same content key) on the server, so a
+// request is self-describing and two clients asking for the same point
+// dedupe onto one simulation. MeasureRemote is the client-side fold:
+// it routes the same job matrix measureWith runs locally through a
+// remote runner and commits the results through the shared fold, which
+// is what makes `hetexp -remote` byte-identical to local execution.
+
+// SpecConfigs lists the valid JobSpec.Config values — the measurement
+// configurations of the paper sweep, in matrix order.
+func SpecConfigs() []string {
+	cs := make([]string, len(measureRuns))
+	for i, rc := range measureRuns {
+		cs[i] = string(rc.key)
+	}
+	return cs
+}
+
+// JobSpec names one (kernel, configuration) measurement point.
+type JobSpec struct {
+	// Kernel is the Table I kernel name within the selected suite.
+	Kernel string `json:"kernel"`
+	// Small selects the reduced-size suite (fast smoke points).
+	Small bool `json:"small,omitempty"`
+	// Seed feeds the kernel's deterministic input generator.
+	Seed uint64 `json:"seed"`
+	// Config is one of SpecConfigs: plain, m3, m4, pulp1, pulp2, pulp4.
+	Config string `json:"config"`
+	// Observe attaches cycle attribution to the pulp4 point (the
+	// breakdown table); it is ignored — exactly like the local path — on
+	// every other configuration.
+	Observe bool `json:"observe,omitempty"`
+}
+
+// Validate checks the shape of a spec without touching the kernel
+// registry (BuildSpecJob resolves names; this guards the wire format).
+func (s *JobSpec) Validate() error {
+	if s.Kernel == "" {
+		return fmt.Errorf("paper: job spec: empty kernel name")
+	}
+	if len(s.Kernel) > 128 {
+		return fmt.Errorf("paper: job spec: kernel name longer than 128 bytes")
+	}
+	for _, rc := range measureRuns {
+		if string(rc.key) == s.Config {
+			return nil
+		}
+	}
+	return fmt.Errorf("paper: job spec: unknown config %q", s.Config)
+}
+
+// JobRequest is the body of POST /v1/jobs.
+type JobRequest struct {
+	// Tenant attributes the request for rate limiting and quotas
+	// (empty = the anonymous tenant).
+	Tenant string `json:"tenant,omitempty"`
+	// TimeoutMS propagates the client's deadline: the server gives up
+	// waiting (never the simulation itself, which other waiters may
+	// share) after this many milliseconds. 0 = the server's default.
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+	Spec      JobSpec `json:"spec"`
+}
+
+// JobResponse is the body of every /v1/jobs reply, success or failure.
+type JobResponse struct {
+	// Key is the job's content key (empty until the spec resolved).
+	Key string `json:"key,omitempty"`
+	// Cached reports a server-side cache hit; Shared reports that this
+	// request coalesced onto another request's in-flight simulation.
+	Cached bool `json:"cached,omitempty"`
+	Shared bool `json:"shared,omitempty"`
+	// Result is the simulation result (a measureResult), exactly the
+	// bytes the content-addressed cache stores for Key.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error and Retryable describe a failure: Retryable tells the client
+	// whether the same request can be re-submitted (transient failure)
+	// or is terminal (panic, timeout, invalid spec).
+	Error     string `json:"error,omitempty"`
+	Retryable bool   `json:"retryable,omitempty"`
+}
+
+// maxJobRequestBytes bounds a request body; the decoder enforces it
+// independently of the HTTP layer's own limit.
+const maxJobRequestBytes = 1 << 16
+
+// ParseJobRequest strictly decodes and validates a job request: unknown
+// fields, trailing data, oversized bodies and malformed specs are
+// errors, never best-effort guesses — the server's first line of defense
+// against garbage traffic (fuzzed by FuzzParseJobRequest).
+func ParseJobRequest(b []byte) (*JobRequest, error) {
+	if len(b) > maxJobRequestBytes {
+		return nil, fmt.Errorf("paper: job request larger than %d bytes", maxJobRequestBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var req JobRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("paper: bad job request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("paper: trailing data after job request")
+	}
+	if len(req.Tenant) > 64 {
+		return nil, fmt.Errorf("paper: tenant name longer than 64 bytes")
+	}
+	for _, r := range req.Tenant {
+		if r < 0x20 || r == 0x7f {
+			return nil, fmt.Errorf("paper: tenant name contains control characters")
+		}
+	}
+	if req.TimeoutMS < 0 {
+		return nil, fmt.Errorf("paper: negative timeout_ms")
+	}
+	if err := req.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// BuildSpecJob reconstructs the sweep job a spec names. The returned
+// job's key is exactly the key the local measurement path produces for
+// the same point — the property the whole dedup story rests on — and its
+// result marshals to exactly the bytes a local cache entry would hold.
+func BuildSpecJob(spec JobSpec) (sweep.Job[json.RawMessage], error) {
+	var zero sweep.Job[json.RawMessage]
+	if err := spec.Validate(); err != nil {
+		return zero, err
+	}
+	suite := kernels.PaperSuite()
+	if spec.Small {
+		suite = kernels.SmallSuite()
+	}
+	var k *kernels.Instance
+	for _, c := range suite {
+		if c.Name == spec.Kernel {
+			k = c
+			break
+		}
+	}
+	if k == nil {
+		return zero, fmt.Errorf("paper: job spec: unknown kernel %q", spec.Kernel)
+	}
+	var rc measureRun
+	for _, r := range measureRuns {
+		if string(r.key) == spec.Config {
+			rc = r
+			break
+		}
+	}
+	inner, err := measureJob(k, k.Input(spec.Seed), rc, spec.Observe)
+	if err != nil {
+		return zero, err
+	}
+	return sweep.Job[json.RawMessage]{
+		Key: inner.Key,
+		Run: func() (json.RawMessage, error) {
+			v, err := inner.Run()
+			if err != nil {
+				return nil, err
+			}
+			raw, err := json.Marshal(v)
+			if err != nil {
+				return nil, err
+			}
+			return json.RawMessage(raw), nil
+		},
+	}, nil
+}
+
+// SpecRunner executes one measurement point remotely and returns the raw
+// result bytes (a serialized measureResult). internal/serve's Client
+// provides the HTTP implementation.
+type SpecRunner func(ctx context.Context, spec JobSpec) (json.RawMessage, error)
+
+// MeasureRemote measures the suite through a remote runner: the same
+// (kernel × configuration) job matrix measureWith schedules locally is
+// fanned out across `workers` concurrent requests, decoded, and folded
+// in production order — so the resulting Measurements (and every table
+// rendered from them) are byte-identical to a local run. small must
+// match the suite (it tells the server which registry to resolve kernel
+// names in); observe requests cycle attribution on the pulp4 points. The
+// first error cancels the remaining requests.
+func MeasureRemote(ctx context.Context, run SpecRunner, suite []*kernels.Instance, small, observe bool, workers int) (*Measurements, error) {
+	m, _, err := newMeasurements(suite)
+	if err != nil {
+		return nil, err
+	}
+	var specs []JobSpec
+	for _, k := range suite {
+		for _, rc := range measureRuns {
+			specs = append(specs, JobSpec{
+				Kernel: k.Name, Small: small, Seed: m.seed,
+				Config: string(rc.key), Observe: observe,
+			})
+		}
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	results := make([]measureResult, len(specs))
+	errs := make([]error, len(specs))
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(specs) || ctx.Err() != nil {
+					return
+				}
+				raw, err := run(ctx, specs[i])
+				if err == nil {
+					err = json.Unmarshal(raw, &results[i])
+				}
+				if err != nil {
+					errs[i] = err
+					cancel() // first failure stops the fan-out
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("paper: remote point %s/%s: %w", specs[i].Kernel, specs[i].Config, err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("paper: remote sweep cancelled: %w", err)
+	}
+	m.fold(results)
+	return m, nil
+}

@@ -1,0 +1,184 @@
+package paper
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hetsim/internal/kernels"
+)
+
+func TestParseJobRequest(t *testing.T) {
+	good := `{"tenant":"lab","timeout_ms":500,"spec":{"kernel":"matmul","seed":1,"config":"pulp4"}}`
+	req, err := ParseJobRequest([]byte(good))
+	if err != nil {
+		t.Fatalf("good request rejected: %v", err)
+	}
+	if req.Tenant != "lab" || req.TimeoutMS != 500 || req.Spec.Kernel != "matmul" || req.Spec.Config != "pulp4" {
+		t.Fatalf("good request decoded as %+v", req)
+	}
+
+	bad := []struct{ name, body string }{
+		{"empty", ``},
+		{"not json", `hello`},
+		{"unknown field", `{"bogus":1,"spec":{"kernel":"matmul","seed":1,"config":"m3"}}`},
+		{"trailing data", good + `{"again":true}`},
+		{"missing kernel", `{"spec":{"seed":1,"config":"m3"}}`},
+		{"unknown config", `{"spec":{"kernel":"matmul","seed":1,"config":"turbo"}}`},
+		{"long kernel", `{"spec":{"kernel":"` + strings.Repeat("x", 129) + `","seed":1,"config":"m3"}}`},
+		{"long tenant", `{"tenant":"` + strings.Repeat("t", 65) + `","spec":{"kernel":"matmul","seed":1,"config":"m3"}}`},
+		{"control tenant", `{"tenant":"a\tb","spec":{"kernel":"matmul","seed":1,"config":"m3"}}`},
+		{"negative timeout", `{"timeout_ms":-5,"spec":{"kernel":"matmul","seed":1,"config":"m3"}}`},
+		{"oversized", `{"tenant":"` + strings.Repeat(" ", maxJobRequestBytes) + `"}`},
+	}
+	for _, tc := range bad {
+		if _, err := ParseJobRequest([]byte(tc.body)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestSpecConfigsMatchMatrix(t *testing.T) {
+	cs := SpecConfigs()
+	if len(cs) != len(measureRuns) {
+		t.Fatalf("SpecConfigs has %d entries, matrix has %d", len(cs), len(measureRuns))
+	}
+	for i, rc := range measureRuns {
+		if cs[i] != string(rc.key) {
+			t.Fatalf("SpecConfigs[%d] = %q, matrix has %q", i, cs[i], rc.key)
+		}
+	}
+}
+
+// TestBuildSpecJobMatchesLocal pins the property the service rests on:
+// the job a wire spec reconstructs has exactly the content key the local
+// measurement path produces for the same point, and its result marshals
+// to the same bytes.
+func TestBuildSpecJobMatchesLocal(t *testing.T) {
+	k := kernels.SmallSuite()[0]
+	in := k.Input(1)
+	for _, rc := range measureRuns {
+		local, err := measureJob(k, in, rc, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := BuildSpecJob(JobSpec{Kernel: k.Name, Small: true, Seed: 1, Config: string(rc.key)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if remote.Key != local.Key {
+			t.Fatalf("%s: spec key %q != local key %q", rc.key, remote.Key, local.Key)
+		}
+	}
+	// Observe only marks the pulp4 key, exactly like the local path.
+	for _, rc := range measureRuns {
+		local, err := measureJob(k, in, rc, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remote, err := BuildSpecJob(JobSpec{Kernel: k.Name, Small: true, Seed: 1, Config: string(rc.key), Observe: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if remote.Key != local.Key {
+			t.Fatalf("%s observed: spec key %q != local key %q", rc.key, remote.Key, local.Key)
+		}
+	}
+	// Result bytes: run one cheap point both ways.
+	rc := measureRuns[1] // m3
+	local, err := measureJob(k, in, rc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := local.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := BuildSpecJob(JobSpec{Kernel: k.Name, Small: true, Seed: 1, Config: string(rc.key)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := remote.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("spec result bytes differ from local:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestBuildSpecJobUnknownKernel(t *testing.T) {
+	if _, err := BuildSpecJob(JobSpec{Kernel: "no-such-kernel", Seed: 1, Config: "m3"}); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	// A paper-suite-only kernel must not resolve in the small registry if
+	// absent there, and vice versa names resolve per the Small flag.
+	if _, err := BuildSpecJob(JobSpec{Kernel: kernels.SmallSuite()[0].Name, Small: true, Seed: 1, Config: "m3"}); err != nil {
+		t.Fatalf("small-suite kernel rejected: %v", err)
+	}
+}
+
+// TestMeasureRemoteFoldsLikeLocal routes the job matrix through an
+// in-process runner that executes specs via BuildSpecJob — the shape of
+// the real server without HTTP — and checks the fold is identical to the
+// local path.
+func TestMeasureRemoteFoldsLikeLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the small suite twice")
+	}
+	suite := kernels.SmallSuite()[:2]
+	local, err := MeasureWith(defaultEngine(), suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(ctx context.Context, spec JobSpec) (json.RawMessage, error) {
+		job, err := BuildSpecJob(spec)
+		if err != nil {
+			return nil, err
+		}
+		return job.Run()
+	}
+	remote, err := MeasureRemote(context.Background(), run, suite, true, false, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, rb := renderAll(t, local), renderAll(t, remote)
+	if string(lb) != string(rb) {
+		t.Fatalf("remote tables differ from local:\n%s\nvs\n%s", rb, lb)
+	}
+}
+
+// FuzzParseJobRequest hammers the server's first line of defense: the
+// decoder must reject or accept without panicking, and anything it
+// accepts must survive a re-encode/re-parse round trip.
+func FuzzParseJobRequest(f *testing.F) {
+	f.Add([]byte(`{"tenant":"lab","timeout_ms":500,"spec":{"kernel":"matmul","seed":1,"config":"pulp4"}}`))
+	f.Add([]byte(`{"spec":{"kernel":"fir","small":true,"seed":7,"config":"plain","observe":true}}`))
+	f.Add([]byte(`{"spec":{"kernel":"","seed":0,"config":""}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"tenant":""}`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		req, err := ParseJobRequest(b)
+		if err != nil {
+			return
+		}
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not re-encode: %v", err)
+		}
+		again, err := ParseJobRequest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded request rejected: %v\n%s", err, enc)
+		}
+		if *again != *req {
+			t.Fatalf("round trip changed the request: %+v vs %+v", again, req)
+		}
+	})
+}

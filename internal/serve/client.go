@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"hetsim/internal/paper"
+)
+
+// Client is the HTTP client side of the service: it submits keyed job
+// specs, honors the server's backpressure (429/503 + Retry-After become
+// bounded waits, not errors), re-submits retryable failures, and
+// propagates its context's deadline to the server. Its zero value plus a
+// BaseURL is usable; Client.RunSpec is a paper.SpecRunner, which is how
+// `hetexp -remote` plugs a server under paper.MeasureRemote.
+type Client struct {
+	// BaseURL roots the service, e.g. "http://127.0.0.1:9966".
+	BaseURL string
+	// Tenant attributes requests for rate limiting (empty = anonymous).
+	Tenant string
+	// HTTP is the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+	// MaxAttempts bounds submissions per job, backpressure waits
+	// included (<= 0 selects 10).
+	MaxAttempts int
+	// MaxWait caps a single Retry-After or backoff wait (<= 0: 5s).
+	MaxWait time.Duration
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// RunSpec submits one measurement point and returns the raw result
+// bytes. It retries backpressure answers and retryable failures with
+// bounded waits; a terminal failure (bad spec, panicked or timed-out
+// simulation) or an exhausted budget returns an error.
+func (c *Client) RunSpec(ctx context.Context, spec paper.JobSpec) (json.RawMessage, error) {
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = 10
+	}
+	maxWait := c.MaxWait
+	if maxWait <= 0 {
+		maxWait = 5 * time.Second
+	}
+	var lastErr error
+	for n := 0; n < attempts; n++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		raw, wait, err := c.submit(ctx, spec)
+		if err == nil {
+			return raw, nil
+		}
+		lastErr = err
+		if wait < 0 { // terminal
+			return nil, err
+		}
+		if wait == 0 { // transport or retryable failure: backoff
+			wait = time.Duration(50*(n+1)) * time.Millisecond
+		}
+		if wait > maxWait {
+			wait = maxWait
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("serve: job not accepted after %d attempts: %w", attempts, lastErr)
+}
+
+// submit performs one round trip. wait tells RunSpec how to continue on
+// error: < 0 terminal, 0 retry after default backoff, > 0 retry after
+// the server-requested wait.
+func (c *Client) submit(ctx context.Context, spec paper.JobSpec) (raw json.RawMessage, wait time.Duration, err error) {
+	jreq := paper.JobRequest{Tenant: c.Tenant, Spec: spec}
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		jreq.TimeoutMS = ms
+	}
+	body, err := json.Marshal(jreq)
+	if err != nil {
+		return nil, -1, err
+	}
+	url := strings.TrimSuffix(c.BaseURL, "/") + "/v1/jobs"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, -1, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, -1, ctx.Err()
+		}
+		return nil, 0, err // transport errors are worth a retry
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, 0, err
+	}
+	var jresp paper.JobResponse
+	if err := json.Unmarshal(b, &jresp); err != nil {
+		return nil, -1, fmt.Errorf("serve: undecodable response (status %d): %w", resp.StatusCode, err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return jresp.Result, 0, nil
+	case resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable:
+		return nil, retryAfterWait(resp), fmt.Errorf("serve: backpressure (%d): %s", resp.StatusCode, jresp.Error)
+	case jresp.Retryable:
+		return nil, 0, fmt.Errorf("serve: retryable failure (%d): %s", resp.StatusCode, jresp.Error)
+	default:
+		return nil, -1, fmt.Errorf("serve: job failed (%d): %s", resp.StatusCode, jresp.Error)
+	}
+}
+
+// retryAfterWait parses the Retry-After header (seconds form).
+func retryAfterWait(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		return time.Second
+	}
+	return time.Duration(secs) * time.Second
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Faults is the service-level fault injector — the chaos discipline of
+// internal/fault turned inward on the serving layer itself. It decides,
+// deterministically where the drill needs determinism and from a seeded
+// splitmix64 stream where a rate is enough, when a simulation runs slow,
+// when a cache write fails, and when a request's context is cancelled
+// mid-flight. A nil *Faults is a no-op on every decision, so a clean
+// server pays nothing.
+type Faults struct {
+	// Seed feeds the splitmix64 stream behind the rate-based decisions.
+	Seed uint64
+	// SlowEvery makes every Nth led execution sleep SlowDelay before the
+	// simulation (0 disables) — the knob behind queue-pressure, deadline
+	// and dedup-under-latency drills.
+	SlowEvery int
+	SlowDelay time.Duration
+	// CacheFailFirst fails the first N cache-write attempts of every key
+	// (0 disables). Deterministic per key, so a put retry budget > N
+	// provably exercises the retry path and still always persists —
+	// which is what lets the soak assert zero duplicated executions.
+	CacheFailFirst int
+	// CacheFailRate additionally fails cache-write attempts at this rate
+	// from the seeded stream (0 disables).
+	CacheFailRate float64
+	// CancelRate cancels a request's wait mid-flight at this rate (0
+	// disables): the waiter gets a cancellation error; the simulation it
+	// was waiting on is never cancelled and still lands in the cache.
+	CancelRate float64
+	// CancelAfter delays an injected cancellation (default: immediate).
+	CancelAfter time.Duration
+
+	mu       sync.Mutex
+	rng      uint64
+	seeded   bool
+	execs    int
+	putFails map[string]int
+}
+
+// next advances the splitmix64 stream (the internal/fault generator).
+func (f *Faults) next() uint64 {
+	if !f.seeded {
+		f.rng = f.Seed
+		f.seeded = true
+	}
+	f.rng += 0x9e3779b97f4a7c15
+	z := f.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// roll draws a uniform [0,1) decision from the stream.
+func (f *Faults) roll() float64 {
+	return float64(f.next()>>11) / float64(1<<53)
+}
+
+// SlowJob reports how long the next led execution should stall (0 = run
+// at full speed).
+func (f *Faults) SlowJob() time.Duration {
+	if f == nil || f.SlowEvery <= 0 {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.execs++
+	if f.execs%f.SlowEvery == 0 {
+		return f.SlowDelay
+	}
+	return 0
+}
+
+// CacheWriteFail reports whether this cache-write attempt for key should
+// fail.
+func (f *Faults) CacheWriteFail(key string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.CacheFailFirst > 0 {
+		if f.putFails == nil {
+			f.putFails = make(map[string]int)
+		}
+		if f.putFails[key] < f.CacheFailFirst {
+			f.putFails[key]++
+			return true
+		}
+	}
+	return f.CacheFailRate > 0 && f.roll() < f.CacheFailRate
+}
+
+// CancelRequest reports whether this request's wait should be cancelled
+// mid-flight, and after how long.
+func (f *Faults) CancelRequest() (time.Duration, bool) {
+	if f == nil || f.CancelRate <= 0 {
+		return 0, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.roll() < f.CancelRate {
+		return f.CancelAfter, true
+	}
+	return 0, false
+}

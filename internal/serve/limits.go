@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// limiter is the per-tenant admission policy: a token bucket (sustained
+// rate + burst) plus an in-flight quota. Buckets are created lazily per
+// tenant and refill continuously; a drained bucket yields the wait until
+// the next token, which the server surfaces as Retry-After.
+type limiter struct {
+	rate  float64 // tokens per second; <= 0 disables rate limiting
+	burst float64 // bucket capacity
+	quota int     // max in-flight requests per tenant; <= 0 disables
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // test seam
+}
+
+type bucket struct {
+	tokens   float64
+	last     time.Time
+	inflight int
+}
+
+func newLimiter(rate float64, burst, quota int) *limiter {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &limiter{rate: rate, burst: b, quota: quota,
+		buckets: make(map[string]*bucket), now: time.Now}
+}
+
+// admit charges one token and one in-flight slot to the tenant. On
+// success the caller must release(). On refusal it returns the wait
+// after which a retry can succeed (0 when only the quota blocks —
+// retry once in-flight work completes).
+func (l *limiter) admit(tenant string) (retryAfter time.Duration, ok bool) {
+	if l == nil {
+		return 0, true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: l.now()}
+		l.buckets[tenant] = b
+	}
+	if l.quota > 0 && b.inflight >= l.quota {
+		return 0, false
+	}
+	if l.rate > 0 {
+		now := l.now()
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+		if b.tokens < 1 {
+			return time.Duration((1 - b.tokens) / l.rate * float64(time.Second)), false
+		}
+		b.tokens--
+	}
+	b.inflight++
+	return 0, true
+}
+
+// release returns the tenant's in-flight slot.
+func (l *limiter) release(tenant string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b := l.buckets[tenant]; b != nil && b.inflight > 0 {
+		b.inflight--
+	}
+}

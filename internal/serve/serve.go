@@ -1,0 +1,444 @@
+// Package serve is the hardened simulation-as-a-service layer: a
+// long-running HTTP/JSON front-end (cmd/hetsimd) over the sweep engine
+// and the content-addressed run cache, built so that a million clients
+// asking for the same sweep point cost one simulation.
+//
+// The robustness envelope, every piece exercised under injected failure
+// (fault.go, the soak drill):
+//
+//   - Single-flight dedup: concurrent requests for the same content key
+//     coalesce onto one in-flight simulation (sweep.Flight); waiters
+//     share the result or the typed error.
+//   - Backpressure: a bounded admission queue and per-tenant token
+//     buckets + in-flight quotas answer 429 with Retry-After instead of
+//     melting down.
+//   - Deadline propagation: a client deadline bounds how long its
+//     request waits — never the shared simulation other waiters ride on.
+//   - Bounded retry: transient failures (cache writes, injected faults)
+//     re-attempt with seeded, jittered exponential backoff; the sweep
+//     taxonomy's terminal errors (*sweep.PanicError, sweep.ErrJobTimeout,
+//     cancelled contexts) never retry.
+//   - Graceful drain: Drain stops admission (readiness flips to 503),
+//     lets in-flight jobs finish and land in the fsynced cache — the
+//     checkpoint — then reports. A wedged drain is bounded by its
+//     context; cmd/hetsimd force-exits on a second signal.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"hetsim/internal/paper"
+	"hetsim/internal/sweep"
+)
+
+// State is the drain state machine: Serving → Draining → Stopped.
+type State int32
+
+const (
+	StateServing State = iota
+	StateDraining
+	StateStopped
+)
+
+func (s State) String() string {
+	switch s {
+	case StateServing:
+		return "serving"
+	case StateDraining:
+		return "draining"
+	case StateStopped:
+		return "stopped"
+	}
+	return "?"
+}
+
+// Config shapes a Server.
+type Config struct {
+	// Build resolves a job spec into the sweep job it names (key +
+	// runner). Nil selects paper.BuildSpecJob — the paper sweep; tests
+	// and drills substitute instrumented builders.
+	Build func(spec paper.JobSpec) (sweep.Job[json.RawMessage], error)
+	// Cache persists results across requests and restarts (nil disables
+	// persistence; dedup still works for concurrent requests).
+	Cache *sweep.Cache
+	// Workers bounds concurrently executing simulations (<= 0 selects
+	// runtime.GOMAXPROCS(0)).
+	Workers int
+	// Queue bounds admitted requests — running plus waiting, dedup
+	// waiters included. Beyond it the server answers 429 + Retry-After.
+	// <= 0 selects 8× Workers.
+	Queue int
+	// JobTimeout bounds each simulation (sweep.Config.JobTimeout);
+	// a job that exceeds it fails terminally for every waiter.
+	JobTimeout time.Duration
+	// Retry bounds transient-failure re-attempts (zero value selects
+	// DefaultRetryPolicy; Max < 0 disables retry).
+	Retry RetryPolicy
+	// RatePerSec and Burst parameterize the per-tenant token buckets
+	// (RatePerSec <= 0 disables rate limiting).
+	RatePerSec float64
+	Burst      int
+	// TenantQuota caps in-flight requests per tenant (<= 0 disables).
+	TenantQuota int
+	// Seed feeds the backoff jitter stream (0 is a valid seed).
+	Seed uint64
+	// Faults injects service-level failures for drills (nil = none).
+	Faults *Faults
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	State         string `json:"state"`
+	Requests      uint64 `json:"requests"`
+	RejectedQueue uint64 `json:"rejected_queue"`
+	RejectedRate  uint64 `json:"rejected_rate"`
+	RejectedQuota uint64 `json:"rejected_quota"`
+	RejectedDrain uint64 `json:"rejected_drain"`
+	BadRequests   uint64 `json:"bad_requests"`
+	Deduped       uint64 `json:"deduped"` // requests coalesced onto another request's flight
+	Leads         uint64 `json:"leads"`   // flights led (distinct in-flight keys)
+	CacheHits     uint64 `json:"cache_hits"`
+	Executed      uint64 `json:"executed"` // simulations actually run
+	ExecRetries   uint64 `json:"exec_retries"`
+	PutRetries    uint64 `json:"put_retries"`
+	PutFailures   uint64 `json:"put_failures"` // puts that failed even after retry
+	Failed        uint64 `json:"failed"`
+	Expired       uint64 `json:"expired"` // waits abandoned on deadline/cancel
+}
+
+// Server is the simulation service. Create with New, mount Handler on an
+// http.Server, stop with Drain.
+type Server struct {
+	cfg    Config
+	eng    *sweep.Engine
+	flight sweep.Flight[flightVal]
+	limits *limiter
+	retry  *retrier
+	sem    chan struct{}
+	queued atomic.Int64
+	state  atomic.Int32
+	wg     sync.WaitGroup
+
+	requests      atomic.Uint64
+	rejectedQueue atomic.Uint64
+	rejectedRate  atomic.Uint64
+	rejectedQuota atomic.Uint64
+	rejectedDrain atomic.Uint64
+	badRequests   atomic.Uint64
+	deduped       atomic.Uint64
+	cacheHits     atomic.Uint64
+	executed      atomic.Uint64
+	execRetries   atomic.Uint64
+	putRetries    atomic.Uint64
+	putFailures   atomic.Uint64
+	failed        atomic.Uint64
+	expired       atomic.Uint64
+}
+
+// flightVal is what a flight publishes to its waiters.
+type flightVal struct {
+	raw    json.RawMessage
+	cached bool
+}
+
+// errInjectedCacheWrite marks a fault-hook cache-write failure; it is
+// transient by classification, which is the point.
+var errInjectedCacheWrite = errors.New("serve: injected cache write failure")
+
+// New builds a server. The zero-value knobs of cfg select production
+// defaults (see Config).
+func New(cfg Config) *Server {
+	if cfg.Build == nil {
+		cfg.Build = paper.BuildSpecJob
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 8 * cfg.Workers
+	}
+	if cfg.Retry == (RetryPolicy{}) {
+		cfg.Retry = DefaultRetryPolicy()
+	}
+	if cfg.Retry.Max < 0 {
+		cfg.Retry.Max = 0
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = int(math.Max(1, cfg.RatePerSec))
+	}
+	s := &Server{
+		cfg:    cfg,
+		eng:    sweep.New(sweep.Config{Workers: cfg.Workers, JobTimeout: cfg.JobTimeout}),
+		limits: newLimiter(cfg.RatePerSec, cfg.Burst, cfg.TenantQuota),
+		retry:  newRetrier(cfg.Retry, cfg.Seed),
+		sem:    make(chan struct{}, cfg.Workers),
+	}
+	return s
+}
+
+// State reports where the drain state machine stands.
+func (s *Server) State() State { return State(s.state.Load()) }
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	fs := s.flight.Stats()
+	return Stats{
+		State:         s.State().String(),
+		Requests:      s.requests.Load(),
+		RejectedQueue: s.rejectedQueue.Load(),
+		RejectedRate:  s.rejectedRate.Load(),
+		RejectedQuota: s.rejectedQuota.Load(),
+		RejectedDrain: s.rejectedDrain.Load(),
+		BadRequests:   s.badRequests.Load(),
+		Deduped:       s.deduped.Load(),
+		Leads:         fs.Leads,
+		CacheHits:     s.cacheHits.Load(),
+		Executed:      s.executed.Load(),
+		ExecRetries:   s.execRetries.Load(),
+		PutRetries:    s.putRetries.Load(),
+		PutFailures:   s.putFailures.Load(),
+		Failed:        s.failed.Load(),
+		Expired:       s.expired.Load(),
+	}
+}
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /v1/jobs   submit a keyed job (paper.JobRequest → paper.JobResponse)
+//	GET  /v1/stats  counters snapshot
+//	GET  /healthz   liveness  (200 while the process runs)
+//	GET  /readyz    readiness (200 serving, 503 draining/stopped)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJob)
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.State() == StateServing {
+			w.WriteHeader(http.StatusOK)
+			io.WriteString(w, "ready\n")
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, s.State().String()+"\n")
+	})
+	return mux
+}
+
+// Drain executes the shutdown state machine: flip to draining (readiness
+// and new submissions start answering 503), wait for every admitted
+// request — including detached-waiter flights, which run on their
+// leader's request — to finish and checkpoint into the fsynced cache,
+// then report Stopped. The context bounds the wait; on expiry the server
+// is still marked stopped (nothing new is admitted) and the error says
+// what was abandoned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.state.CompareAndSwap(int32(StateServing), int32(StateDraining))
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.state.Store(int32(StateStopped))
+		return nil
+	case <-ctx.Done():
+		s.state.Store(int32(StateStopped))
+		return fmt.Errorf("serve: drain abandoned %d queued request(s): %w", s.queued.Load(), ctx.Err())
+	}
+}
+
+// maxBodyBytes bounds a request body at the HTTP layer (the codec
+// enforces its own tighter limit).
+const maxBodyBytes = 1 << 20
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, paper.JobResponse{Error: "POST only"})
+		return
+	}
+	// Track before the state check: every request Drain could observe
+	// mid-flight is inside the group (rejections release it promptly).
+	s.wg.Add(1)
+	defer s.wg.Done()
+	if s.State() != StateServing {
+		s.rejectedDrain.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable,
+			paper.JobResponse{Error: "server is " + s.State().String(), Retryable: true})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, paper.JobResponse{Error: "reading request: " + err.Error()})
+		return
+	}
+	req, err := paper.ParseJobRequest(body)
+	if err != nil {
+		s.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, paper.JobResponse{Error: err.Error()})
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "anon"
+	}
+	if wait, ok := s.limits.admit(tenant); !ok {
+		if wait > 0 {
+			s.rejectedRate.Add(1)
+		} else {
+			s.rejectedQuota.Add(1)
+		}
+		w.Header().Set("Retry-After", retryAfter(wait))
+		writeJSON(w, http.StatusTooManyRequests,
+			paper.JobResponse{Error: "tenant over rate limit or quota", Retryable: true})
+		return
+	}
+	defer s.limits.release(tenant)
+	if n := s.queued.Add(1); n > int64(s.cfg.Queue) {
+		s.queued.Add(-1)
+		s.rejectedQueue.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests,
+			paper.JobResponse{Error: "admission queue full", Retryable: true})
+		return
+	}
+	defer s.queued.Add(-1)
+
+	// Deadline propagation: the client's budget bounds its wait (and an
+	// injected cancellation drills the same path); the simulation itself
+	// is never cancelled — other waiters may be riding on it.
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	if d, ok := s.cfg.Faults.CancelRequest(); ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		t := time.AfterFunc(d, cancel)
+		defer t.Stop()
+		defer cancel()
+	}
+
+	resp, code := s.execute(ctx, req.Spec)
+	writeJSON(w, code, resp)
+}
+
+// execute resolves the spec and runs it through the single-flight layer.
+func (s *Server) execute(ctx context.Context, spec paper.JobSpec) (paper.JobResponse, int) {
+	job, err := s.cfg.Build(spec)
+	if err != nil {
+		s.badRequests.Add(1)
+		return paper.JobResponse{Error: err.Error()}, http.StatusBadRequest
+	}
+	v, err, shared := s.flight.Do(ctx, job.Key, func() (flightVal, error) {
+		return s.lead(job)
+	})
+	if shared {
+		s.deduped.Add(1)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The wait was abandoned, not the simulation: a re-submission
+			// will find the flight, or the cache entry it left behind.
+			s.expired.Add(1)
+			return paper.JobResponse{Key: job.Key, Error: err.Error(), Retryable: true},
+				http.StatusGatewayTimeout
+		}
+		s.failed.Add(1)
+		return paper.JobResponse{Key: job.Key, Error: err.Error(), Retryable: Retryable(err)},
+			http.StatusInternalServerError
+	}
+	return paper.JobResponse{Key: job.Key, Cached: v.cached, Shared: shared, Result: v.raw},
+		http.StatusOK
+}
+
+// lead runs one deduplicated execution: worker slot, cache read, the
+// simulation itself under the transient-retry budget, then the cache
+// write under the same budget (an ultimately failed write is non-fatal —
+// the result is still served, persistence is what degraded). Leaders run
+// on their caller's stack and always ride to completion, so a drain that
+// waits out the handlers has waited out every simulation.
+func (s *Server) lead(job sweep.Job[json.RawMessage]) (flightVal, error) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	if s.cfg.Cache != nil {
+		var raw json.RawMessage
+		if s.cfg.Cache.Get(job.Key, &raw) {
+			s.cacheHits.Add(1)
+			return flightVal{raw: raw, cached: true}, nil
+		}
+	}
+	if d := s.cfg.Faults.SlowJob(); d > 0 {
+		time.Sleep(d)
+	}
+	var raw json.RawMessage
+	err := s.retry.do(context.Background(), func() error {
+		rs, err := sweep.Run(s.eng, []sweep.Job[json.RawMessage]{job})
+		if err != nil {
+			return err
+		}
+		raw = rs[0]
+		return nil
+	}, func() { s.execRetries.Add(1) })
+	if err != nil {
+		return flightVal{}, err
+	}
+	s.executed.Add(1)
+	if s.cfg.Cache != nil {
+		perr := s.retry.do(context.Background(), func() error {
+			if s.cfg.Faults.CacheWriteFail(job.Key) {
+				return errInjectedCacheWrite
+			}
+			return s.cfg.Cache.Put(job.Key, raw)
+		}, func() { s.putRetries.Add(1) })
+		if perr != nil {
+			s.putFailures.Add(1)
+		}
+	}
+	return flightVal{raw: raw}, nil
+}
+
+// retryAfter renders a wait as a Retry-After header value (whole
+// seconds, minimum 1 — the header has no sub-second form).
+func retryAfter(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(b)
+}

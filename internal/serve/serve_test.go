@@ -1,0 +1,706 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hetsim/internal/paper"
+	"hetsim/internal/sweep"
+)
+
+// testBuild keys jobs by spec.Kernel and lets tests plug per-kernel
+// behavior; unknown kernels fall back to an instant echo job.
+func testBuild(runs map[string]func() (json.RawMessage, error)) func(paper.JobSpec) (sweep.Job[json.RawMessage], error) {
+	return func(spec paper.JobSpec) (sweep.Job[json.RawMessage], error) {
+		if spec.Kernel == "reject-me" {
+			return sweep.Job[json.RawMessage]{}, fmt.Errorf("unknown kernel %q", spec.Kernel)
+		}
+		run := runs[spec.Kernel]
+		if run == nil {
+			payload := json.RawMessage(fmt.Sprintf(`{"kernel":%q}`, spec.Kernel))
+			run = func() (json.RawMessage, error) { return payload, nil }
+		}
+		return sweep.Job[json.RawMessage]{Key: "test|" + spec.Kernel, Run: run}, nil
+	}
+}
+
+func body(kernel, tenant string, timeoutMS int64) string {
+	b, _ := json.Marshal(paper.JobRequest{Tenant: tenant, TimeoutMS: timeoutMS,
+		Spec: paper.JobSpec{Kernel: kernel, Seed: 1, Config: "plain"}})
+	return string(b)
+}
+
+func postJob(t *testing.T, ts *httptest.Server, payload string) (int, http.Header, paper.JobResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr paper.JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatalf("undecodable response: %v", err)
+	}
+	return resp.StatusCode, resp.Header, jr
+}
+
+// waitFor polls until cond holds or the test times out.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestServeExecuteAndCache(t *testing.T) {
+	cache, err := sweep.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execs atomic.Int64
+	build := testBuild(map[string]func() (json.RawMessage, error){
+		"k1": func() (json.RawMessage, error) {
+			execs.Add(1)
+			return json.RawMessage(`{"cycles":7}`), nil
+		},
+	})
+	srv := New(Config{Build: build, Cache: cache, Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, _, jr := postJob(t, ts, body("k1", "", 0))
+	if code != http.StatusOK || jr.Cached || string(jr.Result) != `{"cycles":7}` {
+		t.Fatalf("first request: code=%d resp=%+v result=%s", code, jr, jr.Result)
+	}
+	if jr.Key != "test|k1" {
+		t.Fatalf("key = %q", jr.Key)
+	}
+	code, _, jr = postJob(t, ts, body("k1", "", 0))
+	if code != http.StatusOK || !jr.Cached || string(jr.Result) != `{"cycles":7}` {
+		t.Fatalf("second request: code=%d resp=%+v", code, jr)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("executed %d times, want 1 (cache miss)", got)
+	}
+	st := srv.Stats()
+	if st.Executed != 1 || st.CacheHits != 1 || st.Requests != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestServeDedupConcurrent(t *testing.T) {
+	gate := make(chan struct{})
+	leading := make(chan struct{})
+	var execs atomic.Int64
+	build := testBuild(map[string]func() (json.RawMessage, error){
+		"slow": func() (json.RawMessage, error) {
+			execs.Add(1)
+			close(leading)
+			<-gate
+			return json.RawMessage(`{"ok":true}`), nil
+		},
+	})
+	srv := New(Config{Build: build, Workers: 2, Queue: 32})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const waiters = 5
+	var wg sync.WaitGroup
+	codes := make([]int, waiters+1)
+	shared := make([]bool, waiters+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		codes[0], _, _ = postJob(t, ts, body("slow", "", 0))
+	}()
+	<-leading
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var jr paper.JobResponse
+			codes[i], _, jr = postJob(t, ts, body("slow", "", 0))
+			shared[i] = jr.Shared
+		}(i)
+	}
+	waitFor(t, "waiters to coalesce", func() bool {
+		return srv.flight.Stats().Shared == waiters
+	})
+	close(gate)
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: code %d", i, code)
+		}
+	}
+	for i := 1; i <= waiters; i++ {
+		if !shared[i] {
+			t.Fatalf("waiter %d not marked shared", i)
+		}
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("deduped key executed %d times", got)
+	}
+	st := srv.Stats()
+	if st.Deduped != waiters || st.Leads != 1 || st.Executed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestServeQueueFull(t *testing.T) {
+	gate := make(chan struct{})
+	leading := make(chan struct{})
+	build := testBuild(map[string]func() (json.RawMessage, error){
+		"slow": func() (json.RawMessage, error) {
+			close(leading)
+			<-gate
+			return json.RawMessage(`{}`), nil
+		},
+	})
+	srv := New(Config{Build: build, Workers: 1, Queue: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		code, _, _ := postJob(t, ts, body("slow", "", 0))
+		done <- code
+	}()
+	<-leading
+	code, hdr, jr := postJob(t, ts, body("other", "", 0))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-queue request: code %d", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if !jr.Retryable {
+		t.Fatal("queue rejection must be retryable")
+	}
+	close(gate)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("admitted request: code %d", code)
+	}
+	if st := srv.Stats(); st.RejectedQueue != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestServeRateLimit(t *testing.T) {
+	srv := New(Config{Build: testBuild(nil), Workers: 2, RatePerSec: 0.001, Burst: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, _, _ := postJob(t, ts, body("a", "lab", 0)); code != http.StatusOK {
+		t.Fatalf("burst request: code %d", code)
+	}
+	code, hdr, _ := postJob(t, ts, body("b", "lab", 0))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-rate request: code %d", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("rate 429 without Retry-After")
+	}
+	// Another tenant's bucket is untouched.
+	if code, _, _ := postJob(t, ts, body("c", "other", 0)); code != http.StatusOK {
+		t.Fatalf("other tenant: code %d", code)
+	}
+	if st := srv.Stats(); st.RejectedRate != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestServeTenantQuota(t *testing.T) {
+	gate := make(chan struct{})
+	leading := make(chan struct{})
+	build := testBuild(map[string]func() (json.RawMessage, error){
+		"slow": func() (json.RawMessage, error) {
+			close(leading)
+			<-gate
+			return json.RawMessage(`{}`), nil
+		},
+	})
+	srv := New(Config{Build: build, Workers: 2, Queue: 8, TenantQuota: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		code, _, _ := postJob(t, ts, body("slow", "lab", 0))
+		done <- code
+	}()
+	<-leading
+	code, _, _ := postJob(t, ts, body("fast", "lab", 0))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota request: code %d", code)
+	}
+	if code, _, _ := postJob(t, ts, body("fast", "other", 0)); code != http.StatusOK {
+		t.Fatalf("other tenant blocked by lab's quota: code %d", code)
+	}
+	close(gate)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("in-flight request: code %d", code)
+	}
+	if st := srv.Stats(); st.RejectedQuota != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestServeWaiterDeadline pins deadline propagation: a waiter's budget
+// bounds its wait (504, retryable), never the shared simulation, which
+// completes for its leader.
+func TestServeWaiterDeadline(t *testing.T) {
+	gate := make(chan struct{})
+	leading := make(chan struct{})
+	build := testBuild(map[string]func() (json.RawMessage, error){
+		"slow": func() (json.RawMessage, error) {
+			close(leading)
+			<-gate
+			return json.RawMessage(`{"done":true}`), nil
+		},
+	})
+	srv := New(Config{Build: build, Workers: 2, Queue: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan paper.JobResponse, 1)
+	go func() {
+		_, _, jr := postJob(t, ts, body("slow", "", 0))
+		done <- jr
+	}()
+	<-leading
+	code, _, jr := postJob(t, ts, body("slow", "", 30))
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("expired waiter: code %d (%+v)", code, jr)
+	}
+	if !jr.Retryable {
+		t.Fatal("an expired wait must be retryable")
+	}
+	close(gate)
+	leader := <-done
+	if string(leader.Result) != `{"done":true}` {
+		t.Fatalf("leader result = %s", leader.Result)
+	}
+	if st := srv.Stats(); st.Expired != 1 || st.Executed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestServeInjectedCancel pins the fault hook's mid-request
+// cancellation: a waiter whose context the hook cancels expires
+// (504, retryable) while the leader — whose context is equally cancelled
+// — rides the simulation to completion, and the result still lands in
+// the cache.
+func TestServeInjectedCancel(t *testing.T) {
+	cache, err := sweep.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	leading := make(chan struct{})
+	build := testBuild(map[string]func() (json.RawMessage, error){
+		"slow": func() (json.RawMessage, error) {
+			close(leading)
+			<-gate
+			return json.RawMessage(`{"v":1}`), nil
+		},
+	})
+	srv := New(Config{Build: build, Cache: cache, Workers: 2, Queue: 8,
+		Faults: &Faults{CancelRate: 1, CancelAfter: time.Millisecond}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan paper.JobResponse, 1)
+	go func() {
+		_, _, jr := postJob(t, ts, body("slow", "", 0))
+		done <- jr
+	}()
+	<-leading
+	code, _, jr := postJob(t, ts, body("slow", "", 0))
+	if code != http.StatusGatewayTimeout || !jr.Retryable {
+		t.Fatalf("injected-cancel waiter: code=%d resp=%+v", code, jr)
+	}
+	close(gate)
+	leader := <-done
+	if string(leader.Result) != `{"v":1}` {
+		t.Fatalf("leader result = %s", leader.Result)
+	}
+	var raw json.RawMessage
+	if !cache.Get("test|slow", &raw) || string(raw) != `{"v":1}` {
+		t.Fatalf("result of the cancelled-context leader not cached: %s", raw)
+	}
+	if st := srv.Stats(); st.Expired != 1 || st.Executed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestServeDrainLifecycle(t *testing.T) {
+	gate := make(chan struct{})
+	leading := make(chan struct{})
+	build := testBuild(map[string]func() (json.RawMessage, error){
+		"slow": func() (json.RawMessage, error) {
+			close(leading)
+			<-gate
+			return json.RawMessage(`{}`), nil
+		},
+	})
+	srv := New(Config{Build: build, Workers: 2, Queue: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz while serving: %d", code)
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz while serving: %d", code)
+	}
+
+	done := make(chan int, 1)
+	go func() {
+		code, _, _ := postJob(t, ts, body("slow", "", 0))
+		done <- code
+	}()
+	<-leading
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(context.Background()) }()
+	waitFor(t, "drain to start", func() bool { return srv.State() == StateDraining })
+
+	// Readiness flips, liveness stays, new submissions bounce retryably;
+	// the in-flight job is still running.
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz while draining: %d", code)
+	}
+	code, hdr, jr := postJob(t, ts, body("late", "", 0))
+	if code != http.StatusServiceUnavailable || !jr.Retryable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("submission while draining: code=%d resp=%+v", code, jr)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("drain finished with a job in flight: %v", err)
+	default:
+	}
+
+	close(gate)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("in-flight request during drain: code %d", code)
+	}
+	if srv.State() != StateStopped {
+		t.Fatalf("state after drain = %v", srv.State())
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain: %d", code)
+	}
+	if st := srv.Stats(); st.RejectedDrain != 1 || st.State != "stopped" {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestServeDrainTimeout pins the bounded-drain contract: a wedged job
+// makes Drain return its context's error, but the server still refuses
+// new work.
+func TestServeDrainTimeout(t *testing.T) {
+	gate := make(chan struct{})
+	leading := make(chan struct{})
+	build := testBuild(map[string]func() (json.RawMessage, error){
+		"wedged": func() (json.RawMessage, error) {
+			close(leading)
+			<-gate
+			return json.RawMessage(`{}`), nil
+		},
+	})
+	srv := New(Config{Build: build, Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	done := make(chan struct{})
+	go func() {
+		postJob(t, ts, body("wedged", "", 0))
+		close(done)
+	}()
+	<-leading
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(ctx); err == nil {
+		t.Fatal("drain of a wedged job returned nil")
+	}
+	if srv.State() != StateStopped {
+		t.Fatalf("state after abandoned drain = %v", srv.State())
+	}
+	close(gate)
+	<-done
+}
+
+func TestServeBadRequests(t *testing.T) {
+	srv := New(Config{Build: testBuild(nil), Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, _, _ := postJob(t, ts, `not json at all`); code != http.StatusBadRequest {
+		t.Fatalf("garbage body: code %d", code)
+	}
+	// A well-formed request whose spec the builder rejects is the client's
+	// fault, not the server's.
+	code, _, jr := postJob(t, ts, body("reject-me", "", 0))
+	if code != http.StatusBadRequest || jr.Retryable {
+		t.Fatalf("builder rejection: code=%d resp=%+v", code, jr)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/jobs: code %d", resp.StatusCode)
+	}
+	if st := srv.Stats(); st.BadRequests != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestServeTransientRetry pins the bounded-retry path on both seams: an
+// execution that fails transiently recovers, and injected cache-write
+// failures are retried until the entry persists — without re-running the
+// simulation.
+func TestServeTransientRetry(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := sweep.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var attempts atomic.Int64
+	build := testBuild(map[string]func() (json.RawMessage, error){
+		"flaky": func() (json.RawMessage, error) {
+			if attempts.Add(1) <= 2 {
+				return nil, fmt.Errorf("transient hiccup")
+			}
+			return json.RawMessage(`{"ok":true}`), nil
+		},
+	})
+	srv := New(Config{
+		Build: build, Cache: cache, Workers: 1,
+		Retry:  RetryPolicy{Max: 3, Base: time.Millisecond, Cap: 5 * time.Millisecond},
+		Faults: &Faults{CacheFailFirst: 2},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, _, jr := postJob(t, ts, body("flaky", "", 0))
+	if code != http.StatusOK || string(jr.Result) != `{"ok":true}` {
+		t.Fatalf("flaky request: code=%d resp=%+v", code, jr)
+	}
+	st := srv.Stats()
+	if st.ExecRetries != 2 || st.Executed != 1 {
+		t.Fatalf("exec stats = %+v", st)
+	}
+	if st.PutRetries != 2 || st.PutFailures != 0 {
+		t.Fatalf("put stats = %+v", st)
+	}
+	// The entry persisted despite the injected failures: a fresh cache
+	// handle (fresh server) sees it.
+	reopened, err := sweep.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw json.RawMessage
+	if !reopened.Get("test|flaky", &raw) || string(raw) != `{"ok":true}` {
+		t.Fatalf("cache entry did not persist: %s", raw)
+	}
+}
+
+// TestServeTerminalFailure pins the other side of the taxonomy: a job
+// that times out under the engine's budget is terminal — no retry, 500,
+// Retryable:false — for the leader and every waiter.
+func TestServeTerminalFailure(t *testing.T) {
+	build := testBuild(map[string]func() (json.RawMessage, error){
+		"stuck": func() (json.RawMessage, error) {
+			time.Sleep(200 * time.Millisecond)
+			return json.RawMessage(`{}`), nil
+		},
+	})
+	srv := New(Config{Build: build, Workers: 1, JobTimeout: 10 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, _, jr := postJob(t, ts, body("stuck", "", 0))
+	if code != http.StatusInternalServerError {
+		t.Fatalf("timed-out job: code %d (%+v)", code, jr)
+	}
+	if jr.Retryable {
+		t.Fatal("ErrJobTimeout must not be retryable")
+	}
+	st := srv.Stats()
+	if st.Failed != 1 || st.ExecRetries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{sweep.ErrJobTimeout, false},
+		{fmt.Errorf("job x: %w", sweep.ErrJobTimeout), false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{&sweep.PanicError{}, false},
+		{fmt.Errorf("wrapped: %w", &sweep.PanicError{}), false},
+		{errInjectedCacheWrite, true},
+		{fmt.Errorf("disk full"), true},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestLimiter(t *testing.T) {
+	l := newLimiter(1, 2, 3)
+	clock := time.Unix(1000, 0)
+	l.now = func() time.Time { return clock }
+
+	// Burst of 2, then the bucket is dry (quota still has room, so the
+	// refusal is rate-shaped: a positive wait until the next token).
+	for i := 0; i < 2; i++ {
+		if _, ok := l.admit("a"); !ok {
+			t.Fatalf("burst admit %d refused", i)
+		}
+	}
+	wait, ok := l.admit("a")
+	if ok || wait <= 0 {
+		t.Fatalf("dry bucket: ok=%v wait=%v", ok, wait)
+	}
+	// Refill, fill the quota; the next refusal is quota-shaped (wait 0:
+	// retry when in-flight work completes, not after a token interval).
+	clock = clock.Add(5 * time.Second)
+	if _, ok := l.admit("a"); !ok {
+		t.Fatal("admit after refill refused")
+	}
+	wait, ok = l.admit("a")
+	if ok || wait != 0 {
+		t.Fatalf("over quota: ok=%v wait=%v", ok, wait)
+	}
+	l.release("a")
+	if _, ok := l.admit("a"); !ok {
+		t.Fatal("admit after release refused")
+	}
+	// Tenants are independent.
+	if _, ok := l.admit("b"); !ok {
+		t.Fatal("tenant b blocked by tenant a")
+	}
+	// A nil limiter admits everything.
+	var nilL *limiter
+	if _, ok := nilL.admit("x"); !ok {
+		t.Fatal("nil limiter refused")
+	}
+}
+
+func TestRetrierBackoffBounds(t *testing.T) {
+	r := newRetrier(RetryPolicy{Max: 5, Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond}, 42)
+	for n := 0; n < 8; n++ {
+		d := r.backoff(n)
+		if d <= 0 || d > 80*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v out of (0, cap]", n, d)
+		}
+	}
+	// Terminal errors are never retried.
+	calls := 0
+	err := r.do(context.Background(), func() error {
+		calls++
+		return sweep.ErrJobTimeout
+	}, nil)
+	if calls != 1 || err == nil {
+		t.Fatalf("terminal error retried: calls=%d err=%v", calls, err)
+	}
+	// The budget bounds transient retries.
+	calls = 0
+	r2 := newRetrier(RetryPolicy{Max: 2, Base: time.Millisecond, Cap: time.Millisecond}, 1)
+	err = r2.do(context.Background(), func() error {
+		calls++
+		return fmt.Errorf("transient")
+	}, nil)
+	if calls != 3 || err == nil {
+		t.Fatalf("budget: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetryAfterRendering(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"},
+		{10 * time.Second, "10"},
+	}
+	for _, tc := range cases {
+		if got := retryAfter(tc.d); got != tc.want {
+			t.Errorf("retryAfter(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestFaultsDeterminism(t *testing.T) {
+	a := &Faults{Seed: 7, CacheFailRate: 0.5, CancelRate: 0.5}
+	b := &Faults{Seed: 7, CacheFailRate: 0.5, CancelRate: 0.5}
+	for i := 0; i < 64; i++ {
+		if a.CacheWriteFail("k") != b.CacheWriteFail("k") {
+			t.Fatal("same seed, different cache-fail stream")
+		}
+		_, ca := a.CancelRequest()
+		_, cb := b.CancelRequest()
+		if ca != cb {
+			t.Fatal("same seed, different cancel stream")
+		}
+	}
+	// CacheFailFirst is deterministic per key, independent of the stream.
+	f := &Faults{CacheFailFirst: 2}
+	for _, key := range []string{"x", "y"} {
+		for i := 0; i < 2; i++ {
+			if !f.CacheWriteFail(key) {
+				t.Fatalf("key %s attempt %d: expected injected failure", key, i)
+			}
+		}
+		if f.CacheWriteFail(key) {
+			t.Fatalf("key %s attempt 3: expected success", key)
+		}
+	}
+	// nil is a no-op everywhere.
+	var nf *Faults
+	if nf.SlowJob() != 0 || nf.CacheWriteFail("k") {
+		t.Fatal("nil Faults injected something")
+	}
+	if _, ok := nf.CancelRequest(); ok {
+		t.Fatal("nil Faults cancelled")
+	}
+}

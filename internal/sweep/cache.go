@@ -76,14 +76,14 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, h[:2], h[2:]+".json")
 }
 
-// get decodes the cached value for key into out (a pointer). Any problem
+// Get decodes the cached value for key into out (a pointer). Any problem
 // — absent file, unreadable JSON, version or key mismatch — is a miss,
 // never an error: a zero-length or truncated entry (an interrupted writer
 // on a non-atomic filesystem, a torn copy) must only cost a
 // re-simulation. Unusable-but-present entries are additionally counted in
 // CacheStats.Corrupt so an ailing cache directory is visible in the sweep
 // stats instead of silently re-simulating forever.
-func (c *Cache) get(key string, out any) bool {
+func (c *Cache) Get(key string, out any) bool {
 	b, err := os.ReadFile(c.path(key))
 	if err != nil {
 		c.misses.Add(1)
@@ -104,44 +104,58 @@ func (c *Cache) get(key string, out any) bool {
 	return true
 }
 
-// put stores the value for key. Failures are counted, not fatal: a cache
-// that cannot persist only costs a future re-simulation.
-func (c *Cache) put(key string, v any) {
-	raw, err := json.Marshal(v)
+// Put stores the value for key and reports what went wrong. For the
+// sweep engine a failed write is best-effort (counted, never fatal: a
+// cache that cannot persist only costs a future re-simulation); the
+// service layer treats the returned error as retryable and re-attempts
+// the write without re-running the simulation. The temp file is fsynced
+// before the rename, so a host crash right after Put returns can leave a
+// stale entry or none — never a zero-length one that costs a corrupt
+// miss.
+func (c *Cache) Put(key string, v any) error {
+	err := c.write(key, v)
 	if err != nil {
 		c.flushEr.Add(1)
-		return
+	} else {
+		c.writes.Add(1)
+	}
+	return err
+}
+
+func (c *Cache) write(key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("sweep: encoding cache value: %w", err)
 	}
 	b, err := json.Marshal(entry{Version: Version, Key: key, Value: raw})
 	if err != nil {
-		c.flushEr.Add(1)
-		return
+		return fmt.Errorf("sweep: encoding cache entry: %w", err)
 	}
 	path := c.path(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		c.flushEr.Add(1)
-		return
+		return fmt.Errorf("sweep: cache write: %w", err)
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp")
 	if err != nil {
-		c.flushEr.Add(1)
-		return
+		return fmt.Errorf("sweep: cache write: %w", err)
 	}
 	if _, err := tmp.Write(b); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		c.flushEr.Add(1)
-		return
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache fsync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		c.flushEr.Add(1)
-		return
+		return fmt.Errorf("sweep: cache write: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		c.flushEr.Add(1)
-		return
+		return fmt.Errorf("sweep: cache write: %w", err)
 	}
-	c.writes.Add(1)
+	return nil
 }

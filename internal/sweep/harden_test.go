@@ -135,7 +135,7 @@ func TestTruncatedCacheFileIsCountedMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.put("k", payload{Cycles: 9})
+	c.Put("k", payload{Cycles: 9})
 	path := c.path("k")
 	for name, b := range map[string][]byte{
 		"zero-length": {},
@@ -146,7 +146,7 @@ func TestTruncatedCacheFileIsCountedMiss(t *testing.T) {
 		}
 		before := c.Stats()
 		var got payload
-		if c.get("k", &got) {
+		if c.Get("k", &got) {
 			t.Fatalf("%s: expected a miss", name)
 		}
 		after := c.Stats()
@@ -157,15 +157,15 @@ func TestTruncatedCacheFileIsCountedMiss(t *testing.T) {
 			t.Fatalf("%s: corrupt entry not counted (stats %+v)", name, after)
 		}
 		// The slot still works: a rewrite serves hits again.
-		c.put("k", payload{Cycles: 9})
-		if !c.get("k", &got) || got.Cycles != 9 {
+		c.Put("k", payload{Cycles: 9})
+		if !c.Get("k", &got) || got.Cycles != 9 {
 			t.Fatalf("%s: cache slot did not recover after rewrite", name)
 		}
 	}
 	// An absent entry is a plain miss, not a corrupt one.
 	before := c.Stats()
 	var got payload
-	if c.get("absent", &got) {
+	if c.Get("absent", &got) {
 		t.Fatal("unexpected hit")
 	}
 	after := c.Stats()

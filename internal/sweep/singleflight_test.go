@@ -1,0 +1,216 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightDedup checks the single-flight promise: N concurrent calls
+// for one key execute the function exactly once and all share the
+// result.
+func TestFlightDedup(t *testing.T) {
+	var f Flight[int]
+	var execs atomic.Int64
+	gate := make(chan struct{})
+	const callers = 16
+	var wg sync.WaitGroup
+	vals := make([]int, callers)
+	errs := make([]error, callers)
+	shared := make([]bool, callers)
+	started := make(chan struct{}, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			vals[i], errs[i], shared[i] = f.Do(context.Background(), "k", func() (int, error) {
+				execs.Add(1)
+				<-gate // hold the flight open until every caller has joined
+				return 42, nil
+			})
+		}(i)
+	}
+	for i := 0; i < callers; i++ {
+		<-started
+	}
+	// Give the stragglers a moment to reach Do before releasing.
+	for f.Stats().Shared < callers-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("function executed %d times, want 1", got)
+	}
+	nShared := 0
+	for i := range vals {
+		if errs[i] != nil || vals[i] != 42 {
+			t.Fatalf("caller %d: val=%d err=%v", i, vals[i], errs[i])
+		}
+		if shared[i] {
+			nShared++
+		}
+	}
+	if nShared != callers-1 {
+		t.Fatalf("%d callers shared, want %d", nShared, callers-1)
+	}
+	st := f.Stats()
+	if st.Leads != 1 || st.Shared != callers-1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestFlightErrorShared checks that waiters share the leader's typed
+// error, and that a flight is deregistered afterwards (the next call
+// leads afresh).
+func TestFlightErrorShared(t *testing.T) {
+	var f Flight[int]
+	boom := errors.New("boom")
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	var waiterErr error
+	wg.Add(1)
+	leaderIn := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		_, _, _ = f.Do(context.Background(), "k", func() (int, error) {
+			close(leaderIn)
+			<-gate
+			return 0, boom
+		})
+	}()
+	<-leaderIn
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, waiterErr, _ = f.Do(context.Background(), "k", func() (int, error) {
+			t.Error("waiter must not lead")
+			return 0, nil
+		})
+	}()
+	for f.Stats().Shared == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if !errors.Is(waiterErr, boom) {
+		t.Fatalf("waiter err = %v, want the leader's", waiterErr)
+	}
+	// The flight is gone: a fresh call leads again.
+	v, err, shared := f.Do(context.Background(), "k", func() (int, error) { return 7, nil })
+	if v != 7 || err != nil || shared {
+		t.Fatalf("fresh call: v=%d err=%v shared=%v", v, err, shared)
+	}
+}
+
+// TestFlightWaiterCancellation checks deadline propagation: a waiter
+// whose context ends detaches with the context error while the flight —
+// and the leader riding it — continues to completion unharmed.
+func TestFlightWaiterCancellation(t *testing.T) {
+	var f Flight[int]
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	var wg sync.WaitGroup
+	var leaderVal int
+	var leaderErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leaderVal, leaderErr, _ = f.Do(context.Background(), "k", func() (int, error) {
+			close(leaderIn)
+			<-gate
+			return 9, nil
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err, _ := f.Do(ctx, "k", func() (int, error) { return 0, nil })
+		waiterDone <- err
+	}()
+	for f.Stats().Shared == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter is stuck")
+	}
+	close(gate)
+	wg.Wait()
+	if leaderErr != nil || leaderVal != 9 {
+		t.Fatalf("leader after waiter cancel: v=%d err=%v", leaderVal, leaderErr)
+	}
+}
+
+// TestLateResultAfterTimeoutIsDiscarded is the race-detector drill for
+// the abandoned-goroutine path: a simulation that outlives JobTimeout
+// fails its flight with ErrJobTimeout for the leader AND every waiter;
+// when the late result finally arrives it is discarded — never cached,
+// never delivered. Run under -race (make race-sweep), this also proves
+// the abandoned goroutine's send doesn't race the engine.
+func TestLateResultAfterTimeoutIsDiscarded(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Config{Workers: 1, Cache: cache, JobTimeout: 10 * time.Millisecond})
+	release := make(chan struct{})
+	job := Job[int]{Key: "late", Run: func() (int, error) {
+		<-release
+		return 42, nil // the late result nobody may ever see
+	}}
+	var f Flight[int]
+	lead := func() (int, error) {
+		rs, err := Run(eng, []Job[int]{job})
+		if err != nil {
+			return 0, err
+		}
+		return rs[0], nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	vals := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], errs[i], _ = f.Do(context.Background(), "late", lead)
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if !errors.Is(errs[i], ErrJobTimeout) {
+			t.Fatalf("caller %d: err = %v, want ErrJobTimeout", i, errs[i])
+		}
+		if vals[i] != 0 {
+			t.Fatalf("caller %d: got value %d from a timed-out flight", i, vals[i])
+		}
+	}
+	// Let the abandoned goroutine produce its late result, then prove it
+	// went nowhere: not into the cache, not into a flight.
+	close(release)
+	time.Sleep(20 * time.Millisecond)
+	var out int
+	if cache.Get("late", &out) {
+		t.Fatalf("late result was cached: %d", out)
+	}
+	if got := cache.Stats().Writes; got != 0 {
+		t.Fatalf("cache recorded %d writes after a timeout", got)
+	}
+	// A fresh flight executes anew (release is closed, so it returns
+	// immediately) — nothing lingered from the abandoned run.
+	v, err, shared := f.Do(context.Background(), "late", lead)
+	if err != nil || v != 42 || shared {
+		t.Fatalf("fresh flight after timeout: v=%d err=%v shared=%v", v, err, shared)
+	}
+}

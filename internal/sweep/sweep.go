@@ -224,7 +224,7 @@ func Run[T any](e *Engine, jobs []Job[T]) ([]T, error) {
 			j := jobs[i]
 			hit := false
 			if e.cache != nil {
-				hit = e.cache.get(j.Key, &results[i])
+				hit = e.cache.Get(j.Key, &results[i])
 			}
 			if !hit {
 				v, err := exec(e, j)
@@ -234,7 +234,7 @@ func Run[T any](e *Engine, jobs []Job[T]) ([]T, error) {
 				} else {
 					results[i] = v
 					if e.cache != nil {
-						e.cache.put(j.Key, v) // best effort: a failed write is only a future miss
+						_ = e.cache.Put(j.Key, v) // best effort: a failed write is only a future miss
 					}
 				}
 			}

@@ -99,17 +99,17 @@ func TestCacheRoundTrip(t *testing.T) {
 	}
 	want := payload{Cycles: 12345, Eff: 0.875, Tags: []string{"a", "b"}}
 	var got payload
-	if c.get("k1", &got) {
+	if c.Get("k1", &got) {
 		t.Fatal("unexpected hit on empty cache")
 	}
-	c.put("k1", want)
-	if !c.get("k1", &got) {
+	c.Put("k1", want)
+	if !c.Get("k1", &got) {
 		t.Fatal("expected hit after put")
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("round trip: got %+v, want %+v", got, want)
 	}
-	if c.get("k2", &got) {
+	if c.Get("k2", &got) {
 		t.Fatal("unexpected hit for a different key")
 	}
 	st := c.Stats()
@@ -125,7 +125,7 @@ func TestCacheCorruptionIsMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.put("k", payload{Cycles: 7})
+	c.Put("k", payload{Cycles: 7})
 	path := c.path("k")
 
 	cases := map[string][]byte{
@@ -139,7 +139,7 @@ func TestCacheCorruptionIsMiss(t *testing.T) {
 			t.Fatal(err)
 		}
 		var got payload
-		if c.get("k", &got) {
+		if c.Get("k", &got) {
 			t.Errorf("%s: expected a miss", name)
 		}
 	}
