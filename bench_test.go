@@ -16,7 +16,11 @@ import (
 	"time"
 
 	"hetsim"
+	"hetsim/internal/cluster"
+	"hetsim/internal/devrt"
+	"hetsim/internal/isa"
 	"hetsim/internal/kernels"
+	"hetsim/internal/loader"
 	"hetsim/internal/paper"
 	"hetsim/internal/sensor"
 	"hetsim/internal/sweep"
@@ -287,6 +291,81 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.StopTimer()
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(cycles)/secs/1e6, "Msimcycles/s")
+	}
+}
+
+// BenchmarkSimulatorThroughputBlocks measures the block-compiled executor
+// (DESIGN.md §12) against pure stepped execution on the reference kernel
+// mix: matmul-64 on the 4-thread and 1-thread PULP accelerator configs and
+// on the Cortex-M4 host. The mix metric is aggregate simulated cycles per
+// second (total cycles / total wall time), so solo-heavy configurations
+// (1t, host) and the multi-core config weigh in by their real simulation
+// cost. benchreport gates the "block" number (BLOCK_FLOOR) and the
+// block-over-stepped speedup (-min-block).
+func BenchmarkSimulatorThroughputBlocks(b *testing.B) {
+	type mixCfg struct {
+		name    string
+		tgt     isa.Target
+		mode    devrt.Mode
+		threads uint32
+	}
+	mix := []mixCfg{
+		{"pulp-4t", isa.PULPFull, devrt.Accel, 4},
+		{"pulp-1t", isa.PULPFull, devrt.Accel, 1},
+		{"m4-host", isa.CortexM4, devrt.Host, 1},
+	}
+	k := kernels.MatMulChar(64)
+	in := k.Input(1)
+	type mixJob struct {
+		cfg  cluster.Config
+		mode devrt.Mode
+		job  loader.Job
+	}
+	jobs := make([]mixJob, 0, len(mix))
+	for _, mc := range mix {
+		prog, err := k.Build(mc.tgt, mc.mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cfg cluster.Config
+		if mc.mode == devrt.Accel {
+			cfg = cluster.PULPConfig()
+			cfg.Target = mc.tgt
+		} else {
+			cfg = cluster.MCUConfig(mc.tgt)
+		}
+		comp, err := kernels.Compiled(prog, cfg.Target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = append(jobs, mixJob{cfg: cfg, mode: mc.mode, job: loader.Job{
+			Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1,
+			Threads: mc.threads, Args: k.Args(), Compiled: comp,
+		}})
+	}
+	for _, variant := range []struct {
+		name     string
+		noBlocks bool
+	}{{"stepped", true}, {"block", false}} {
+		b.Run(variant.name, func(b *testing.B) {
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, mj := range jobs {
+					cfg := mj.cfg
+					cfg.NoBlocks = variant.noBlocks
+					res, err := cluster.RunJob(cfg, mj.mode, mj.job, 2_000_000_000)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles += res.Cycles
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(cycles)/secs/1e6, "Msimcycles/s")
+			}
+		})
 	}
 }
 

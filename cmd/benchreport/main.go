@@ -50,6 +50,16 @@ type Report struct {
 	Throughput *Throughput          `json:"throughput,omitempty"`
 	Sweep      *Sweep               `json:"sweep,omitempty"`
 	Obs        *ObsOverhead         `json:"obs_overhead,omitempty"`
+	Blocks     *BlockThroughput     `json:"block_throughput,omitempty"`
+}
+
+// BlockThroughput is the block-compiled execution record (DESIGN.md §12):
+// the stepped vs block-mode mix throughput of SimulatorThroughputBlocks
+// and their ratio. -min-block gates the block number.
+type BlockThroughput struct {
+	SteppedMsimcyclesS float64 `json:"stepped_msimcycles_s"`
+	BlockMsimcyclesS   float64 `json:"block_msimcycles_s"`
+	Speedup            float64 `json:"speedup_x"`
 }
 
 // Sweep is the evaluation wall-clock record from BenchmarkSweepWallclock:
@@ -84,6 +94,7 @@ const throughputBench = "SimulatorThroughput"
 const throughputMetric = "Msimcycles/s"
 const sweepBench = "SweepWallclock"
 const obsBench = "SimulatorThroughputObs"
+const blockBench = "SimulatorThroughputBlocks"
 
 var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
@@ -93,6 +104,7 @@ func main() {
 	min := flag.Float64("min", 0, "fail (exit 1) if simulator throughput is below this floor, 0 = off")
 	maxLoss := flag.Float64("max-loss", 0, "fail (exit 1) if simulator throughput lost more than this fraction vs -before (e.g. 0.01 = 1%), 0 = off")
 	warmMax := flag.Float64("warm-max", 0, "fail (exit 1) if the warm-cache sweep exceeds this fraction of the cold serial one, 0 = off")
+	minBlock := flag.Float64("min-block", 0, "fail (exit 1) if block-mode mix throughput (SimulatorThroughputBlocks/block) is below this floor, 0 = off")
 	flag.Parse()
 
 	rep := Report{Go: runtime.Version(), Benchmarks: map[string]Benchmark{}}
@@ -162,6 +174,18 @@ func main() {
 			}
 		}
 	}
+	if st, ok := rep.Benchmarks[blockBench+"/stepped"]; ok {
+		if bl, ok := rep.Benchmarks[blockBench+"/block"]; ok {
+			bt := &BlockThroughput{
+				SteppedMsimcyclesS: st.Metrics[throughputMetric],
+				BlockMsimcyclesS:   bl.Metrics[throughputMetric],
+			}
+			if bt.SteppedMsimcyclesS > 0 {
+				bt.Speedup = bt.BlockMsimcyclesS / bt.SteppedMsimcyclesS
+			}
+			rep.Blocks = bt
+		}
+	}
 	if sb, ok := rep.Benchmarks[sweepBench]; ok {
 		s := &Sweep{
 			ColdJ1S:         sb.Metrics["sweep-j1-s"],
@@ -204,7 +228,16 @@ func main() {
 		if rep.Throughput.After < *before*(1-*maxLoss) {
 			fatal(fmt.Errorf("simulator throughput %.2f %s lost %.1f%% vs baseline %.2f, above the %.1f%% ceiling",
 				rep.Throughput.After, throughputMetric,
-				(1-rep.Throughput.After / *before)*100, *before, *maxLoss*100))
+				(1 - rep.Throughput.After / *before)*100, *before, *maxLoss*100))
+		}
+	}
+	if *minBlock > 0 {
+		if rep.Blocks == nil {
+			fatal(fmt.Errorf("-min-block set but %s did not report stepped+block %s", blockBench, throughputMetric))
+		}
+		if rep.Blocks.BlockMsimcyclesS < *minBlock {
+			fatal(fmt.Errorf("block-mode mix throughput %.2f %s below floor %.2f",
+				rep.Blocks.BlockMsimcyclesS, throughputMetric, *minBlock))
 		}
 	}
 	if *warmMax > 0 {

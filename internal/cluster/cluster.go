@@ -50,6 +50,13 @@ type Config struct {
 	// them against each other over the whole kernel suite.
 	ReferenceRun bool
 
+	// NoBlocks disables fused basic-block execution (DESIGN.md §12) while
+	// keeping the event-driven run loop: every instruction takes the
+	// stepped path. The block differential tests use it as the middle rung
+	// between block mode and ReferenceRun; results are bit-identical
+	// across all three.
+	NoBlocks bool
+
 	// Observe attaches per-core cycle attribution (internal/obs) to the
 	// cluster built by RunJob. Attribution is purely observational: cycle
 	// counts, stats and outputs are bit-identical either way (enforced by
@@ -115,6 +122,12 @@ type Cluster struct {
 	stepStatus uint8
 	nextEvent  uint64
 
+	// soloCore is the core currently flagged cpu.Core.Solo: the only
+	// possible actor (every sibling halted or asleep, DMA idle), allowed
+	// to fuse basic-block runs across memory accesses and branches.
+	// Recomputed from post-rotation state at the end of every Step.
+	soloCore *cpu.Core
+
 	eoc      bool
 	eocValue uint32
 
@@ -126,6 +139,11 @@ type Cluster struct {
 	SuppressEOC bool
 
 	tracer *trace.Tracer
+
+	// faultsOn records that a fault injector is attached: fused block
+	// execution is disabled so every SEU/parity injection point sits on
+	// the stepped path at its exact cycle.
+	faultsOn bool
 
 	// obs is the attached observability bundle (nil = detached); sleepMark
 	// tracks each core's open sleep interval and current run span for the
@@ -203,6 +221,15 @@ func (cl *Cluster) AttachFaults(in *fault.Injector) {
 		cl.IC.Inject = in
 	}
 	cl.DMA.Inject = in
+	if in != nil {
+		// Fault injection needs the stepped path: every TCDM/L2 word
+		// write, fetch and DMA beat is an injection point that must land
+		// at its exact cycle, and a fused run batches those.
+		cl.faultsOn = true
+		for _, c := range cl.Cores {
+			c.SetBlocks(nil)
+		}
+	}
 }
 
 // Now returns the current cycle.
@@ -222,6 +249,15 @@ func (cl *Cluster) ClearEOC() { cl.eoc = false }
 // host whose loader places data directly (MCU baseline); otherwise the
 // device crt0 is responsible for the L2->TCDM copy via DMA.
 func (cl *Cluster) LoadProgram(p *asm.Program, direct bool) error {
+	return cl.LoadCompiled(p, direct, nil)
+}
+
+// LoadCompiled is LoadProgram taking an optional pre-compiled image (the
+// kernels-package memo shares one Compiled — predecoded text plus block
+// run table — across cores, clusters and sweep jobs). comp == nil compiles
+// here. The block table is only installed when fused execution is sound
+// for this cluster: event-driven loop, no fault injector, no tracer.
+func (cl *Cluster) LoadCompiled(p *asm.Program, direct bool, comp *cpu.Compiled) error {
 	textBytes, err := isa.EncodeProgram(p.Text)
 	if err != nil {
 		return err
@@ -239,11 +275,19 @@ func (cl *Cluster) LoadProgram(p *asm.Program, direct bool) error {
 			}
 		}
 	}
-	// Predecode once (target support, memory shape, hazard masks) and
-	// share the decoded slice across all cores: they run the same target.
-	code := cpu.Predecode(p.Text, cl.Cfg.Target)
+	// Predecode + block-compile once and share the immutable result across
+	// all cores: they run the same target.
+	if comp == nil {
+		comp = cpu.Compile(p.Text, cl.Cfg.Target)
+	}
+	useBlocks := !cl.Cfg.ReferenceRun && !cl.Cfg.NoBlocks && !cl.faultsOn && cl.tracer == nil
 	for _, c := range cl.Cores {
-		c.SetPredecoded(code, p.TextBase)
+		c.SetPredecoded(comp.Code, p.TextBase)
+		if useBlocks {
+			c.SetBlocks(comp.Blocks)
+		} else {
+			c.SetBlocks(nil)
+		}
 	}
 	return nil
 }
@@ -258,7 +302,9 @@ func (cl *Cluster) Start(entry uint32) {
 	cl.err = nil
 	cl.Evt.Reset()
 	cl.DMA.Reset()
+	cl.soloCore = nil
 	for i, c := range cl.Cores {
+		c.Solo = false
 		c.Start(entry)
 		// Stats survive Start (they accumulate across retry attempts), so
 		// the sleep baseline must be re-snapshotted, not zeroed.
@@ -309,6 +355,36 @@ func (cl *Cluster) Step() {
 			// to skip.
 			next = now + 1
 		}
+	}
+	// Solo detection for fused basic-block runs: exactly one core
+	// returned a finite hint and the DMA is idle. The counts can
+	// over-count sleepers (a core woken later in the same cycle was
+	// counted asleep but will act next cycle), so a candidate is
+	// re-verified against post-rotation state. The flag then holds until
+	// a transition: sleeping and halted cores cannot act on their own,
+	// and the solo core itself can only wake one or start the DMA via an
+	// env access, which ends any fused run first.
+	var solo *cpu.Core
+	if halted+sleeping == n-1 && !dmaBusy {
+		for _, c := range cl.Cores {
+			if c.Halted || c.Sleeping() {
+				continue
+			}
+			if solo != nil {
+				solo = nil
+				break
+			}
+			solo = c
+		}
+	}
+	if solo != cl.soloCore {
+		if cl.soloCore != nil {
+			cl.soloCore.Solo = false
+		}
+		if solo != nil {
+			solo.Solo = true
+		}
+		cl.soloCore = solo
 	}
 	// Fold the termination conditions into the status byte while the
 	// counts are still in registers. Bits may combine; the run loop's
@@ -375,6 +451,10 @@ type RunResult struct {
 // cycle-accuracy test enforces this over the whole kernel suite.
 func (cl *Cluster) Run(maxCycles uint64) (RunResult, error) {
 	res, err := cl.runLoop(maxCycles)
+	// Fused-run windows need no unwinding here: multi-core runs defer
+	// their charges to a per-cycle plan that simply stops with the run
+	// loop, and solo runs — which batch-charge up front — can only be cut
+	// short by the cycle budget, which they clamp against (the horizon).
 	// Close open sleep intervals and run spans on every exit path, so
 	// trace-derived sleep cycles always reconcile with CollectStats even
 	// when the run ends inside a fast-forwarded idle window.
@@ -389,6 +469,15 @@ func (cl *Cluster) runLoop(maxCycles uint64) (RunResult, error) {
 		return cl.runReference(maxCycles)
 	}
 	start := cl.now
+	// Fused runs must not issue instructions past this call's cycle
+	// budget: cap them at the same bound the loop condition enforces.
+	horizon := start + maxCycles
+	if horizon < start {
+		horizon = cpu.NextEventNever
+	}
+	for _, c := range cl.Cores {
+		c.SetRunHorizon(horizon)
+	}
 	n := len(cl.Cores)
 	for cl.now-start < maxCycles {
 		cl.Step()
@@ -502,6 +591,13 @@ func (cl *Cluster) runReference(maxCycles uint64) (RunResult, error) {
 func (cl *Cluster) AttachTracer(tr *trace.Tracer) {
 	cl.tracer = tr
 	for _, c := range cl.Cores {
+		if tr != nil {
+			// Per-instruction tracing forces the stepped path: a fused
+			// run pre-executes instructions whose retire events could be
+			// cut short by another core's termination, and trace events
+			// cannot be unemitted.
+			c.SetBlocks(nil)
+		}
 		if tr == nil {
 			c.Trace = nil
 			continue

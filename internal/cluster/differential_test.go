@@ -51,10 +51,21 @@ func TestDifferentialCycleAccuracy(t *testing.T) {
 				job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(),
 					Iters: 1, Threads: rc.threads, Args: k.Args()}
 
+				// Three execution modes, compared pairwise against the naive
+				// reference loop: block-compiled (the default), stepped
+				// (blocks disabled), and the reference itself. Attribution is
+				// recorded in all three so the 9-class obs exactness
+				// invariant covers fused runs too.
+				cfg.Observe = true
 				cfg.ReferenceRun = false
-				opt, err := cluster.RunJob(cfg, rc.mode, job, 2_000_000_000)
+				blk, err := cluster.RunJob(cfg, rc.mode, job, 2_000_000_000)
 				if err != nil {
-					t.Fatalf("optimized run: %v", err)
+					t.Fatalf("block run: %v", err)
+				}
+				cfg.NoBlocks = true
+				stp, err := cluster.RunJob(cfg, rc.mode, job, 2_000_000_000)
+				if err != nil {
+					t.Fatalf("stepped run: %v", err)
 				}
 				cfg.ReferenceRun = true
 				ref, err := cluster.RunJob(cfg, rc.mode, job, 2_000_000_000)
@@ -62,16 +73,26 @@ func TestDifferentialCycleAccuracy(t *testing.T) {
 					t.Fatalf("reference run: %v", err)
 				}
 
-				if opt.Cycles != ref.Cycles {
-					t.Errorf("cycle count diverged: optimized %d, reference %d",
-						opt.Cycles, ref.Cycles)
-				}
-				if !bytes.Equal(opt.Out, ref.Out) {
-					t.Errorf("output buffers diverged")
-				}
-				if !reflect.DeepEqual(opt.Stats, ref.Stats) {
-					t.Errorf("stats diverged:\noptimized: %+v\nreference: %+v",
-						opt.Stats, ref.Stats)
+				for _, leg := range []struct {
+					name string
+					res  *cluster.JobResult
+				}{{"block", blk}, {"stepped", stp}} {
+					opt := leg.res
+					if opt.Cycles != ref.Cycles {
+						t.Errorf("%s: cycle count diverged: optimized %d, reference %d",
+							leg.name, opt.Cycles, ref.Cycles)
+					}
+					if !bytes.Equal(opt.Out, ref.Out) {
+						t.Errorf("%s: output buffers diverged", leg.name)
+					}
+					if !reflect.DeepEqual(opt.Stats, ref.Stats) {
+						t.Errorf("%s: stats diverged:\noptimized: %+v\nreference: %+v",
+							leg.name, opt.Stats, ref.Stats)
+					}
+					if !reflect.DeepEqual(opt.Attr, ref.Attr) {
+						t.Errorf("%s: attribution diverged:\noptimized: %+v\nreference: %+v",
+							leg.name, opt.Attr, ref.Attr)
+					}
 				}
 			})
 		}

@@ -39,7 +39,7 @@ func RunJob(cfg Config, mode devrt.Mode, job loader.Job, maxCycles uint64) (*Job
 		return nil, fmt.Errorf("cluster: job wants %d threads, cluster has %d cores", job.Threads, cfg.Cores)
 	}
 	cl := New(cfg)
-	if err := cl.LoadProgram(job.Prog, mode == devrt.Host); err != nil {
+	if err := cl.LoadCompiled(job.Prog, mode == devrt.Host, job.Compiled); err != nil {
 		return nil, err
 	}
 	if err := cl.L2.WriteBytes(hw.DescBase, loader.Descriptor(job, l)); err != nil {

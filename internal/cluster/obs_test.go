@@ -152,9 +152,32 @@ func TestTraceSleepMatchesStats(t *testing.T) {
 				t.Errorf("ref=%v core %d: trace-derived sleep %d != credited sleep %d",
 					ref, i, got[i], st.Sleep)
 			}
+			if sum := st.Active + st.Stall + st.Sleep; sum != stats.Cycles {
+				t.Errorf("ref=%v core %d: Active+Stall+Sleep = %d != %d cycles (double- or under-credit)",
+					ref, i, sum, stats.Cycles)
+			}
 		}
 		if tr.Dropped() != 0 {
 			t.Fatalf("trace dropped %d events; totals unreliable", tr.Dropped())
+		}
+	}
+
+	// Block-mode leg (no tracer — a tracer strips block tables): fused-run
+	// charge plans, solo batch charges and CreditIdle fast-forward windows
+	// must partition the cycle axis exactly. Any cycle credited twice (a
+	// fused completion also swept up by CreditIdle) or not at all breaks the
+	// per-core identity against the cluster cycle count.
+	cfg := cluster.PULPConfig()
+	job := loader.Job{Prog: prog, In: k.Input(1), OutLen: k.OutLen(),
+		Iters: 1, Threads: 4, Args: k.Args()}
+	res, err := cluster.RunJob(cfg, devrt.Accel, job, 2_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range res.Stats.Cores {
+		if sum := st.Active + st.Stall + st.Sleep; sum != res.Stats.Cycles {
+			t.Errorf("block core %d: Active+Stall+Sleep = %d != %d cycles (double- or under-credit)",
+				i, sum, res.Stats.Cycles)
 		}
 	}
 }

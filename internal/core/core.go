@@ -42,6 +42,7 @@ import (
 	"hetsim/internal/cluster"
 	"hetsim/internal/fault"
 	"hetsim/internal/hw"
+	"hetsim/internal/kernels"
 	"hetsim/internal/loader"
 	"hetsim/internal/mcu"
 	"hetsim/internal/obs"
@@ -591,7 +592,15 @@ func (r *offloadRun) run() ([]byte, *Report, error) {
 func (r *offloadRun) buildCluster() error {
 	acc := cluster.New(r.sys.AccCfg)
 	acc.AttachFaults(r.opts.Faults)
-	if err := acc.LoadProgram(r.parsed, false); err != nil {
+	// The predecoded text and block table come from the per-process memo:
+	// repeat offloads, retries and parallel sweep workers running the same
+	// image share one compilation (LoadCompiled decides per cluster whether
+	// the block table is actually installed — faults or a tracer strip it).
+	comp, err := kernels.Compiled(r.parsed, r.sys.AccCfg.Target)
+	if err != nil {
+		return err
+	}
+	if err := acc.LoadCompiled(r.parsed, false, comp); err != nil {
 		return err
 	}
 	acc.AttachTracer(r.opts.Tracer)

@@ -1,0 +1,957 @@
+// Basic-block compiled execution (DESIGN.md §12). At predecode time the
+// program text is partitioned into straight-line runs; at execute time the
+// core fuses a whole run into one runFused call instead of paying the
+// Step gate/fetch/decode prologue once per instruction. Cycle counts,
+// stats and the 9-class obs attribution stay bit-identical to stepped
+// execution: everything that interacts with shared cluster state (TCDM
+// bank arbitration, I$ refills, sleep/wake, DMA and event-unit registers,
+// SPR reads, faults) either happens at its exact cycle inside the run or
+// breaks the run back to the stepped path.
+package cpu
+
+import (
+	"sync/atomic"
+
+	"hetsim/internal/isa"
+	"hetsim/internal/obs"
+	"hetsim/internal/prof"
+)
+
+// BlockTable is the compiled run-length table of a program text: one entry
+// per instruction, shared read-only across cores and jobs (the kernels
+// package memoizes it next to ProgramHash).
+type BlockTable struct {
+	// Multi[i] is the number of instructions the core may fuse starting
+	// at instruction i while other cores (or the DMA) are active: an
+	// optional memory access at offset 0 — executed through real TCDM
+	// bank arbitration at its true cycle — followed by a pure-ALU tail.
+	// Branches end a run inclusively; WFE/TRAP/MFSPR and illegal ops end
+	// it exclusively (Multi = 0). Runs of length <= 1 are not dispatched.
+	Multi []uint16
+	// NumBlocks counts the basic-block leaders discovered (the first
+	// instruction, and every instruction after a run-ending one).
+	NumBlocks int
+}
+
+// Compiled bundles everything derived from a program text for one target:
+// the predecoded instruction stream and the block run table. Both are
+// immutable after Compile and safe to share across cores and processes'
+// worth of sweep jobs.
+type Compiled struct {
+	Code   []Decoded
+	Blocks *BlockTable
+}
+
+// BlockCompiles counts CompileBlocks invocations process-wide; the
+// kernels-package memo test pins that one image compiles exactly once
+// under a parallel sweep.
+var BlockCompiles atomic.Uint64
+
+// maxRunLen caps a table entry; longer straight-line stretches simply
+// re-dispatch (uint16 keeps the table at 2 bytes/instruction).
+const maxRunLen = 0xffff
+
+// maxRunSpan bounds the worst-case cycle window of a multi-core fused run
+// so the deferred-charge plan's per-offset bitmasks (64 bits) always cover
+// it. Enforced at compile time (clampSpans), not per executed op.
+const maxRunSpan = 62
+
+// isBranch reports ops whose next PC is (potentially) nonsequential; they
+// may end a fused run inclusively, never start a tail through it.
+func isBranch(op isa.Op) bool {
+	switch op {
+	case isa.J, isa.JAL, isa.JR, isa.JALR, isa.BF, isa.BNF:
+		return true
+	}
+	return false
+}
+
+// CompileBlocks builds the run-length table for a predecoded text in one
+// backward pass: aluTail is the fusable pure-ALU (plus trailing branch)
+// run length starting at the instruction after the current one. A forward
+// pass then clamps each run's worst-case cycle span to the charge plan's
+// capacity using the target's timing.
+func CompileBlocks(code []Decoded, target isa.Target) *BlockTable {
+	BlockCompiles.Add(1)
+	bt := &BlockTable{Multi: make([]uint16, len(code))}
+	aluTail := 0
+	for i := len(code) - 1; i >= 0; i-- {
+		m := &code[i].Meta
+		switch {
+		case m.Flags&(MetaIllegal|MetaFuseBreak) != 0:
+			bt.Multi[i] = 0
+			aluTail = 0
+		case m.Flags&MetaMem != 0:
+			n := 1 + aluTail
+			if n > maxRunLen {
+				n = maxRunLen
+			}
+			bt.Multi[i] = uint16(n)
+			aluTail = 0
+		case isBranch(code[i].In.Op):
+			bt.Multi[i] = 1
+			aluTail = 1
+		default:
+			n := 1 + aluTail
+			if n > maxRunLen {
+				n = maxRunLen
+			}
+			bt.Multi[i] = uint16(n)
+			aluTail = n
+		}
+	}
+	clampSpans(bt, code, target)
+	// Count leaders: instruction 0 plus every successor of a run-ender
+	// (mem op, branch, or stepped-only boundary).
+	if len(code) > 0 {
+		bt.NumBlocks = 1
+		for i := 0; i < len(code)-1; i++ {
+			m := &code[i].Meta
+			if m.Flags&(MetaIllegal|MetaFuseBreak|MetaMem) != 0 || isBranch(code[i].In.Op) {
+				bt.NumBlocks++
+			}
+		}
+	}
+	return bt
+}
+
+// clampSpans shortens each Multi run so its worst-case cycle window —
+// hazard bubble + issue + multi-cycle tail + branch penalty + unaligned
+// extra per op — fits maxRunSpan. Moving the bound here keeps the fused
+// executor's per-op path free of cap arithmetic; a truncated run simply
+// re-dispatches from its cut point.
+func clampSpans(bt *BlockTable, code []Decoded, target isa.Target) {
+	loadUse := uint64(target.Time.LoadUse)
+	braMax := uint64(target.Time.Jump)
+	if b := uint64(target.Time.BranchTaken); b > braMax {
+		braMax = b
+	}
+	for i := range code {
+		n := int(bt.Multi[i])
+		if n <= 1 {
+			continue
+		}
+		span := uint64(0)
+		for k := 0; k < n; k++ {
+			d := &code[i+k]
+			w := 1 + loadUse
+			if cyc := uint64(d.Meta.Cyc); cyc > 1 {
+				w += cyc - 1
+			}
+			if isBranch(d.In.Op) {
+				w += braMax
+			}
+			if d.Meta.Flags&MetaMem != 0 {
+				w++ // possible unaligned second bank cycle
+			}
+			span += w
+			if span > maxRunSpan {
+				bt.Multi[i] = uint16(k)
+				break
+			}
+		}
+	}
+}
+
+// Compile predecodes a text segment and builds its block table. The work
+// runs under the "block-compile" pprof label so compile time is separable
+// from simulation time in -cpuprofile output.
+func Compile(text []isa.Inst, target isa.Target) *Compiled {
+	var comp *Compiled
+	prof.Label("block-compile", func() {
+		code := Predecode(text, target)
+		comp = &Compiled{Code: code, Blocks: CompileBlocks(code, target)}
+	})
+	return comp
+}
+
+// SetBlocks installs (or, with nil, removes) the block run table. The
+// cluster only installs it for the event-driven loop with faults and
+// tracing detached; ReferenceRun and fault-injected clusters always step.
+func (c *Core) SetBlocks(bt *BlockTable) { c.blocks = bt }
+
+// SetRunHorizon bounds solo fused execution: no instruction issues at or
+// past cycle h (the cluster sets it to start+maxCycles each Run, so a
+// fused run can never execute work the run-loop budget would have cut
+// off).
+func (c *Core) SetRunHorizon(h uint64) { c.horizon = h }
+
+// runFusedMulti executes a straight-line run of n instructions starting at
+// the current PC in one call, beginning at cycle now, while other cores
+// (or the DMA) may be active. The run shape comes from the Multi table: an
+// optional memory access at offset 0 — issued through real TCDM bank
+// arbitration at the true current cycle, in the core's true rotation
+// slot — followed by a pure-ALU tail. Only the dispatch cycle is charged
+// here; the rest of the window becomes a deferred charge plan (per-offset
+// class bitmasks) that Step's stall gate and CreditIdle consume
+// cycle-exactly as the window actually elapses. Charges simply stop if
+// the cluster run ends mid-window, so Stats and attribution always cover
+// exactly the simulated cycles.
+//
+// The per-instruction loop carries no mode flags, counters or horizon
+// checks: the span is bounded at compile time (clampSpans), the fetch-line
+// budget is folded into the op bound up front, and the load-use hazard —
+// only ever possible between the offset-0 load and the first tail op,
+// since pure-ALU instructions never arm one — is resolved before the loop.
+//
+// ok=false means nothing executed (the first instruction needs the stepped
+// path) and the caller must fall through; no state was modified.
+func (c *Core) runFusedMulti(now uint64, n uint32) (uint64, bool) {
+	if c.Trace != nil {
+		// Tracing needs one event per instruction at its exact cycle; the
+		// stepped path provides that (the cluster strips block tables when
+		// a tracer is attached, so this only guards direct Core users).
+		return 0, false
+	}
+	code := c.code
+	pc := c.PC
+	idx := (pc - c.base) / 4
+	first := idx
+	end := idx + n
+	// Fold the fetch-line budget into the op bound: stepped execution
+	// consults the I$ once per line, so a fused run must end where the
+	// line does. (A zero line mask re-fetches every instruction; the
+	// budget degenerates to zero ops and the stepped path runs.)
+	if c.IC != nil {
+		if avail := (c.FetchLineMask + 1 - (pc & c.FetchLineMask)) / 4; avail < n {
+			end = idx + avail
+		}
+	}
+	var o uint64 // cycle offset from now of the next issue
+	var planIssue, planLU, planEM uint64
+
+	if d := &code[idx]; d.Meta.Flags&MetaMem != 0 {
+		if idx == end {
+			return 0, false
+		}
+		m := d.Meta
+		in := d.In
+		size := uint32(m.Size)
+		var addr uint32
+		if m.Flags&MetaPostIncr != 0 {
+			addr = c.reg(in.Ra)
+		} else {
+			addr = c.reg(in.Ra) + uint32(in.Imm)
+		}
+		if m.Flags&MetaChkAlign != 0 && addr&(size-1) != 0 {
+			return 0, false // fault via the stepped path at the exact cycle
+		}
+		tm := c.TCDM
+		if tm == nil || !tm.Contains(addr, size) {
+			return 0, false // env dispatch (event unit, DMA, SoC, L2) steps
+		}
+		store := m.Flags&MetaStore != 0
+		var wdata uint32
+		if store {
+			wdata = c.reg(in.Rb)
+		}
+		if !tm.Request(addr) {
+			// Denied at offset 0: identical to the stepped path — park the
+			// op and retry next cycle.
+			c.park(in, m, addr, wdata, obs.Conflict)
+			return now + 1, true
+		}
+		if store {
+			tm.Write(addr, size, wdata)
+		} else {
+			rdata := tm.Read(addr, size)
+			var v uint32
+			switch in.Op {
+			case isa.LBZ, isa.LBZP:
+				v = rdata & 0xff
+			case isa.LBS, isa.LBSP:
+				v = uint32(int32(int8(rdata)))
+			case isa.LHZ, isa.LHZP:
+				v = rdata & 0xffff
+			case isa.LHS, isa.LHSP:
+				v = uint32(int32(int16(rdata)))
+			default:
+				v = rdata
+			}
+			c.setReg(in.Rd, v)
+			c.lastLoadReg = in.Rd
+			c.lastLoadArmed = true
+		}
+		if m.Flags&MetaPostIncr != 0 {
+			// Re-read Ra: a post-incrementing load with Rd == Ra must
+			// increment the loaded value, exactly as the stepped path.
+			c.setReg(in.Ra, c.reg(in.Ra)+uint32(in.Imm))
+		}
+		planIssue = 1
+		o = 1
+		if addr&(size-1) != 0 {
+			// Unaligned access: second bank cycle, attributed ExtMem.
+			planEM = 2
+			o = 2
+		}
+		next := pc + 4
+		if next == c.lpEnd[0] || next == c.lpEnd[1] {
+			next = c.lpWrap(next)
+		}
+		idx++
+		if next != pc+4 {
+			// Hardware-loop wraparound right after the access: the Multi
+			// table is straight-line, so the run ends here. The armed
+			// load-use state carries to the stepped path at window end.
+			pc = next
+			goto done
+		}
+		pc = next
+		// Load-use hazard of the first tail op, the only place one can
+		// occur in this run: pure-ALU instructions never arm it. When the
+		// line budget cut the run to the access alone, the armed state
+		// carries to the stepped path instead.
+		if c.lastLoadArmed && idx < end {
+			c.lastLoadArmed = false
+			if c.loadUse > 0 && code[idx].Meta.ReadMask&(1<<c.lastLoadReg) != 0 {
+				lu := c.loadUse
+				planLU = ((uint64(1) << lu) - 1) << o
+				o += lu
+			}
+		}
+	}
+
+	// Pure-ALU tail (and a run-ending branch, which CompileBlocks only
+	// admits as the final op). The switch mirrors the stepped one in
+	// core.go exactly, on run-local pc; arms that cannot appear inside a
+	// compiled run (memory ops, TRAP, WFE, MFSPR) are absent, and unknown
+	// opcodes end the run so the stepped path faults at the exact cycle.
+loop:
+	for idx < end {
+		d := &code[idx]
+		in := d.In
+		a := c.reg(in.Ra)
+		b := c.reg(in.Rb)
+		next := pc + 4
+		extra := int(d.Meta.Cyc) - 1
+
+		switch in.Op {
+		case isa.NOP:
+
+		case isa.J:
+			next = uint32(int64(pc) + 4 + int64(in.Imm)*4)
+			extra += c.timeJump
+		case isa.JAL:
+			c.setReg(isa.LR, pc+4)
+			next = uint32(int64(pc) + 4 + int64(in.Imm)*4)
+			extra += c.timeJump
+		case isa.JR:
+			next = a
+			extra += c.timeJump
+		case isa.JALR:
+			c.setReg(in.Rd, pc+4)
+			next = a
+			extra += c.timeJump
+		case isa.BF, isa.BNF:
+			taken := c.Flag == (in.Op == isa.BF)
+			if taken {
+				next = uint32(int64(pc) + 4 + int64(in.Imm)*4)
+				extra += c.timeBranch
+			}
+
+		case isa.SFEQ:
+			c.Flag = a == b
+		case isa.SFNE:
+			c.Flag = a != b
+		case isa.SFLTS:
+			c.Flag = int32(a) < int32(b)
+		case isa.SFLES:
+			c.Flag = int32(a) <= int32(b)
+		case isa.SFGTS:
+			c.Flag = int32(a) > int32(b)
+		case isa.SFGES:
+			c.Flag = int32(a) >= int32(b)
+		case isa.SFLTU:
+			c.Flag = a < b
+		case isa.SFLEU:
+			c.Flag = a <= b
+		case isa.SFGTU:
+			c.Flag = a > b
+		case isa.SFGEU:
+			c.Flag = a >= b
+		case isa.SFEQI:
+			c.Flag = a == uint32(in.Imm)
+		case isa.SFNEI:
+			c.Flag = a != uint32(in.Imm)
+		case isa.SFLTSI:
+			c.Flag = int32(a) < in.Imm
+		case isa.SFLESI:
+			c.Flag = int32(a) <= in.Imm
+		case isa.SFGTSI:
+			c.Flag = int32(a) > in.Imm
+		case isa.SFGESI:
+			c.Flag = int32(a) >= in.Imm
+		case isa.SFLTUI:
+			c.Flag = a < uint32(in.Imm)
+		case isa.SFGEUI:
+			c.Flag = a >= uint32(in.Imm)
+
+		case isa.ADD:
+			c.setReg(in.Rd, a+b)
+		case isa.SUB:
+			c.setReg(in.Rd, a-b)
+		case isa.AND:
+			c.setReg(in.Rd, a&b)
+		case isa.OR:
+			c.setReg(in.Rd, a|b)
+		case isa.XOR:
+			c.setReg(in.Rd, a^b)
+		case isa.SLL:
+			c.setReg(in.Rd, a<<(b&31))
+		case isa.SRL:
+			c.setReg(in.Rd, a>>(b&31))
+		case isa.SRA:
+			c.setReg(in.Rd, uint32(int32(a)>>(b&31)))
+		case isa.MUL:
+			c.setReg(in.Rd, uint32(int32(a)*int32(b)))
+		case isa.DIV:
+			c.setReg(in.Rd, divS(a, b))
+		case isa.DIVU:
+			c.setReg(in.Rd, divU(a, b))
+		case isa.MIN:
+			if int32(a) < int32(b) {
+				c.setReg(in.Rd, a)
+			} else {
+				c.setReg(in.Rd, b)
+			}
+		case isa.MAX:
+			if int32(a) > int32(b) {
+				c.setReg(in.Rd, a)
+			} else {
+				c.setReg(in.Rd, b)
+			}
+		case isa.MINU:
+			if a < b {
+				c.setReg(in.Rd, a)
+			} else {
+				c.setReg(in.Rd, b)
+			}
+		case isa.MAXU:
+			if a > b {
+				c.setReg(in.Rd, a)
+			} else {
+				c.setReg(in.Rd, b)
+			}
+		case isa.MAC:
+			c.setReg(in.Rd, uint32(int32(c.reg(in.Rd))+int32(a)*int32(b)))
+		case isa.MSU:
+			c.setReg(in.Rd, uint32(int32(c.reg(in.Rd))-int32(a)*int32(b)))
+		case isa.SEXTB:
+			c.setReg(in.Rd, uint32(int32(int8(a))))
+		case isa.SEXTH:
+			c.setReg(in.Rd, uint32(int32(int16(a))))
+
+		case isa.ADDI:
+			c.setReg(in.Rd, a+uint32(in.Imm))
+		case isa.ANDI:
+			c.setReg(in.Rd, a&uint32(in.Imm))
+		case isa.ORI:
+			c.setReg(in.Rd, a|uint32(in.Imm))
+		case isa.XORI:
+			c.setReg(in.Rd, a^uint32(in.Imm))
+		case isa.SLLI:
+			c.setReg(in.Rd, a<<(uint32(in.Imm)&31))
+		case isa.SRLI:
+			c.setReg(in.Rd, a>>(uint32(in.Imm)&31))
+		case isa.SRAI:
+			c.setReg(in.Rd, uint32(int32(a)>>(uint32(in.Imm)&31)))
+		case isa.MOVHI:
+			c.setReg(in.Rd, uint32(in.Imm)<<16)
+		case isa.ORIL:
+			c.setReg(in.Rd, c.reg(in.Rd)|uint32(in.Imm)&0xffff)
+
+		case isa.MACS:
+			c.Acc += int64(int32(a)) * int64(int32(b))
+		case isa.MACU:
+			c.Acc += int64(uint64(a) * uint64(b))
+		case isa.MACCLR:
+			c.Acc = 0
+		case isa.MACRDL:
+			c.setReg(in.Rd, uint32(c.Acc))
+		case isa.MACRDH:
+			c.setReg(in.Rd, uint32(uint64(c.Acc)>>32))
+
+		case isa.DOTP4B:
+			s := int32(c.reg(in.Rd))
+			s += int32(int8(a)) * int32(int8(b))
+			s += int32(int8(a>>8)) * int32(int8(b>>8))
+			s += int32(int8(a>>16)) * int32(int8(b>>16))
+			s += int32(int8(a>>24)) * int32(int8(b>>24))
+			c.setReg(in.Rd, uint32(s))
+		case isa.DOTP2H:
+			s := int32(c.reg(in.Rd))
+			s += int32(int16(a)) * int32(int16(b))
+			s += int32(int16(a>>16)) * int32(int16(b>>16))
+			c.setReg(in.Rd, uint32(s))
+		case isa.ADD4B:
+			out := uint32(uint8(a + b))
+			out |= uint32(uint8(a>>8+b>>8)) << 8
+			out |= uint32(uint8(a>>16+b>>16)) << 16
+			out |= uint32(uint8(a>>24+b>>24)) << 24
+			c.setReg(in.Rd, out)
+		case isa.SUB4B:
+			out := uint32(uint8(a - b))
+			out |= uint32(uint8(a>>8-b>>8)) << 8
+			out |= uint32(uint8(a>>16-b>>16)) << 16
+			out |= uint32(uint8(a>>24-b>>24)) << 24
+			c.setReg(in.Rd, out)
+		case isa.ADD2H:
+			out := uint32(uint16(a + b))
+			out |= uint32(uint16(a>>16+b>>16)) << 16
+			c.setReg(in.Rd, out)
+		case isa.SUB2H:
+			out := uint32(uint16(a - b))
+			out |= uint32(uint16(a>>16-b>>16)) << 16
+			c.setReg(in.Rd, out)
+		case isa.SRA2H:
+			sh := b & 15
+			out := uint32(uint16(int16(a) >> sh))
+			out |= uint32(uint16(int16(a>>16)>>sh)) << 16
+			c.setReg(in.Rd, out)
+
+		case isa.LPSETUP:
+			i := int(in.Rd)
+			c.lp[i] = hwLoop{
+				start: pc + 4,
+				end:   pc + 4 + uint32(in.Imm)*4,
+				count: a,
+			}
+			if a == 0 {
+				next = pc + 4 + uint32(in.Imm)*4
+				c.lpEnd[i] = lpInactive
+			} else {
+				c.lpEnd[i] = c.lp[i].end
+			}
+
+		default:
+			break loop
+		}
+
+		planIssue |= uint64(1) << o
+		o++
+		if extra > 0 {
+			// Trailing cycles of a multi-cycle op or taken-branch penalty:
+			// Issue-class stalls, the clear bits of the plan window.
+			o += uint64(extra)
+		}
+		if next == c.lpEnd[0] || next == c.lpEnd[1] {
+			next = c.lpWrap(next)
+		}
+		idx++
+		if next != pc+4 {
+			// Taken branch or hardware-loop wraparound: the run ends (the
+			// Multi table is straight-line beyond this point).
+			pc = next
+			break
+		}
+		pc = next
+	}
+
+done:
+	if idx == first {
+		return 0, false
+	}
+	c.PC = pc
+	// Charge the dispatch cycle now (always an issue: the first op's
+	// hazard was resolved by Step before dispatch); defer the rest of the
+	// window to the charge plan.
+	c.Stats.Active++
+	c.Stats.Retired++
+	if ob := c.Obs; ob != nil {
+		ob.Tick(obs.Issue)
+	}
+	if o > 1 {
+		c.stallUntil = now + o
+		c.stallClass = obs.Issue
+		c.planOn = true
+		c.planStart = now
+		c.planCursor = now + 1
+		c.planIssue, c.planLU, c.planEM = planIssue, planLU, planEM
+		return now + o, true
+	}
+	return now + 1, true
+}
+
+// runFusedSolo executes straight-line code from the current PC without
+// bound while the core is the cluster's sole actor (everyone else halted
+// or asleep, DMA idle — maintained by the cluster in c.Solo): bank
+// arbitration cannot deny the only requester, so memory accesses complete
+// anywhere in the run, and taken branches and hardware-loop wraparounds
+// are chased instead of ending it. The whole window is batch-charged at
+// exit (per-class counters, horizon-clamped so a maxCycles budget cuts
+// the charges exactly where it would have cut stepped execution) and
+// stallAccounted tells Step's gate and CreditIdle the window is already
+// paid for.
+//
+// The run ends at the cycle horizon, at a fetch-line boundary (the
+// stepped path re-consults the I$ and pays any refill), at a fuse-break
+// or illegal or unknown instruction, and at any non-TCDM or faulting
+// access — all handed back to the stepped path at their exact cycle.
+func (c *Core) runFusedSolo(now uint64) (uint64, bool) {
+	if c.Trace != nil {
+		return 0, false
+	}
+	code := c.code
+	pc := c.PC
+	t := now
+	horizon := c.horizon
+	idx := (pc - c.base) / 4
+	var nIssue, nStall, cLU, cEM uint64
+
+loop:
+	for t < horizon {
+		if idx >= uint32(len(code)) {
+			break
+		}
+		if nIssue > 0 && c.IC != nil && pc&^c.FetchLineMask != c.fetchedLine {
+			break
+		}
+		d := &code[idx]
+		m := d.Meta
+		if m.Flags&(MetaIllegal|MetaFuseBreak) != 0 {
+			break
+		}
+		in := d.In
+
+		// Load-use hazard against the previous in-run load (the first op
+		// cannot hazard: Step resolved its gate before dispatching).
+		if c.lastLoadArmed {
+			c.lastLoadArmed = false
+			if c.loadUse > 0 && m.ReadMask&(1<<c.lastLoadReg) != 0 {
+				ch := c.loadUse
+				if t+ch > horizon {
+					ch = horizon - t
+				}
+				nStall += ch
+				cLU += ch
+				t += c.loadUse
+				if t >= horizon {
+					break
+				}
+			}
+		}
+
+		if m.Flags&MetaMem != 0 {
+			size := uint32(m.Size)
+			var addr uint32
+			if m.Flags&MetaPostIncr != 0 {
+				addr = c.reg(in.Ra)
+			} else {
+				addr = c.reg(in.Ra) + uint32(in.Imm)
+			}
+			if m.Flags&MetaChkAlign != 0 && addr&(size-1) != 0 {
+				break // fault via the stepped path at the exact cycle
+			}
+			tm := c.TCDM
+			if tm == nil || !tm.Contains(addr, size) {
+				break // env dispatch (event unit, DMA, SoC, L2) steps
+			}
+			// The sole requester always wins arbitration: count the access
+			// without the bank Request (whose per-cycle conflict state only
+			// the cluster loop resets).
+			tm.Accesses++
+			if m.Flags&MetaStore != 0 {
+				tm.Write(addr, size, c.reg(in.Rb))
+			} else {
+				rdata := tm.Read(addr, size)
+				var v uint32
+				switch in.Op {
+				case isa.LBZ, isa.LBZP:
+					v = rdata & 0xff
+				case isa.LBS, isa.LBSP:
+					v = uint32(int32(int8(rdata)))
+				case isa.LHZ, isa.LHZP:
+					v = rdata & 0xffff
+				case isa.LHS, isa.LHSP:
+					v = uint32(int32(int16(rdata)))
+				default:
+					v = rdata
+				}
+				c.setReg(in.Rd, v)
+				c.lastLoadReg = in.Rd
+				c.lastLoadArmed = true
+			}
+			if m.Flags&MetaPostIncr != 0 {
+				c.setReg(in.Ra, c.reg(in.Ra)+uint32(in.Imm))
+			}
+			nIssue++
+			t++
+			if addr&(size-1) != 0 {
+				// Unaligned access: second bank cycle, attributed ExtMem.
+				if t < horizon {
+					nStall++
+					cEM++
+				}
+				t++
+			}
+			next := pc + 4
+			if next == c.lpEnd[0] || next == c.lpEnd[1] {
+				next = c.lpWrap(next)
+			}
+			if next == pc+4 {
+				idx++
+			} else {
+				idx = (next - c.base) / 4
+			}
+			pc = next
+			continue
+		}
+
+		// Non-memory execute: the switch mirrors the stepped one in core.go
+		// exactly; TRAP, WFE and MFSPR carry MetaFuseBreak and never reach
+		// it, unknown opcodes end the run so the stepped path faults at the
+		// exact cycle.
+		a := c.reg(in.Ra)
+		b := c.reg(in.Rb)
+		next := pc + 4
+		extra := int(m.Cyc) - 1
+
+		switch in.Op {
+		case isa.NOP:
+
+		case isa.J:
+			next = uint32(int64(pc) + 4 + int64(in.Imm)*4)
+			extra += c.timeJump
+		case isa.JAL:
+			c.setReg(isa.LR, pc+4)
+			next = uint32(int64(pc) + 4 + int64(in.Imm)*4)
+			extra += c.timeJump
+		case isa.JR:
+			next = a
+			extra += c.timeJump
+		case isa.JALR:
+			c.setReg(in.Rd, pc+4)
+			next = a
+			extra += c.timeJump
+		case isa.BF, isa.BNF:
+			taken := c.Flag == (in.Op == isa.BF)
+			if taken {
+				next = uint32(int64(pc) + 4 + int64(in.Imm)*4)
+				extra += c.timeBranch
+			}
+
+		case isa.SFEQ:
+			c.Flag = a == b
+		case isa.SFNE:
+			c.Flag = a != b
+		case isa.SFLTS:
+			c.Flag = int32(a) < int32(b)
+		case isa.SFLES:
+			c.Flag = int32(a) <= int32(b)
+		case isa.SFGTS:
+			c.Flag = int32(a) > int32(b)
+		case isa.SFGES:
+			c.Flag = int32(a) >= int32(b)
+		case isa.SFLTU:
+			c.Flag = a < b
+		case isa.SFLEU:
+			c.Flag = a <= b
+		case isa.SFGTU:
+			c.Flag = a > b
+		case isa.SFGEU:
+			c.Flag = a >= b
+		case isa.SFEQI:
+			c.Flag = a == uint32(in.Imm)
+		case isa.SFNEI:
+			c.Flag = a != uint32(in.Imm)
+		case isa.SFLTSI:
+			c.Flag = int32(a) < in.Imm
+		case isa.SFLESI:
+			c.Flag = int32(a) <= in.Imm
+		case isa.SFGTSI:
+			c.Flag = int32(a) > in.Imm
+		case isa.SFGESI:
+			c.Flag = int32(a) >= in.Imm
+		case isa.SFLTUI:
+			c.Flag = a < uint32(in.Imm)
+		case isa.SFGEUI:
+			c.Flag = a >= uint32(in.Imm)
+
+		case isa.ADD:
+			c.setReg(in.Rd, a+b)
+		case isa.SUB:
+			c.setReg(in.Rd, a-b)
+		case isa.AND:
+			c.setReg(in.Rd, a&b)
+		case isa.OR:
+			c.setReg(in.Rd, a|b)
+		case isa.XOR:
+			c.setReg(in.Rd, a^b)
+		case isa.SLL:
+			c.setReg(in.Rd, a<<(b&31))
+		case isa.SRL:
+			c.setReg(in.Rd, a>>(b&31))
+		case isa.SRA:
+			c.setReg(in.Rd, uint32(int32(a)>>(b&31)))
+		case isa.MUL:
+			c.setReg(in.Rd, uint32(int32(a)*int32(b)))
+		case isa.DIV:
+			c.setReg(in.Rd, divS(a, b))
+		case isa.DIVU:
+			c.setReg(in.Rd, divU(a, b))
+		case isa.MIN:
+			if int32(a) < int32(b) {
+				c.setReg(in.Rd, a)
+			} else {
+				c.setReg(in.Rd, b)
+			}
+		case isa.MAX:
+			if int32(a) > int32(b) {
+				c.setReg(in.Rd, a)
+			} else {
+				c.setReg(in.Rd, b)
+			}
+		case isa.MINU:
+			if a < b {
+				c.setReg(in.Rd, a)
+			} else {
+				c.setReg(in.Rd, b)
+			}
+		case isa.MAXU:
+			if a > b {
+				c.setReg(in.Rd, a)
+			} else {
+				c.setReg(in.Rd, b)
+			}
+		case isa.MAC:
+			c.setReg(in.Rd, uint32(int32(c.reg(in.Rd))+int32(a)*int32(b)))
+		case isa.MSU:
+			c.setReg(in.Rd, uint32(int32(c.reg(in.Rd))-int32(a)*int32(b)))
+		case isa.SEXTB:
+			c.setReg(in.Rd, uint32(int32(int8(a))))
+		case isa.SEXTH:
+			c.setReg(in.Rd, uint32(int32(int16(a))))
+
+		case isa.ADDI:
+			c.setReg(in.Rd, a+uint32(in.Imm))
+		case isa.ANDI:
+			c.setReg(in.Rd, a&uint32(in.Imm))
+		case isa.ORI:
+			c.setReg(in.Rd, a|uint32(in.Imm))
+		case isa.XORI:
+			c.setReg(in.Rd, a^uint32(in.Imm))
+		case isa.SLLI:
+			c.setReg(in.Rd, a<<(uint32(in.Imm)&31))
+		case isa.SRLI:
+			c.setReg(in.Rd, a>>(uint32(in.Imm)&31))
+		case isa.SRAI:
+			c.setReg(in.Rd, uint32(int32(a)>>(uint32(in.Imm)&31)))
+		case isa.MOVHI:
+			c.setReg(in.Rd, uint32(in.Imm)<<16)
+		case isa.ORIL:
+			c.setReg(in.Rd, c.reg(in.Rd)|uint32(in.Imm)&0xffff)
+
+		case isa.MACS:
+			c.Acc += int64(int32(a)) * int64(int32(b))
+		case isa.MACU:
+			c.Acc += int64(uint64(a) * uint64(b))
+		case isa.MACCLR:
+			c.Acc = 0
+		case isa.MACRDL:
+			c.setReg(in.Rd, uint32(c.Acc))
+		case isa.MACRDH:
+			c.setReg(in.Rd, uint32(uint64(c.Acc)>>32))
+
+		case isa.DOTP4B:
+			s := int32(c.reg(in.Rd))
+			s += int32(int8(a)) * int32(int8(b))
+			s += int32(int8(a>>8)) * int32(int8(b>>8))
+			s += int32(int8(a>>16)) * int32(int8(b>>16))
+			s += int32(int8(a>>24)) * int32(int8(b>>24))
+			c.setReg(in.Rd, uint32(s))
+		case isa.DOTP2H:
+			s := int32(c.reg(in.Rd))
+			s += int32(int16(a)) * int32(int16(b))
+			s += int32(int16(a>>16)) * int32(int16(b>>16))
+			c.setReg(in.Rd, uint32(s))
+		case isa.ADD4B:
+			out := uint32(uint8(a + b))
+			out |= uint32(uint8(a>>8+b>>8)) << 8
+			out |= uint32(uint8(a>>16+b>>16)) << 16
+			out |= uint32(uint8(a>>24+b>>24)) << 24
+			c.setReg(in.Rd, out)
+		case isa.SUB4B:
+			out := uint32(uint8(a - b))
+			out |= uint32(uint8(a>>8-b>>8)) << 8
+			out |= uint32(uint8(a>>16-b>>16)) << 16
+			out |= uint32(uint8(a>>24-b>>24)) << 24
+			c.setReg(in.Rd, out)
+		case isa.ADD2H:
+			out := uint32(uint16(a + b))
+			out |= uint32(uint16(a>>16+b>>16)) << 16
+			c.setReg(in.Rd, out)
+		case isa.SUB2H:
+			out := uint32(uint16(a - b))
+			out |= uint32(uint16(a>>16-b>>16)) << 16
+			c.setReg(in.Rd, out)
+		case isa.SRA2H:
+			sh := b & 15
+			out := uint32(uint16(int16(a) >> sh))
+			out |= uint32(uint16(int16(a>>16)>>sh)) << 16
+			c.setReg(in.Rd, out)
+
+		case isa.LPSETUP:
+			i := int(in.Rd)
+			c.lp[i] = hwLoop{
+				start: pc + 4,
+				end:   pc + 4 + uint32(in.Imm)*4,
+				count: a,
+			}
+			if a == 0 {
+				next = pc + 4 + uint32(in.Imm)*4
+				c.lpEnd[i] = lpInactive
+			} else {
+				c.lpEnd[i] = c.lp[i].end
+			}
+
+		default:
+			break loop
+		}
+
+		nIssue++
+		t++
+		if extra > 0 {
+			// Trailing cycles of a multi-cycle op or branch penalty: they
+			// stall the next issue; charge only what fits the horizon.
+			ch := uint64(extra)
+			if t+ch > horizon {
+				ch = horizon - t
+			}
+			nStall += ch
+			t += uint64(extra)
+		}
+		if next == c.lpEnd[0] || next == c.lpEnd[1] {
+			next = c.lpWrap(next)
+		}
+		if next == pc+4 {
+			idx++
+		} else {
+			idx = (next - c.base) / 4
+		}
+		pc = next
+	}
+
+	if nIssue == 0 {
+		return 0, false
+	}
+	c.PC = pc
+	c.Stats.Active += nIssue
+	c.Stats.Retired += nIssue
+	c.Stats.Stall += nStall
+	if ob := c.Obs; ob != nil {
+		ob.Credit(obs.Issue, nIssue+nStall-cLU-cEM)
+		if cLU > 0 {
+			ob.Credit(obs.LoadUse, cLU)
+		}
+		if cEM > 0 {
+			ob.Credit(obs.ExtMem, cEM)
+		}
+	}
+	if t > now+1 {
+		c.stallUntil = t
+		c.stallClass = obs.Issue
+		c.stallAccounted = true
+		return t, true
+	}
+	return now + 1, true
+}

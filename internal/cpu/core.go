@@ -11,6 +11,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hetsim/internal/isa"
 	"hetsim/internal/mem"
@@ -100,6 +101,18 @@ type Core struct {
 	lastLoadReg   isa.Reg
 	Flag          bool
 
+	// stallAccounted marks the current stallUntil window as pre-charged by
+	// a solo fused run (block.go): Step's stall gate and CreditIdle must
+	// not charge those cycles again.
+	stallAccounted bool
+	// planOn marks the plan* fields below as valid: the current stallUntil
+	// window came from a multi-core fused run whose charges are deferred —
+	// Step's stall gate and CreditIdle charge them cycle-exactly from the
+	// plan bitmasks as the window actually elapses (and simply stop if the
+	// cluster run ends mid-window, so Stats always cover exactly the
+	// simulated cycles).
+	planOn bool
+
 	// stallClass is the attribution class of the current stallUntil window
 	// (obs.Class). Written whenever stallUntil is set; read by the stall
 	// branch of Step and by CreditIdle. Maintained unconditionally (a byte
@@ -114,6 +127,23 @@ type Core struct {
 
 	stallUntil uint64
 	code       []Decoded // predecoded text, see Predecode
+
+	// blocks, when non-nil, is the fused-run table over code (block.go):
+	// Step dispatches straight-line runs through runFused instead of
+	// executing one instruction. The cluster only installs it when faults
+	// and tracing are detached and the run loop is event-driven.
+	blocks *BlockTable
+	// horizon bounds fused execution (SetRunHorizon): no solo-fused
+	// instruction issues at or past this cycle.
+	horizon uint64
+	// Solo, maintained by the cluster at the end of every cycle, reports
+	// that this core is the only possible actor (all sibling cores halted
+	// or asleep, DMA idle) — the condition under which a fused run may
+	// cross memory accesses, taken branches and loop wraparounds without
+	// bound. The condition is stable until this core itself performs an
+	// env access (waking a sibling or starting the DMA), which always
+	// ends a fused run first.
+	Solo bool
 
 	// IC, when set by the cluster, is the shared instruction cache timing
 	// the fetch path consults (a direct pointer rather than a func value:
@@ -135,6 +165,18 @@ type Core struct {
 	loadUse    uint64
 	timeJump   int
 	timeBranch int
+
+	// Deferred charge plan of the current fused multi-core run: bitmasks
+	// over cycle offsets from planStart classifying each window cycle
+	// (issue / load-use stall / ext-mem stall; clear bits in none of the
+	// three are Issue-class stalls). planCursor is the next uncharged
+	// cycle: Step's stall gate and CreditIdle consume the window in order,
+	// one path or the other charging every simulated cycle exactly once.
+	planStart  uint64
+	planCursor uint64
+	planIssue  uint64
+	planLU     uint64
+	planEM     uint64
 
 	Regs [isa.NumRegs]uint32
 	Acc  int64 // 64-bit MAC accumulator (M-profile)
@@ -176,6 +218,7 @@ func New(id int, target isa.Target, env Env) *Core {
 		loadUse:    uint64(target.Time.LoadUse),
 		timeJump:   target.Time.Jump,
 		timeBranch: target.Time.BranchTaken,
+		horizon:    NextEventNever,
 	}
 }
 
@@ -207,6 +250,8 @@ func (c *Core) Start(entry uint32) {
 	c.hasPending = false
 	c.fetchedLine = ^uint32(0)
 	c.lastLoadArmed = false
+	c.stallAccounted = false
+	c.planOn = false
 	c.Halted = false
 	c.TrapCode = 0
 	c.Err = nil
@@ -322,15 +367,52 @@ func (c *Core) Step(now uint64) uint64 {
 		return NextEventNever
 	}
 	if c.stallUntil > now {
+		if c.planOn {
+			// Charge this cycle from the fused run's deferred plan: the
+			// bit at the cursor offset classifies it as an instruction
+			// issue or a stall of a specific class, exactly as stepped
+			// execution would have charged it at this cycle.
+			bit := uint64(1) << (c.planCursor - c.planStart)
+			c.planCursor++
+			if c.planIssue&bit != 0 {
+				c.Stats.Active++
+				c.Stats.Retired++
+				if o := c.Obs; o != nil {
+					o.Tick(obs.Issue)
+				}
+			} else {
+				c.Stats.Stall++
+				if o := c.Obs; o != nil {
+					switch {
+					case c.planLU&bit != 0:
+						o.Tick(obs.LoadUse)
+					case c.planEM&bit != 0:
+						o.Tick(obs.ExtMem)
+					default:
+						o.Tick(obs.Issue)
+					}
+				}
+			}
+			return c.stallUntil
+		}
+		if c.stallAccounted {
+			// A solo fused run pre-charged this whole window (Stats and
+			// attribution batched at issue time); just repeat the hint.
+			return c.stallUntil
+		}
 		c.Stats.Stall++
 		if o := c.Obs; o != nil {
 			o.Tick(c.stallClass)
 		}
 		return c.stallUntil
 	}
+	// The core is resuming: any fused-run window is over.
+	c.stallAccounted = false
+	c.planOn = false
 	var in isa.Inst
 	var m InstMeta
 	var addr, wdata uint32
+	var idx uint32
 	if c.hasPending {
 		// Retry the parked access: re-enter the shared access path below.
 		// Hazards and alignment were already checked when it first issued.
@@ -363,7 +445,7 @@ func (c *Core) Step(now uint64) uint64 {
 	// and idx lands far above len(code) for any text segment that fits the
 	// address space — the single bound check catches both directions.
 	{
-		idx := (c.PC - c.base) / 4
+		idx = (c.PC - c.base) / 4
 		if idx >= uint32(len(c.code)) {
 			return c.failFetch()
 		}
@@ -388,6 +470,28 @@ func (c *Core) Step(now uint64) uint64 {
 				o.Tick(obs.LoadUse)
 			}
 			return c.stallUntil
+		}
+	}
+
+	// Fused basic-block dispatch (block.go): with this instruction's gate,
+	// fetch and hazard checks already done, the rest of its straight-line
+	// run can execute in one call. Solo runs (every other actor halted or
+	// asleep, DMA idle) fuse without bound; multi-core runs fuse the
+	// Multi-table run — an optional memory access at offset 0, issued
+	// through real bank arbitration right here at cycle now, plus a
+	// pure-ALU tail. ok=false means the first instruction needs the
+	// stepped path below and nothing was executed.
+	if bt := c.blocks; bt != nil {
+		if n := uint32(bt.Multi[idx]); c.Solo {
+			if n != 0 {
+				if hint, ok := c.runFusedSolo(now); ok {
+					return hint
+				}
+			}
+		} else if n > 1 {
+			if hint, ok := c.runFusedMulti(now, n); ok {
+				return hint
+			}
 		}
 	}
 
@@ -795,6 +899,39 @@ func (c *Core) CreditIdle(cycles uint64) {
 			}
 		}
 	default:
+		if c.planOn {
+			// Bulk-consume the fused run's deferred plan: the skipped
+			// window is the next `cycles` offsets at the cursor, so the
+			// class split is a popcount per bitmask. The fast-forward
+			// bound (the earliest event of any core) never crosses
+			// stallUntil, so the mask stays within the 64-bit plan.
+			off := c.planCursor - c.planStart
+			mask := (uint64(1)<<cycles - 1) << off
+			c.planCursor += cycles
+			iss := uint64(bits.OnesCount64(c.planIssue & mask))
+			c.Stats.Active += iss
+			c.Stats.Retired += iss
+			c.Stats.Stall += cycles - iss
+			if o := c.Obs; o != nil {
+				lu := uint64(bits.OnesCount64(c.planLU & mask))
+				em := uint64(bits.OnesCount64(c.planEM & mask))
+				// Issue-class charge = issues + stalls in no other class.
+				o.Credit(obs.Issue, cycles-lu-em)
+				if lu > 0 {
+					o.Credit(obs.LoadUse, lu)
+				}
+				if em > 0 {
+					o.Credit(obs.ExtMem, em)
+				}
+			}
+			return
+		}
+		if c.stallAccounted {
+			// The window was pre-charged by a solo fused run; the
+			// fast-forward bound never crosses stallUntil, so the whole
+			// window is already accounted.
+			return
+		}
 		c.Stats.Stall += cycles
 		if o := c.Obs; o != nil {
 			o.Credit(c.stallClass, cycles)

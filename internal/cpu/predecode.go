@@ -36,6 +36,12 @@ const (
 	// target feature keeps the issue path branching on metadata already
 	// in hand instead of loading core state.
 	MetaChkAlign
+	// MetaFuseBreak marks an instruction that ends a fused basic-block
+	// run before it executes (see block.go): ops that can sleep, halt or
+	// read cluster state outside the core (WFE, TRAP, MFSPR) must take
+	// the stepped path so sleep transitions, termination and SPR reads
+	// happen at their exact cycle.
+	MetaFuseBreak
 )
 
 // Decoded is one predecoded instruction: the instruction word and its
@@ -63,6 +69,10 @@ func Predecode(text []isa.Inst, target isa.Target) []Decoded {
 		// without bounds checks.
 		if in.Rd >= isa.NumRegs || in.Ra >= isa.NumRegs || in.Rb >= isa.NumRegs {
 			m.Flags |= MetaIllegal
+		}
+		switch in.Op {
+		case isa.TRAP, isa.WFE, isa.MFSPR:
+			m.Flags |= MetaFuseBreak
 		}
 		if in.Op.IsLoad() || in.Op.IsStore() {
 			m.Flags |= MetaMem

@@ -1,0 +1,41 @@
+package kernels
+
+import (
+	"fmt"
+	"sync"
+
+	"hetsim/internal/asm"
+	"hetsim/internal/cpu"
+	"hetsim/internal/isa"
+)
+
+// compileCache memoizes block-compiled programs per process, keyed by the
+// program's image hash plus the full target spec (the same discipline as
+// buildKey: timing and feature ablations change predecode metadata and
+// block spans, so they must never alias). Compiled images are immutable —
+// cores only ever read them — so one *cpu.Compiled is shared across all
+// clusters, sweep workers and repeat runs of the same image.
+var compileCache sync.Map // key string -> *compileEntry
+
+// compileEntry is the cache slot: LoadOrStore claims the key, the once
+// runs the compilation single-flight, so under a parallel sweep each
+// distinct image compiles exactly once (TestCompiledSharedOnce pins the
+// cpu.BlockCompiles counter on this).
+type compileEntry struct {
+	once sync.Once
+	comp *cpu.Compiled
+}
+
+// Compiled returns the shared predecoded text and block run table of a
+// program for a target, compiling on first use.
+func Compiled(p *asm.Program, t isa.Target) (*cpu.Compiled, error) {
+	h, err := HashProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s|%s%+v%+v", h, t.Name, t.Feat, t.Time)
+	e, _ := compileCache.LoadOrStore(key, &compileEntry{})
+	entry := e.(*compileEntry)
+	entry.once.Do(func() { entry.comp = cpu.Compile(p.Text, t) })
+	return entry.comp, nil
+}

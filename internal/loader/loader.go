@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"hetsim/internal/asm"
+	"hetsim/internal/cpu"
 	"hetsim/internal/hw"
 )
 
@@ -24,6 +25,10 @@ type Job struct {
 	// StackCores sizes the per-core stack reservation at the top of TCDM
 	// (0 defaults to the 4-core cluster of the paper).
 	StackCores int
+	// Compiled, when non-nil, is the shared predecoded text and block run
+	// table of Prog for the cluster's target (kernels.Compiled memoizes
+	// it per image). Nil makes the cluster compile privately at load.
+	Compiled *cpu.Compiled
 }
 
 // Layout is the resolved set of addresses of one job.

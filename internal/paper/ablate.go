@@ -111,7 +111,11 @@ func variantJob(k *kernels.Instance, tgt isa.Target) (sweep.Job[uint64], error) 
 	}
 	key := fmt.Sprintf("extablate|%s|%s|prog=%s|threads=1|max=%d",
 		kernelKey(k, in), clusterKey(cfg), ph, uint64(measureMaxCycles))
-	job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: 1, Args: k.Args()}
+	comp, err := kernels.Compiled(prog, cfg.Target)
+	if err != nil {
+		return sweep.Job[uint64]{}, err
+	}
+	job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: 1, Args: k.Args(), Compiled: comp}
 	return sweep.Job[uint64]{
 		Key: key,
 		Run: func() (uint64, error) {
@@ -178,7 +182,11 @@ func BankSweepWith(eng *sweep.Engine, k *kernels.Instance) ([]BankSweepPoint, er
 		cfg.TCDMBanks = banks
 		key := fmt.Sprintf("banksweep|%s|%s|prog=%s|threads=4|max=%d",
 			kernelKey(k, in), clusterKey(cfg), ph, uint64(measureMaxCycles))
-		job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: 4, Args: k.Args()}
+		comp, err := kernels.Compiled(prog, cfg.Target)
+		if err != nil {
+			return nil, err
+		}
+		job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: 4, Args: k.Args(), Compiled: comp}
 		jobs = append(jobs, sweep.Job[BankSweepPoint]{
 			Key: key,
 			Run: func() (BankSweepPoint, error) {
@@ -427,8 +435,12 @@ func ScalingStudyWith(eng *sweep.Engine, k *kernels.Instance) ([]ScalingPoint, e
 		cfg.ICacheSize = 8 * 1024
 		key := fmt.Sprintf("scaling|%s|%s|prog=%s|threads=%d|max=%d",
 			kernelKey(k, in), clusterKey(cfg), ph, threads, uint64(measureMaxCycles))
+		comp, err := kernels.Compiled(prog, cfg.Target)
+		if err != nil {
+			return nil, err
+		}
 		job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1,
-			Threads: uint32(threads), Args: k.Args()}
+			Threads: uint32(threads), Args: k.Args(), Compiled: comp}
 		jobs = append(jobs, sweep.Job[uint64]{
 			Key: key,
 			Run: func() (uint64, error) {

@@ -217,7 +217,11 @@ func measureJob(k *kernels.Instance, in []byte, rc measureRun, observe bool) (sw
 	}
 	key := fmt.Sprintf("measure|%s|cfg=%s|mode=%d|threads=%d|%s|prog=%s|max=%d",
 		kernelKey(k, in), rc.key, rc.mode, rc.threads, clusterKey(cfg), ph, uint64(measureMaxCycles))
-	job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: rc.threads, Args: k.Args()}
+	comp, err := kernels.Compiled(prog, cfg.Target)
+	if err != nil {
+		return sweep.Job[measureResult]{}, err
+	}
+	job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(), Iters: 1, Threads: rc.threads, Args: k.Args(), Compiled: comp}
 	return sweep.Job[measureResult]{
 		Key: key,
 		Run: func() (measureResult, error) {

@@ -6,12 +6,22 @@
 package prof
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sync"
 )
+
+// Label runs f under a pprof "phase" label so its samples are separable in
+// -cpuprofile output (e.g. block compilation vs simulation proper:
+// `pprof -tagfocus phase=block-compile`). Free when no profile is active.
+func Label(name string, f func()) {
+	pprof.Do(context.Background(), pprof.Labels("phase", name), func(context.Context) {
+		f()
+	})
+}
 
 // Start begins the profiles selected by the (possibly empty) file paths
 // and returns a stop function that must run before the process exits:
