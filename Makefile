@@ -22,9 +22,27 @@ OBS_FLOOR ?= 9.5
 # pre-PR stepped baseline (OBS_BASELINE 13.70 -> 34.25).
 BLOCK_FLOOR ?= 40
 
-.PHONY: ci vet build test race race-sweep differential block-differential fault-drill chaos-drill serve-drill bench bench-smoke sweep-bench obs-bench block-bench
+# Superblock tier gates (PR 8): per-shape superblock-over-block ratios on
+# the branch/loop-dominated family, measured best-of-3 in one process so
+# both sides of every ratio see the same machine state. pulp-1c is the
+# branch-heavy acceptance subset (full-program trace chasing applies;
+# measured 1.77x, gated at 1.5). pulp-4c is bounded by design: mem-led
+# runs cannot chain because TCDM bank arbitration needs exact-cycle
+# interleaving, so the tier only widens the ALU spans between memory
+# ops (measured 1.28x, gated at 1.15). m4 has no I$ and one core — the
+# tier is inert there by design, so it is the parity control: the chase
+# loop executes identical code either way and best-of-3 measures
+# 0.92–0.98x across runs (the residual spread is dispatch-boundary cost
+# plus the runner's ±15% swings), gated at 0.85. The straight-line mix
+# must not regress.
+SUPER_1C_MIN ?= 1.5
+SUPER_4C_MIN ?= 1.15
+SUPER_M4_MIN ?= 0.85
+SUPER_MIX_MIN ?= 0.98
 
-ci: vet build race race-sweep differential block-differential fault-drill chaos-drill serve-drill bench-smoke block-bench
+.PHONY: ci vet build test race race-sweep differential block-differential fault-drill chaos-drill serve-drill bench bench-smoke sweep-bench obs-bench block-bench superblock-bench
+
+ci: vet build race race-sweep differential block-differential fault-drill chaos-drill serve-drill bench-smoke block-bench superblock-bench
 
 vet:
 	$(GO) vet ./...
@@ -88,12 +106,14 @@ differential:
 	$(GO) test -run TestDifferentialCycleAccuracy ./internal/cluster
 
 # Block-mode differential under the race detector: the kernel matrix in
-# all three execution modes (block / stepped / reference), randomized
-# programs over the fusable instruction space, and the seeded-SEU
-# stepped-fallback leg. Every observable must stay bit-identical.
+# all four execution modes (superblock / block / stepped / reference),
+# randomized programs over the fusable instruction space, the randomized
+# branch/loop-dominated family that stresses superblock chaining, and
+# the seeded-SEU stepped-fallback leg. Every observable must stay
+# bit-identical.
 block-differential:
 	$(GO) test -race -count=1 \
-		-run 'TestDifferentialCycleAccuracy|TestRandomizedBlockDifferential|TestBlockFaultDifferential' \
+		-run 'TestDifferentialCycleAccuracy|TestRandomizedBlockDifferential|TestRandomizedBranchyDifferential|TestBlockFaultDifferential' \
 		./internal/cluster
 
 # Full benchmark pass: regenerates every paper artifact as a benchmark and
@@ -129,6 +149,25 @@ obs-bench:
 block-bench:
 	$(GO) test -run xxx -bench 'SimulatorThroughput$$|SimulatorThroughputObs$$|SimulatorThroughputBlocks' -benchtime=2s -count=3 . \
 		| $(GO) run ./cmd/benchreport -o BENCH_PR7.json -before $(OBS_BASELINE) -max-loss 0.15 -min $(OBS_FLOOR) -min-block $(BLOCK_FLOOR)
+
+# Superblock chaining gate: runs the per-shape branch/loop-dominated
+# benches (stepped/block/super x pulp-4c/pulp-1c/m4) plus the
+# straight-line mix in one process, best-of-3 with -benchmem, and writes
+# BENCH_PR8.json. The -min-ratio gates enforce the PR 8 acceptance bars
+# (rationale at the SUPER_* definitions above); -max-allocs 0 enforces
+# the allocation-free steady state on every branchy variant (clusters
+# built and programs compiled outside the timed loop — the mix bench
+# builds a cluster per RunJob, so it is not part of the audit).
+# Bit-identical execution incl. the 9-class attribution is enforced
+# separately by block-differential.
+superblock-bench:
+	$(GO) test -run xxx -bench 'SimulatorThroughputBlocks|SimulatorThroughputBranchy' -benchtime=1s -count=3 -benchmem . \
+		| $(GO) run ./cmd/benchreport -o BENCH_PR8.json \
+		-min-ratio 'SimulatorThroughputBranchy/super/pulp-1c:SimulatorThroughputBranchy/block/pulp-1c=$(SUPER_1C_MIN)' \
+		-min-ratio 'SimulatorThroughputBranchy/super/pulp-4c:SimulatorThroughputBranchy/block/pulp-4c=$(SUPER_4C_MIN)' \
+		-min-ratio 'SimulatorThroughputBranchy/super/m4:SimulatorThroughputBranchy/block/m4=$(SUPER_M4_MIN)' \
+		-min-ratio 'SimulatorThroughputBlocks/super:SimulatorThroughputBlocks/block=$(SUPER_MIX_MIN)' \
+		-max-allocs 'SimulatorThroughputBranchy/*=0'
 
 # Sweep wall-clock record: times the reduced evaluation cold at -j1, cold
 # at -j4 and on a warm run cache, and writes BENCH_PR3.json. The -warm-max

@@ -295,13 +295,15 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughputBlocks measures the block-compiled executor
-// (DESIGN.md §12) against pure stepped execution on the reference kernel
-// mix: matmul-64 on the 4-thread and 1-thread PULP accelerator configs and
-// on the Cortex-M4 host. The mix metric is aggregate simulated cycles per
-// second (total cycles / total wall time), so solo-heavy configurations
-// (1t, host) and the multi-core config weigh in by their real simulation
-// cost. benchreport gates the "block" number (BLOCK_FLOOR) and the
-// block-over-stepped speedup (-min-block).
+// (DESIGN.md §12) and the superblock tier on top of it (§13) against pure
+// stepped execution on the reference kernel mix: matmul-64 on the 4-thread
+// and 1-thread PULP accelerator configs and on the Cortex-M4 host. The mix
+// metric is aggregate simulated cycles per second (total cycles / total
+// wall time), so solo-heavy configurations (1t, host) and the multi-core
+// config weigh in by their real simulation cost. benchreport gates the
+// "block" number (BLOCK_FLOOR), the block-over-stepped speedup
+// (-min-block), and the super/block no-regression ratio (-min-ratio) on
+// this straight-line-heavy mix.
 func BenchmarkSimulatorThroughputBlocks(b *testing.B) {
 	type mixCfg struct {
 		name    string
@@ -346,7 +348,8 @@ func BenchmarkSimulatorThroughputBlocks(b *testing.B) {
 	for _, variant := range []struct {
 		name     string
 		noBlocks bool
-	}{{"stepped", true}, {"block", false}} {
+		noSuper  bool
+	}{{"stepped", true, false}, {"block", false, true}, {"super", false, false}} {
 		b.Run(variant.name, func(b *testing.B) {
 			var cycles uint64
 			b.ResetTimer()
@@ -354,6 +357,7 @@ func BenchmarkSimulatorThroughputBlocks(b *testing.B) {
 				for _, mj := range jobs {
 					cfg := mj.cfg
 					cfg.NoBlocks = variant.noBlocks
+					cfg.NoSuperblocks = variant.noSuper
 					res, err := cluster.RunJob(cfg, mj.mode, mj.job, 2_000_000_000)
 					if err != nil {
 						b.Fatal(err)
@@ -366,6 +370,82 @@ func BenchmarkSimulatorThroughputBlocks(b *testing.B) {
 				b.ReportMetric(float64(cycles)/secs/1e6, "Msimcycles/s")
 			}
 		})
+	}
+}
+
+// BenchmarkSimulatorThroughputBranchy measures the branch-heavy half of
+// the story: the branchy randomized family (hot backward-branch loops,
+// taken-branch chains, nested hardware loops, barrier-skewed solo phases)
+// on the same three cluster shapes as the block differentials, in stepped,
+// block, and superblock mode. Clusters are built and programs compiled
+// once outside the timed loop; each iteration is Start+Run only, so the
+// benchmark doubles as the steady-state allocation audit — benchreport
+// gates allocs/op at 0 (-max-allocs) and the superblock-over-block ratio
+// (-min-ratio) on this subset.
+func BenchmarkSimulatorThroughputBranchy(b *testing.B) {
+	pulp1 := cluster.PULPConfig()
+	pulp1.Cores = 1
+	shapes := []struct {
+		cfg      cluster.Config
+		hwloop   bool
+		barriers bool
+	}{
+		{cluster.PULPConfig(), true, true},
+		{pulp1, true, false},
+		{cluster.MCUConfig(isa.CortexM4), false, false},
+	}
+	shapeNames := []string{"pulp-4c", "pulp-1c", "m4"}
+	for _, variant := range []struct {
+		name     string
+		noBlocks bool
+		noSuper  bool
+	}{{"stepped", true, false}, {"block", false, true}, {"super", false, false}} {
+		for shi, sh := range shapes {
+			sh := sh
+			name := variant.name + "/" + shapeNames[shi]
+			noBlocks, noSuper := variant.noBlocks, variant.noSuper
+			b.Run(name, func(b *testing.B) {
+				type run struct {
+					cl    *cluster.Cluster
+					entry uint32
+				}
+				var runs []run
+				for seed := int64(1); seed <= 4; seed++ {
+					p := kernels.BranchyProgram(seed, kernels.BranchyOpts{
+						HWLoop: sh.hwloop, Barriers: sh.barriers, Scale: 8,
+					})
+					cfg := sh.cfg
+					cfg.NoBlocks = noBlocks
+					cfg.NoSuperblocks = noSuper
+					cl := cluster.New(cfg)
+					comp, err := kernels.Compiled(p, cfg.Target)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := cl.LoadCompiled(p, true, comp); err != nil {
+						b.Fatal(err)
+					}
+					runs = append(runs, run{cl, p.Entry})
+				}
+				var cycles uint64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, rn := range runs {
+						rn.cl.Start(rn.entry)
+						res, err := rn.cl.Run(10_000_000)
+						if err != nil {
+							b.Fatal(err)
+						}
+						cycles += res.Cycles
+					}
+				}
+				b.StopTimer()
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(cycles)/secs/1e6, "Msimcycles/s")
+				}
+			})
+		}
 	}
 }
 

@@ -16,7 +16,11 @@
 // measured throughput lost more than 1% vs the baseline — the
 // observability-off zero-cost gate). When the stream contains
 // SimulatorThroughputObs (the observed-mode twin), the report records the
-// on/off overhead under "obs_overhead". Repeated benchmark lines from
+// on/off overhead under "obs_overhead". -min-ratio (repeatable,
+// "num:den=min") gates one benchmark's Msimcycles/s against another's in
+// the same process and run — the superblock-over-block tier gates —
+// and -max-allocs (repeatable, "bench=N", trailing '*' for a prefix)
+// gates steady-state allocations. Repeated benchmark lines from
 // -count=N are folded best-of (min ns/op, max custom metrics) so the
 // gates judge the machine's capability, not its noise floor. The format
 // is documented in EXPERIMENTS.md ("Simulator throughput").
@@ -45,12 +49,33 @@ type Benchmark struct {
 
 // Report is the top-level BENCH_PRn.json document.
 type Report struct {
-	Go         string               `json:"go"`
-	Benchmarks map[string]Benchmark `json:"benchmarks"`
-	Throughput *Throughput          `json:"throughput,omitempty"`
-	Sweep      *Sweep               `json:"sweep,omitempty"`
-	Obs        *ObsOverhead         `json:"obs_overhead,omitempty"`
-	Blocks     *BlockThroughput     `json:"block_throughput,omitempty"`
+	Go         string                `json:"go"`
+	Benchmarks map[string]Benchmark  `json:"benchmarks"`
+	Throughput *Throughput           `json:"throughput,omitempty"`
+	Sweep      *Sweep                `json:"sweep,omitempty"`
+	Obs        *ObsOverhead          `json:"obs_overhead,omitempty"`
+	Blocks     *BlockThroughput      `json:"block_throughput,omitempty"`
+	Super      *SuperblockThroughput `json:"superblock_throughput,omitempty"`
+}
+
+// SuperblockThroughput is the trace-compiled execution record (DESIGN.md
+// §13): per-shape stepped/block/superblock throughput of the branch-heavy
+// family (SimulatorThroughputBranchy/<tier>/<shape>) with the
+// superblock-over-block ratio per shape, plus the straight-line mix ratio
+// (SimulatorThroughputBlocks/super vs /block) as the no-regression control.
+// The ratios are gated in CI via -min-ratio, not by fields here, so the
+// record stays a measurement and the gate stays explicit in the Makefile.
+type SuperblockThroughput struct {
+	Shapes   map[string]SuperShape `json:"shapes"`
+	MixRatio float64               `json:"mix_super_over_block_x,omitempty"`
+}
+
+// SuperShape is one hardware shape's three-tier measurement.
+type SuperShape struct {
+	SteppedMsimcyclesS float64 `json:"stepped_msimcycles_s"`
+	BlockMsimcyclesS   float64 `json:"block_msimcycles_s"`
+	SuperMsimcyclesS   float64 `json:"super_msimcycles_s"`
+	SuperOverBlockX    float64 `json:"super_over_block_x"`
 }
 
 // BlockThroughput is the block-compiled execution record (DESIGN.md §12):
@@ -95,8 +120,18 @@ const throughputMetric = "Msimcycles/s"
 const sweepBench = "SweepWallclock"
 const obsBench = "SimulatorThroughputObs"
 const blockBench = "SimulatorThroughputBlocks"
+const branchyBench = "SimulatorThroughputBranchy"
 
 var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// multiFlag collects a repeatable string flag (-min-ratio A -min-ratio B).
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
 
 func main() {
 	out := flag.String("o", "BENCH_PR2.json", "output JSON path")
@@ -105,6 +140,9 @@ func main() {
 	maxLoss := flag.Float64("max-loss", 0, "fail (exit 1) if simulator throughput lost more than this fraction vs -before (e.g. 0.01 = 1%), 0 = off")
 	warmMax := flag.Float64("warm-max", 0, "fail (exit 1) if the warm-cache sweep exceeds this fraction of the cold serial one, 0 = off")
 	minBlock := flag.Float64("min-block", 0, "fail (exit 1) if block-mode mix throughput (SimulatorThroughputBlocks/block) is below this floor, 0 = off")
+	var minRatios, maxAllocs multiFlag
+	flag.Var(&minRatios, "min-ratio", "repeatable 'num:den=min' gate: fail (exit 1) if benchmark num's Msimcycles/s is below min times den's (e.g. 'SimulatorThroughputBranchy/super/pulp-1c:SimulatorThroughputBranchy/block/pulp-1c=1.5')")
+	flag.Var(&maxAllocs, "max-allocs", "repeatable 'bench=N' gate: fail (exit 1) if the benchmark's allocs/op exceeds N; a trailing '*' on the name matches every benchmark with that prefix")
 	flag.Parse()
 
 	rep := Report{Go: runtime.Version(), Benchmarks: map[string]Benchmark{}}
@@ -186,6 +224,9 @@ func main() {
 			rep.Blocks = bt
 		}
 	}
+	if sup := superSection(rep.Benchmarks); sup != nil {
+		rep.Super = sup
+	}
 	if sb, ok := rep.Benchmarks[sweepBench]; ok {
 		s := &Sweep{
 			ColdJ1S:         sb.Metrics["sweep-j1-s"],
@@ -240,6 +281,16 @@ func main() {
 				rep.Blocks.BlockMsimcyclesS, throughputMetric, *minBlock))
 		}
 	}
+	for _, g := range minRatios {
+		if err := checkRatio(rep.Benchmarks, g); err != nil {
+			fatal(err)
+		}
+	}
+	for _, g := range maxAllocs {
+		if err := checkAllocs(rep.Benchmarks, g); err != nil {
+			fatal(err)
+		}
+	}
 	if *warmMax > 0 {
 		if rep.Sweep == nil {
 			fatal(fmt.Errorf("-warm-max set but %s reported no sweep metrics", sweepBench))
@@ -249,6 +300,112 @@ func main() {
 				rep.Sweep.WarmFraction*100, *warmMax*100))
 		}
 	}
+}
+
+// superSection assembles the per-shape three-tier record from
+// SimulatorThroughputBranchy/<tier>/<shape> entries, nil when the stream
+// carried none (so non-superblock bench runs keep their old report shape).
+func superSection(benches map[string]Benchmark) *SuperblockThroughput {
+	shapes := map[string]SuperShape{}
+	for name, b := range benches {
+		rest, ok := strings.CutPrefix(name, branchyBench+"/")
+		if !ok {
+			continue
+		}
+		tier, shape, ok := strings.Cut(rest, "/")
+		if !ok {
+			continue
+		}
+		s := shapes[shape]
+		switch tier {
+		case "stepped":
+			s.SteppedMsimcyclesS = b.Metrics[throughputMetric]
+		case "block":
+			s.BlockMsimcyclesS = b.Metrics[throughputMetric]
+		case "super":
+			s.SuperMsimcyclesS = b.Metrics[throughputMetric]
+		}
+		shapes[shape] = s
+	}
+	if len(shapes) == 0 {
+		return nil
+	}
+	for shape, s := range shapes {
+		if s.BlockMsimcyclesS > 0 {
+			s.SuperOverBlockX = s.SuperMsimcyclesS / s.BlockMsimcyclesS
+			shapes[shape] = s
+		}
+	}
+	sup := &SuperblockThroughput{Shapes: shapes}
+	if bl, ok := benches[blockBench+"/block"]; ok {
+		if su, ok := benches[blockBench+"/super"]; ok && bl.Metrics[throughputMetric] > 0 {
+			sup.MixRatio = su.Metrics[throughputMetric] / bl.Metrics[throughputMetric]
+		}
+	}
+	return sup
+}
+
+// checkRatio enforces one -min-ratio gate "num:den=min" on the
+// Msimcycles/s metric of two parsed benchmarks.
+func checkRatio(benches map[string]Benchmark, gate string) error {
+	names, minStr, ok := strings.Cut(gate, "=")
+	if !ok {
+		return fmt.Errorf("-min-ratio %q: want 'num:den=min'", gate)
+	}
+	num, den, ok := strings.Cut(names, ":")
+	if !ok {
+		return fmt.Errorf("-min-ratio %q: want 'num:den=min'", gate)
+	}
+	min, err := strconv.ParseFloat(minStr, 64)
+	if err != nil {
+		return fmt.Errorf("-min-ratio %q: bad minimum: %v", gate, err)
+	}
+	nv, ok := benches[num].Metrics[throughputMetric]
+	if !ok {
+		return fmt.Errorf("-min-ratio: %s did not report %s", num, throughputMetric)
+	}
+	dv, ok := benches[den].Metrics[throughputMetric]
+	if !ok || dv <= 0 {
+		return fmt.Errorf("-min-ratio: %s did not report a positive %s", den, throughputMetric)
+	}
+	if r := nv / dv; r < min {
+		return fmt.Errorf("%s is %.2fx of %s, below the %.2fx floor (%.2f vs %.2f %s)",
+			num, r, den, min, nv, dv, throughputMetric)
+	}
+	return nil
+}
+
+// checkAllocs enforces one -max-allocs gate "bench=N"; a trailing '*'
+// on the name gates every benchmark sharing that prefix (and it is an
+// error for the prefix to match nothing — a renamed benchmark must not
+// silently drop its allocation gate).
+func checkAllocs(benches map[string]Benchmark, gate string) error {
+	name, maxStr, ok := strings.Cut(gate, "=")
+	if !ok {
+		return fmt.Errorf("-max-allocs %q: want 'bench=N'", gate)
+	}
+	max, err := strconv.ParseFloat(maxStr, 64)
+	if err != nil {
+		return fmt.Errorf("-max-allocs %q: bad maximum: %v", gate, err)
+	}
+	prefix, wild := strings.CutSuffix(name, "*")
+	matched := false
+	for bn, b := range benches {
+		if wild && !strings.HasPrefix(bn, prefix) || !wild && bn != name {
+			continue
+		}
+		matched = true
+		if b.AllocsPerOp == nil {
+			return fmt.Errorf("-max-allocs: %s reported no allocs/op (run with -benchmem)", bn)
+		}
+		if *b.AllocsPerOp > max {
+			return fmt.Errorf("%s allocates %.1f allocs/op, above the %.1f ceiling", bn, *b.AllocsPerOp, max)
+		}
+	}
+	if !matched {
+		return fmt.Errorf("-max-allocs: no benchmark matches %q", name)
+	}
+	return nil
 }
 
 // bestOf folds repeated runs of the same benchmark (go test -count=N)

@@ -325,6 +325,13 @@ func sweepStats(eng *sweep.Engine) {
 				cs.WriteFails, c.Dir())
 		}
 	}
+	// Compile-tier counters (DESIGN.md §12–13): how much of the campaign
+	// ran compiled. Block/superblock are table builds in the CPU model;
+	// memo hit/miss splits kernels.Compiled lookups into reused vs freshly
+	// built tables across the whole process.
+	bc, sc, mh, mm := kernels.CompileStats()
+	fmt.Fprintf(os.Stderr, "compile: %d block tables, %d superblocks, memo %d hit / %d miss\n",
+		bc, sc, mh, mm)
 }
 
 // chaosOpts carries the -chaos-* flags into runChaos.

@@ -12,6 +12,8 @@ import (
 	"hetsim/internal/fault"
 	"hetsim/internal/hw"
 	"hetsim/internal/isa"
+	"hetsim/internal/kernels"
+	"hetsim/internal/obs"
 )
 
 // randomProgram generates a terminating straight-line-heavy program that
@@ -139,14 +141,15 @@ func blockTestConfigs() []struct {
 	}
 }
 
-// runModes runs one program on one cluster config in the three execution
-// modes (block-compiled, stepped, reference) and returns the observable
-// state of each: cycles, error, aggregate stats, the first 8 KiB of TCDM,
-// and every core's registers and PC.
+// runMode runs one program on one cluster config in a single execution
+// mode (selected via cfg) and returns the observable state: cycles, error,
+// aggregate stats, 9-class cycle attribution, the first 8 KiB of TCDM, and
+// every core's registers and PC.
 type modeResult struct {
 	cycles uint64
 	errStr string
 	stats  cluster.Stats
+	attr   *obs.Attribution
 	mem    []byte
 	regs   [][32]uint32
 	pcs    []uint32
@@ -156,12 +159,14 @@ func runMode(t *testing.T, cfg cluster.Config, p *asm.Program, inj *fault.Inject
 	t.Helper()
 	cl := cluster.New(cfg)
 	cl.AttachFaults(inj)
+	at := obs.NewAttribution(cfg.Cores)
+	cl.AttachObs(&obs.Observer{Attr: at})
 	if err := cl.LoadProgram(p, true); err != nil {
 		t.Fatalf("load: %v", err)
 	}
 	cl.Start(p.Entry)
 	res, err := cl.Run(1_000_000)
-	mr := modeResult{cycles: res.Cycles, stats: cl.CollectStats(), mem: cl.TCDM.ReadBytes(hw.TCDMBase, 8192)}
+	mr := modeResult{cycles: res.Cycles, stats: cl.CollectStats(), attr: at, mem: cl.TCDM.ReadBytes(hw.TCDMBase, 8192)}
 	if err != nil {
 		mr.errStr = err.Error()
 	}
@@ -176,28 +181,32 @@ func runMode(t *testing.T, cfg cluster.Config, p *asm.Program, inj *fault.Inject
 
 func compareModes(t *testing.T, blk, stp, ref modeResult) {
 	t.Helper()
-	for _, leg := range []struct {
-		name string
-		got  modeResult
-	}{{"block", blk}, {"stepped", stp}} {
-		if leg.got.cycles != ref.cycles {
-			t.Errorf("%s: cycles %d, reference %d", leg.name, leg.got.cycles, ref.cycles)
-		}
-		if leg.got.errStr != ref.errStr {
-			t.Errorf("%s: error %q, reference %q", leg.name, leg.got.errStr, ref.errStr)
-		}
-		if !reflect.DeepEqual(leg.got.stats, ref.stats) {
-			t.Errorf("%s: stats diverged:\n%+v\nreference:\n%+v", leg.name, leg.got.stats, ref.stats)
-		}
-		if !bytes.Equal(leg.got.mem, ref.mem) {
-			t.Errorf("%s: TCDM contents diverged", leg.name)
-		}
-		if !reflect.DeepEqual(leg.got.regs, ref.regs) {
-			t.Errorf("%s: register files diverged", leg.name)
-		}
-		if !reflect.DeepEqual(leg.got.pcs, ref.pcs) {
-			t.Errorf("%s: final PCs diverged", leg.name)
-		}
+	compareLeg(t, "block", blk, ref)
+	compareLeg(t, "stepped", stp, ref)
+}
+
+func compareLeg(t *testing.T, name string, got, ref modeResult) {
+	t.Helper()
+	if got.cycles != ref.cycles {
+		t.Errorf("%s: cycles %d, reference %d", name, got.cycles, ref.cycles)
+	}
+	if got.errStr != ref.errStr {
+		t.Errorf("%s: error %q, reference %q", name, got.errStr, ref.errStr)
+	}
+	if !reflect.DeepEqual(got.stats, ref.stats) {
+		t.Errorf("%s: stats diverged:\n%+v\nreference:\n%+v", name, got.stats, ref.stats)
+	}
+	if !reflect.DeepEqual(got.attr, ref.attr) {
+		t.Errorf("%s: attribution diverged:\n%+v\nreference:\n%+v", name, got.attr, ref.attr)
+	}
+	if !bytes.Equal(got.mem, ref.mem) {
+		t.Errorf("%s: TCDM contents diverged", name)
+	}
+	if !reflect.DeepEqual(got.regs, ref.regs) {
+		t.Errorf("%s: register files diverged", name)
+	}
+	if !reflect.DeepEqual(got.pcs, ref.pcs) {
+		t.Errorf("%s: final PCs diverged", name)
 	}
 }
 
@@ -225,6 +234,44 @@ func TestRandomizedBlockDifferential(t *testing.T) {
 					t.Fatalf("seed %d diverged", seed)
 				}
 				compareModes(t, blk, stp, ref)
+				if t.Failed() {
+					t.Fatalf("seed %d diverged (program: %d insts)", seed, len(p.Text))
+				}
+			}
+		})
+	}
+}
+
+// TestRandomizedBranchyDifferential fuzzes the superblock tier on its home
+// turf: branch/loop-dominated programs (hot backward branches, taken-branch
+// chains, nested hardware loops, barrier-separated per-core phases that
+// open solo windows) run in four execution modes — superblock-chained (the
+// default), block fusion without chaining, stepped, and the naive
+// reference — and every observable including 9-class attribution must be
+// bit-identical.
+func TestRandomizedBranchyDifferential(t *testing.T) {
+	for _, tc := range blockTestConfigs() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 24; seed++ {
+				p := kernels.BranchyProgram(seed, kernels.BranchyOpts{
+					HWLoop:   tc.hwloop,
+					Barriers: tc.cfg.Cores > 1,
+				})
+
+				cfg := tc.cfg
+				cfg.ReferenceRun, cfg.NoBlocks, cfg.NoSuperblocks = false, false, false
+				sup := runMode(t, cfg, p, nil)
+				cfg.NoSuperblocks = true
+				blk := runMode(t, cfg, p, nil)
+				cfg.NoBlocks = true
+				stp := runMode(t, cfg, p, nil)
+				cfg.ReferenceRun = true
+				ref := runMode(t, cfg, p, nil)
+
+				compareLeg(t, "super", sup, ref)
+				compareLeg(t, "block", blk, ref)
+				compareLeg(t, "stepped", stp, ref)
 				if t.Failed() {
 					t.Fatalf("seed %d diverged (program: %d insts)", seed, len(p.Text))
 				}

@@ -57,6 +57,14 @@ type Config struct {
 	// across all three.
 	NoBlocks bool
 
+	// NoSuperblocks disables the superblock tier (DESIGN.md §13) while
+	// keeping basic-block fusion: multi-core fused runs end at every
+	// control transfer instead of chaining through hot edges, and solo
+	// windows still engage. The superblock differentials and benches use
+	// it as the rung between plain block mode and chained execution;
+	// results are bit-identical across all four modes.
+	NoSuperblocks bool
+
 	// Observe attaches per-core cycle attribution (internal/obs) to the
 	// cluster built by RunJob. Attribution is purely observational: cycle
 	// counts, stats and outputs are bit-identical either way (enforced by
@@ -123,10 +131,14 @@ type Cluster struct {
 	nextEvent  uint64
 
 	// soloCore is the core currently flagged cpu.Core.Solo: the only
-	// possible actor (every sibling halted or asleep, DMA idle), allowed
-	// to fuse basic-block runs across memory accesses and branches.
-	// Recomputed from post-rotation state at the end of every Step.
+	// possible actor until soloEnd (every sibling halted, asleep or
+	// mid-stall, DMA idle), allowed to fuse basic-block runs across
+	// memory accesses and branches up to the window end. Recomputed from
+	// post-rotation state at the end of every Step; soloEnd is
+	// cpu.NextEventNever for the unbounded case (no sibling can ever act
+	// without an external wake).
 	soloCore *cpu.Core
+	soloEnd  uint64
 
 	eoc      bool
 	eocValue uint32
@@ -288,6 +300,7 @@ func (cl *Cluster) LoadCompiled(p *asm.Program, direct bool, comp *cpu.Compiled)
 		} else {
 			c.SetBlocks(nil)
 		}
+		c.EnableSuper(useBlocks && !cl.Cfg.NoSuperblocks)
 	}
 	return nil
 }
@@ -303,9 +316,10 @@ func (cl *Cluster) Start(entry uint32) {
 	cl.Evt.Reset()
 	cl.DMA.Reset()
 	cl.soloCore = nil
+	cl.soloEnd = cpu.NextEventNever
 	for i, c := range cl.Cores {
 		c.Solo = false
-		c.Start(entry)
+		c.Start(entry) // also resets the core's solo-window horizon
 		// Stats survive Start (they accumulate across retry attempts), so
 		// the sleep baseline must be re-snapshotted, not zeroed.
 		cl.sleepMark[i] = sleepMark{lastWake: cl.now, start: cl.now, sleep0: c.Stats.Sleep}
@@ -356,35 +370,50 @@ func (cl *Cluster) Step() {
 			next = now + 1
 		}
 	}
-	// Solo detection for fused basic-block runs: exactly one core
-	// returned a finite hint and the DMA is idle. The counts can
-	// over-count sleepers (a core woken later in the same cycle was
-	// counted asleep but will act next cycle), so a candidate is
-	// re-verified against post-rotation state. The flag then holds until
-	// a transition: sleeping and halted cores cannot act on their own,
-	// and the solo core itself can only wake one or start the DMA via an
-	// env access, which ends any fused run first.
+	// Solo detection for fused basic-block runs (DESIGN.md §12–13): find
+	// the unique earliest actor among the cores from their post-rotation
+	// state. NextUp reads each core's *current* halt/sleep/stall state,
+	// so a core woken later in the same cycle reports its true
+	// wake-up-stall end rather than its stale step hint. With the DMA
+	// idle, the earliest sibling cycle bounds a window in which the
+	// candidate is the only possible agent: halted and sleeping cores
+	// cannot act on their own, stalled cores do nothing until their
+	// stall ends, and the solo core itself can only wake a sibling or
+	// start the DMA via an env access, which always ends a fused run
+	// first. Unbounded windows (every sibling needs an external wake)
+	// always engage — the PR 7 condition — while finite ones belong to
+	// the superblock tier (NoSuperblocks keeps the first-tier behavior)
+	// and only engage when wide enough to beat chained multi-core
+	// dispatch.
 	var solo *cpu.Core
-	if halted+sleeping == n-1 && !dmaBusy {
+	soloEnd := uint64(cpu.NextEventNever)
+	if !dmaBusy {
+		var best *cpu.Core
+		min1, min2 := uint64(cpu.NextEventNever), uint64(cpu.NextEventNever)
 		for _, c := range cl.Cores {
-			if c.Halted || c.Sleeping() {
-				continue
+			nu := c.NextUp(now + 1)
+			if nu < min1 {
+				min1, min2, best = nu, min1, c
+			} else if nu < min2 {
+				min2 = nu
 			}
-			if solo != nil {
-				solo = nil
-				break
-			}
-			solo = c
+		}
+		if best != nil && min1 < min2 &&
+			(min2 == cpu.NextEventNever ||
+				(!cl.Cfg.NoSuperblocks && min2-min1 >= soloWindowMin)) {
+			solo, soloEnd = best, min2
 		}
 	}
-	if solo != cl.soloCore {
-		if cl.soloCore != nil {
+	if solo != cl.soloCore || soloEnd != cl.soloEnd {
+		if cl.soloCore != nil && cl.soloCore != solo {
 			cl.soloCore.Solo = false
+			cl.soloCore.SetSoloWindow(cpu.NextEventNever)
 		}
 		if solo != nil {
 			solo.Solo = true
+			solo.SetSoloWindow(soloEnd)
 		}
-		cl.soloCore = solo
+		cl.soloCore, cl.soloEnd = solo, soloEnd
 	}
 	// Fold the termination conditions into the status byte while the
 	// counts are still in registers. Bits may combine; the run loop's
@@ -414,6 +443,13 @@ func (cl *Cluster) Step() {
 	}
 	cl.now = now + 1
 }
+
+// soloWindowMin is the minimum width of a *finite* solo window worth
+// engaging: narrower windows would churn the solo flag every cycle for a
+// handful of fused issues that chained multi-core dispatch covers just
+// as well. Purely a scheduling heuristic — simulated results are
+// bit-identical at any value.
+const soloWindowMin = 8
 
 // stepStatus bits, in no particular order (finish imposes priority).
 const (

@@ -51,13 +51,19 @@ func TestDifferentialCycleAccuracy(t *testing.T) {
 				job := loader.Job{Prog: prog, In: in, OutLen: k.OutLen(),
 					Iters: 1, Threads: rc.threads, Args: k.Args()}
 
-				// Three execution modes, compared pairwise against the naive
-				// reference loop: block-compiled (the default), stepped
-				// (blocks disabled), and the reference itself. Attribution is
-				// recorded in all three so the 9-class obs exactness
-				// invariant covers fused runs too.
+				// Four execution modes, compared pairwise against the naive
+				// reference loop: superblock-chained (the default), block
+				// fusion without chaining, stepped (blocks disabled), and
+				// the reference itself. Attribution is recorded in all of
+				// them so the 9-class obs exactness invariant covers fused
+				// and chained runs too.
 				cfg.Observe = true
 				cfg.ReferenceRun = false
+				sup, err := cluster.RunJob(cfg, rc.mode, job, 2_000_000_000)
+				if err != nil {
+					t.Fatalf("superblock run: %v", err)
+				}
+				cfg.NoSuperblocks = true
 				blk, err := cluster.RunJob(cfg, rc.mode, job, 2_000_000_000)
 				if err != nil {
 					t.Fatalf("block run: %v", err)
@@ -76,7 +82,7 @@ func TestDifferentialCycleAccuracy(t *testing.T) {
 				for _, leg := range []struct {
 					name string
 					res  *cluster.JobResult
-				}{{"block", blk}, {"stepped", stp}} {
+				}{{"super", sup}, {"block", blk}, {"stepped", stp}} {
 					opt := leg.res
 					if opt.Cycles != ref.Cycles {
 						t.Errorf("%s: cycle count diverged: optimized %d, reference %d",

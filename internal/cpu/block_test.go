@@ -76,10 +76,10 @@ func TestCompileBlocksNumBlocks(t *testing.T) {
 }
 
 // TestCompileBlocksSpanClamp proves every compiled run's worst-case cycle
-// window fits the 64-bit charge-plan masks: a long run of multi-cycle ops
-// (DIV is 32 cycles on PULPFull) must be cut so the per-op weights sum to
-// at most maxRunSpan, while a plain ALU run of the same length survives up
-// to the span bound.
+// window fits the charge plan's planWords bitmask words: a long run of
+// multi-cycle ops (DIV is 32 cycles on PULPFull) must be cut so the
+// per-op weights sum to at most maxRunSpan, while a plain ALU run of the
+// same length survives up to the span bound.
 func TestCompileBlocksSpanClamp(t *testing.T) {
 	tgt := isa.PULPFull
 	var text []isa.Inst
@@ -88,14 +88,14 @@ func TestCompileBlocksSpanClamp(t *testing.T) {
 	}
 	text = append(text, isa.Inst{Op: isa.TRAP})
 	bt := compileText(t, tgt, text)
-	if got := bt.Multi[0]; got < 1 || got > 2 {
-		// 1 issue + 31 extra + 1 (loadUse 0 on PULPFull) per DIV: one fits
-		// in 62 cycles, two briefly fit, three cannot.
-		t.Errorf("DIV run length = %d, want 1..2 (span must fit %d)", got, maxRunSpan)
+	// Each DIV weighs 1 issue + 31 extra (loadUse 0 on PULPFull): exactly
+	// maxRunSpan/32 of them fit the plan window.
+	if want := uint16(maxRunSpan / 32); bt.Multi[0] != want {
+		t.Errorf("DIV run length = %d, want %d (span must fit %d)", bt.Multi[0], want, maxRunSpan)
 	}
 
-	long := make([]isa.Inst, 0, 200)
-	for i := 0; i < 200; i++ {
+	long := make([]isa.Inst, 0, 2*maxRunSpan)
+	for i := 0; i < 2*maxRunSpan; i++ {
 		long = append(long, alu(2))
 	}
 	long = append(long, isa.Inst{Op: isa.TRAP})
@@ -105,7 +105,8 @@ func TestCompileBlocksSpanClamp(t *testing.T) {
 	}
 
 	// Verify the invariant directly over every compiled run: worst-case
-	// span <= maxRunSpan (the executor relies on this, not on re-checking).
+	// span <= maxRunSpan (the executor relies on this, not on re-checking),
+	// and every chainable Span entry records exactly that worst case.
 	code := Predecode(long, tgt)
 	bt = CompileBlocks(code, tgt)
 	for i := range code {
@@ -116,6 +117,45 @@ func TestCompileBlocksSpanClamp(t *testing.T) {
 		if span > maxRunSpan {
 			t.Fatalf("run at %d spans %d cycles > %d", i, span, maxRunSpan)
 		}
+		if s := bt.Span[i]; s != spanNoChain && int(s) != span {
+			t.Fatalf("Span[%d] = %d, want %d", i, s, span)
+		}
+	}
+}
+
+// TestCompileBlocksSpanTable pins the chain-admission side-table rules:
+// mem-led runs and fuse-break/illegal entries are spanNoChain, ALU-led
+// runs (including lone branches) record their worst-case span.
+func TestCompileBlocksSpanTable(t *testing.T) {
+	tgt := isa.PULPFull
+	text := []isa.Inst{
+		alu(2), alu(3), // ALU run: chainable
+		load(4),              // mem-led: never a chain target
+		{Op: isa.BF, Imm: 1}, // lone branch: chainable
+		alu(5),
+		{Op: isa.TRAP}, // fuse break: never a chain target
+	}
+	bt := compileText(t, tgt, text)
+	if bt.Span[0] == spanNoChain || bt.Span[1] == spanNoChain {
+		t.Errorf("ALU-led entries must be chainable: Span %v", bt.Span)
+	}
+	if bt.Span[2] != spanNoChain {
+		t.Errorf("mem-led entry must be spanNoChain, got %d", bt.Span[2])
+	}
+	if bt.Span[3] == spanNoChain {
+		t.Errorf("branch-led entry must be chainable: Span %v", bt.Span)
+	}
+	if bt.Span[5] != spanNoChain {
+		t.Errorf("fuse-break entry must be spanNoChain, got %d", bt.Span[5])
+	}
+	// The branch entry's span must cover its worst-case penalty so a
+	// chain admission can never overflow the plan.
+	braMax := tgt.Time.Jump
+	if b := tgt.Time.BranchTaken; b > braMax {
+		braMax = b
+	}
+	if int(bt.Span[3]) < 1+braMax {
+		t.Errorf("branch Span = %d, want >= %d (issue + max penalty)", bt.Span[3], 1+braMax)
 	}
 }
 

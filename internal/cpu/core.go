@@ -133,16 +133,29 @@ type Core struct {
 	// executing one instruction. The cluster only installs it when faults
 	// and tracing are detached and the run loop is event-driven.
 	blocks *BlockTable
+	// edges, when non-nil, enables the superblock tier (block.go): one
+	// saturating counter per instruction, indexed by conditional-branch
+	// position, gating when a taken or fall-through edge is hot enough to
+	// chain through. Per-core (not shared through the memo): the counters
+	// are mutable warm-up state, not compiled output.
+	edges []uint8
 	// horizon bounds fused execution (SetRunHorizon): no solo-fused
-	// instruction issues at or past this cycle.
+	// instruction issues at or past this cycle. It is the run-loop budget
+	// bound — charges for a window the budget cuts off must also be cut.
 	horizon uint64
+	// winHorizon bounds solo fused execution inside a solo *window*
+	// (SetSoloWindow): no instruction issues at or past this cycle because
+	// a sibling core resumes there. Unlike horizon it only limits issue —
+	// the cycles past it are still simulated, so a multi-cycle tail that
+	// spills across the window end is charged in full.
+	winHorizon uint64
 	// Solo, maintained by the cluster at the end of every cycle, reports
-	// that this core is the only possible actor (all sibling cores halted
-	// or asleep, DMA idle) — the condition under which a fused run may
-	// cross memory accesses, taken branches and loop wraparounds without
-	// bound. The condition is stable until this core itself performs an
-	// env access (waking a sibling or starting the DMA), which always
-	// ends a fused run first.
+	// that this core is the only possible actor until winHorizon (all
+	// sibling cores halted, asleep or mid-stall, DMA idle) — the condition
+	// under which a fused run may cross memory accesses, taken branches
+	// and loop wraparounds freely. The condition is stable until the
+	// window ends or this core itself performs an env access (waking a
+	// sibling or starting the DMA), which always ends a fused run first.
 	Solo bool
 
 	// IC, when set by the cluster, is the shared instruction cache timing
@@ -172,11 +185,37 @@ type Core struct {
 	// three are Issue-class stalls). planCursor is the next uncharged
 	// cycle: Step's stall gate and CreditIdle consume the window in order,
 	// one path or the other charging every simulated cycle exactly once.
+	// planWords words give chained superblock runs a 256-cycle window
+	// (maxRunSpan spills past the first word); the arrays are embedded in
+	// the Core so a fused dispatch never allocates. superOn (EnableSuper)
+	// lets runFusedMulti chain segments across control transfers.
+	superOn    bool
 	planStart  uint64
 	planCursor uint64
-	planIssue  uint64
-	planLU     uint64
-	planEM     uint64
+	planIssue  [planWords]uint64
+	planLU     [planWords]uint64
+	planEM     [planWords]uint64
+
+	// Fetch points of the current plan: the offsets (relative to
+	// planStart) at which chained execution crosses into a new I$ fetch
+	// line, with the pc whose line is due. The plan gate consults the
+	// shared I$ live at exactly those cycles, in the core's own rotation
+	// slot — a hit is free and mutates no I$ state, a miss inserts its
+	// refill window into the plan as ICache stall cycles (planICStall
+	// counts the remaining ones, the cursor frozen meanwhile) and extends
+	// stallUntil — so a chained run's I$ traffic interleaves with the
+	// other cores bit-identically to stepped execution. planFetchI is
+	// the next pending point and planFetchAt its absolute cycle (the
+	// refill-retry cycle mid-refill, NextEventNever when none remain);
+	// the step hint (planHint) never reaches past it, so the cluster can
+	// neither fast-forward across a fetch point nor grant a sibling a
+	// solo window covering one.
+	planFetch   [planFetchCap]uint16
+	planFetchPC [planFetchCap]uint32
+	planFetchN  uint8
+	planFetchI  uint8
+	planFetchAt uint64
+	planICStall uint64
 
 	Regs [isa.NumRegs]uint32
 	Acc  int64 // 64-bit MAC accumulator (M-profile)
@@ -219,6 +258,7 @@ func New(id int, target isa.Target, env Env) *Core {
 		timeJump:   target.Time.Jump,
 		timeBranch: target.Time.BranchTaken,
 		horizon:    NextEventNever,
+		winHorizon: NextEventNever,
 	}
 }
 
@@ -252,6 +292,11 @@ func (c *Core) Start(entry uint32) {
 	c.lastLoadArmed = false
 	c.stallAccounted = false
 	c.planOn = false
+	c.winHorizon = NextEventNever
+	// c.edges is NOT reset: the hot-edge counters are compile-tier state
+	// of the loaded image (like the memoized BlockTable), not architectural
+	// state — a restart of the same program keeps its hot traces. They are
+	// rebuilt by EnableSuper when a different image is loaded.
 	c.Halted = false
 	c.TrapCode = 0
 	c.Err = nil
@@ -368,13 +413,56 @@ func (c *Core) Step(now uint64) uint64 {
 	}
 	if c.stallUntil > now {
 		if c.planOn {
+			if c.planICStall > 0 {
+				// Mid-refill of a fetch-point miss: inserted ICache stall
+				// cycles, the plan cursor frozen until the retry (which
+				// planFetchAt points at).
+				c.planICStall--
+				c.Stats.Stall++
+				if o := c.Obs; o != nil {
+					o.Tick(obs.ICache)
+				}
+				return c.planFetchAt
+			}
+			if now == c.planFetchAt {
+				// Chained execution crosses into a new fetch line this
+				// cycle: consult the shared I$ live, exactly as the
+				// stepped fetch path would have at this cycle (a retry
+				// after a miss re-fetches here too and scores the hit,
+				// matching the stepped resume).
+				i := c.planFetchI
+				fpc := c.planFetchPC[i]
+				if !c.IC.Probe(fpc, now) {
+					if done := c.IC.Fetch(fpc, now); done > now {
+						c.planICStall = done - now - 1
+						c.planFetchAt = done
+						c.stallUntil += done - now
+						c.Stats.Stall++
+						if o := c.Obs; o != nil {
+							o.Tick(obs.ICache)
+							if o.TL != nil {
+								o.TL.Span(o.Tid, "I$ refill", "stall", now, done, nil)
+							}
+						}
+						return done
+					}
+				}
+				c.fetchedLine = fpc &^ c.FetchLineMask
+				c.planFetchI = i + 1
+				if i+1 < c.planFetchN {
+					c.planFetchAt = now + uint64(c.planFetch[i+1]-c.planFetch[i])
+				} else {
+					c.planFetchAt = NextEventNever
+				}
+			}
 			// Charge this cycle from the fused run's deferred plan: the
 			// bit at the cursor offset classifies it as an instruction
 			// issue or a stall of a specific class, exactly as stepped
 			// execution would have charged it at this cycle.
-			bit := uint64(1) << (c.planCursor - c.planStart)
+			off := c.planCursor - c.planStart
+			w, bit := off>>6, uint64(1)<<(off&63)
 			c.planCursor++
-			if c.planIssue&bit != 0 {
+			if c.planIssue[w]&bit != 0 {
 				c.Stats.Active++
 				c.Stats.Retired++
 				if o := c.Obs; o != nil {
@@ -384,16 +472,16 @@ func (c *Core) Step(now uint64) uint64 {
 				c.Stats.Stall++
 				if o := c.Obs; o != nil {
 					switch {
-					case c.planLU&bit != 0:
+					case c.planLU[w]&bit != 0:
 						o.Tick(obs.LoadUse)
-					case c.planEM&bit != 0:
+					case c.planEM[w]&bit != 0:
 						o.Tick(obs.ExtMem)
 					default:
 						o.Tick(obs.Issue)
 					}
 				}
 			}
-			return c.stallUntil
+			return c.planHint()
 		}
 		if c.stallAccounted {
 			// A solo fused run pre-charged this whole window (Stats and
@@ -422,21 +510,25 @@ func (c *Core) Step(now uint64) uint64 {
 	}
 
 	// Fetch: the line prefetch buffer short-circuits the shared cache
-	// while execution stays within the current line.
+	// while execution stays within the current line. Probe is the
+	// inlined ready-hit fast path; everything else (miss, in-flight
+	// refill, parity) goes through the full Fetch.
 	if ic := c.IC; ic != nil {
 		line := c.PC &^ c.FetchLineMask
 		if c.FetchLineMask == 0 || line != c.fetchedLine {
-			if done := ic.Fetch(c.PC, now); done > now {
-				c.stallUntil = done
-				c.stallClass = obs.ICache
-				c.Stats.Stall++
-				if o := c.Obs; o != nil {
-					o.Tick(obs.ICache)
-					if o.TL != nil {
-						o.TL.Span(o.Tid, "I$ refill", "stall", now, done, nil)
+			if !ic.Probe(c.PC, now) {
+				if done := ic.Fetch(c.PC, now); done > now {
+					c.stallUntil = done
+					c.stallClass = obs.ICache
+					c.Stats.Stall++
+					if o := c.Obs; o != nil {
+						o.Tick(obs.ICache)
+						if o.TL != nil {
+							o.TL.Span(o.Tid, "I$ refill", "stall", now, done, nil)
+						}
 					}
+					return done
 				}
-				return done
 			}
 			c.fetchedLine = line
 		}
@@ -900,21 +992,39 @@ func (c *Core) CreditIdle(cycles uint64) {
 		}
 	default:
 		if c.planOn {
+			if c.planICStall > 0 {
+				// Refill cycles of a fetch-point miss drain first, the
+				// cursor frozen: the fast-forward bound never crosses the
+				// retry cycle (the step hint caps there), so the window
+				// is refill stall up to it.
+				k := c.planICStall
+				if k > cycles {
+					k = cycles
+				}
+				c.planICStall -= k
+				c.Stats.Stall += k
+				if o := c.Obs; o != nil {
+					o.Credit(obs.ICache, k)
+				}
+				cycles -= k
+				if cycles == 0 {
+					return
+				}
+			}
 			// Bulk-consume the fused run's deferred plan: the skipped
 			// window is the next `cycles` offsets at the cursor, so the
-			// class split is a popcount per bitmask. The fast-forward
-			// bound (the earliest event of any core) never crosses
-			// stallUntil, so the mask stays within the 64-bit plan.
+			// class split is a ranged popcount per bitmask. The
+			// fast-forward bound (the earliest event of any core) never
+			// crosses stallUntil, so the range stays within the plan.
 			off := c.planCursor - c.planStart
-			mask := (uint64(1)<<cycles - 1) << off
 			c.planCursor += cycles
-			iss := uint64(bits.OnesCount64(c.planIssue & mask))
+			iss := planRange(&c.planIssue, off, cycles)
 			c.Stats.Active += iss
 			c.Stats.Retired += iss
 			c.Stats.Stall += cycles - iss
 			if o := c.Obs; o != nil {
-				lu := uint64(bits.OnesCount64(c.planLU & mask))
-				em := uint64(bits.OnesCount64(c.planEM & mask))
+				lu := planRange(&c.planLU, off, cycles)
+				em := planRange(&c.planEM, off, cycles)
 				// Issue-class charge = issues + stalls in no other class.
 				o.Credit(obs.Issue, cycles-lu-em)
 				if lu > 0 {
@@ -937,6 +1047,63 @@ func (c *Core) CreditIdle(cycles uint64) {
 			o.Credit(c.stallClass, cycles)
 		}
 	}
+}
+
+// planHint returns the step hint of a core mid-plan: the end of the plan
+// window, capped at the next fetch point (planFetchAt — the cycle at
+// which the core touches the shared I$ and must be stepped live, never
+// fast-forwarded past; mid-refill it holds the retry cycle instead, and
+// NextEventNever when no points remain).
+func (c *Core) planHint() uint64 {
+	if c.planFetchAt < c.stallUntil {
+		return c.planFetchAt
+	}
+	return c.stallUntil
+}
+
+// planRange counts the set bits of a charge-plan bitmask over the cycle
+// offsets [off, off+n). The loop runs at most planWords iterations and
+// usually one: idle windows rarely straddle a 64-offset word boundary.
+func planRange(p *[planWords]uint64, off, n uint64) uint64 {
+	var count uint64
+	for w := off >> 6; n > 0 && w < planWords; w++ {
+		lo := off & 63
+		take := 64 - lo
+		if take > n {
+			take = n
+		}
+		mask := ^uint64(0)
+		if take < 64 {
+			mask = (uint64(1)<<take - 1) << lo
+		}
+		count += uint64(bits.OnesCount64(p[w] & mask))
+		off += take
+		n -= take
+	}
+	return count
+}
+
+// NextUp returns the earliest future cycle, at or after `from`, at which
+// this core can act on its own: NextEventNever for a halted or sleeping
+// core (it needs an external wake), the end of the current stall window
+// for a stalled one, `from` otherwise. Unlike the Step return hint it
+// reads the core's *current* state, so a core woken later in the same
+// cycle reports its true wake-up-stall end rather than a stale never —
+// the cluster's solo-window scan relies on that to bound how long a lone
+// runnable core may fuse ahead. A core mid-plan reports its next fetch
+// point rather than the window end: it touches the shared I$ at that
+// cycle, so a sibling's solo window must never cover it.
+func (c *Core) NextUp(from uint64) uint64 {
+	if c.Halted || c.sleep != Awake {
+		return NextEventNever
+	}
+	if c.stallUntil > from {
+		if c.planOn {
+			return c.planHint()
+		}
+		return c.stallUntil
+	}
+	return from
 }
 
 // lpInactive is the lpEnd sentinel of an inactive hardware loop: PCs are

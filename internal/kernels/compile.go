@@ -3,6 +3,7 @@ package kernels
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hetsim/internal/asm"
 	"hetsim/internal/cpu"
@@ -26,15 +27,39 @@ type compileEntry struct {
 	comp *cpu.Compiled
 }
 
+// compiledHits / compiledMisses count memo outcomes: a miss claims a fresh
+// cache slot (and pays a compilation), a hit reuses one another caller
+// already claimed. Surfaced through CompileStats for hetsimd /v1/stats and
+// hetexp's final stats line.
+var (
+	compiledHits   atomic.Uint64
+	compiledMisses atomic.Uint64
+)
+
+// CompileStats reports the process-wide compile-tier counters: basic-block
+// table compilations, superblock formations (hot-edge threshold crossings
+// inside the executors), and the Compiled memo hit/miss split.
+func CompileStats() (blockCompiles, superCompiles, memoHits, memoMisses uint64) {
+	return cpu.BlockCompiles.Load(), cpu.SuperCompiles.Load(),
+		compiledHits.Load(), compiledMisses.Load()
+}
+
 // Compiled returns the shared predecoded text and block run table of a
-// program for a target, compiling on first use.
+// program for a target, compiling on first use. The memo key carries
+// cpu.CompileVersion so cached tables from an older builder layout can
+// never alias a newer one across the format change.
 func Compiled(p *asm.Program, t isa.Target) (*cpu.Compiled, error) {
 	h, err := HashProgram(p)
 	if err != nil {
 		return nil, err
 	}
-	key := fmt.Sprintf("%s|%s%+v%+v", h, t.Name, t.Feat, t.Time)
-	e, _ := compileCache.LoadOrStore(key, &compileEntry{})
+	key := fmt.Sprintf("v%d|%s|%s%+v%+v", cpu.CompileVersion, h, t.Name, t.Feat, t.Time)
+	e, loaded := compileCache.LoadOrStore(key, &compileEntry{})
+	if loaded {
+		compiledHits.Add(1)
+	} else {
+		compiledMisses.Add(1)
+	}
 	entry := e.(*compileEntry)
 	entry.once.Do(func() { entry.comp = cpu.Compile(p.Text, t) })
 	return entry.comp, nil

@@ -297,6 +297,31 @@ func NewICache(size, lineSize uint32) *ICache {
 	return c
 }
 
+// Probe is the inlinable hit-only fast path of Fetch: it reports whether
+// pc's line is present, ready and parity-clean at cycle now, scoring the
+// hit exactly as Fetch would. A false return leaves every counter and
+// line untouched, so `Probe(pc,t) || Fetch(pc,t)` consults the cache
+// exactly once — the caller falls back to Fetch, which handles misses,
+// in-flight refills, odd geometries and parity rolls. It relies on the
+// NewICache invariant of exactly two ways (keeping it under the inliner
+// budget); non-power-of-two set counts take the slow path.
+func (c *ICache) Probe(pc uint32, now uint64) bool {
+	if c.Inject != nil || !c.setPow2 {
+		return false
+	}
+	line := pc >> c.lineShift
+	base := int(line&c.setMask) * 2
+	if c.tags[base] == line && c.ready[base] <= now {
+		c.Hits++
+		return true
+	}
+	if c.tags[base+1] == line && c.ready[base+1] <= now {
+		c.Hits++
+		return true
+	}
+	return false
+}
+
 // Fetch checks whether the instruction at pc is available at cycle now.
 // It returns the cycle at which the fetch can be retried or completed; if
 // that is > now, the core must stall until then and fetch again.

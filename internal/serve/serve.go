@@ -38,6 +38,7 @@ import (
 
 	"context"
 
+	"hetsim/internal/kernels"
 	"hetsim/internal/paper"
 	"hetsim/internal/sweep"
 )
@@ -115,6 +116,18 @@ type Stats struct {
 	PutFailures   uint64 `json:"put_failures"` // puts that failed even after retry
 	Failed        uint64 `json:"failed"`
 	Expired       uint64 `json:"expired"` // waits abandoned on deadline/cancel
+
+	// Compile-tier counters (process-wide, DESIGN.md §12–13): how much
+	// of the served simulation work ran compiled. BlockCompiles and
+	// SuperblockCompiles count basic-block table builds and superblock
+	// formations in the CPU model; the memo counters split kernels.Compiled
+	// lookups into reused vs freshly built tables, so a cache-busting
+	// client mix shows up as a miss surge here before it shows up as
+	// latency.
+	BlockCompiles      uint64 `json:"block_compiles"`
+	SuperblockCompiles uint64 `json:"superblock_compiles"`
+	CompileMemoHits    uint64 `json:"compile_memo_hits"`
+	CompileMemoMisses  uint64 `json:"compile_memo_misses"`
 }
 
 // Server is the simulation service. Create with New, mount Handler on an
@@ -193,6 +206,7 @@ func (s *Server) State() State { return State(s.state.Load()) }
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
 	fs := s.flight.Stats()
+	bc, sc, mh, mm := kernels.CompileStats()
 	return Stats{
 		State:         s.State().String(),
 		Requests:      s.requests.Load(),
@@ -210,6 +224,11 @@ func (s *Server) Stats() Stats {
 		PutFailures:   s.putFailures.Load(),
 		Failed:        s.failed.Load(),
 		Expired:       s.expired.Load(),
+
+		BlockCompiles:      bc,
+		SuperblockCompiles: sc,
+		CompileMemoHits:    mh,
+		CompileMemoMisses:  mm,
 	}
 }
 
