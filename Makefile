@@ -40,9 +40,9 @@ SUPER_4C_MIN ?= 1.15
 SUPER_M4_MIN ?= 0.85
 SUPER_MIX_MIN ?= 0.98
 
-.PHONY: ci vet build test race race-sweep differential block-differential fault-drill chaos-drill serve-drill bench bench-smoke sweep-bench obs-bench block-bench superblock-bench
+.PHONY: ci vet build test race race-sweep differential block-differential fault-drill chaos-drill serve-drill crash-drill bench bench-smoke sweep-bench obs-bench block-bench superblock-bench
 
-ci: vet build race race-sweep differential block-differential fault-drill chaos-drill serve-drill bench-smoke block-bench superblock-bench
+ci: vet build race race-sweep differential block-differential fault-drill chaos-drill serve-drill crash-drill bench-smoke block-bench superblock-bench
 
 vet:
 	$(GO) vet ./...
@@ -98,6 +98,20 @@ serve-drill:
 		./internal/serve ./internal/sweep
 	$(GO) test -run FuzzParseJobRequest -fuzz FuzzParseJobRequest -fuzztime 5s ./internal/paper
 	@echo "serve drill passed"
+
+# Kill-9 crash drill (DESIGN.md §14): builds the real hetexp binary,
+# SIGKILLs it at CRASH_POINTS seeded points mid-sweep, resumes each
+# campaign from its journal, and asserts byte-identical output, exact
+# only-the-missing-jobs resume accounting, and a scrub that quarantines
+# every leftover without finding corruption — under the race detector.
+# Also fuzzes the journal's torn-tail recovery parser briefly.
+CRASH_POINTS ?= 24
+CRASH_SEED ?= 1
+crash-drill:
+	HETSIM_CRASH_POINTS=$(CRASH_POINTS) HETSIM_CRASH_SEED=$(CRASH_SEED) \
+		$(GO) test -race -count=1 -timeout 600s -run TestCrashDrill ./internal/chaos
+	$(GO) test -run FuzzJournalParse -fuzz FuzzJournalParse -fuzztime 5s ./internal/sweep
+	@echo "crash drill passed ($(CRASH_POINTS) kill points)"
 
 # Differential cycle-accuracy: the event-driven run loop must agree with
 # the naive reference loop on cycles, outputs and stats for every kernel

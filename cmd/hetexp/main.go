@@ -4,7 +4,19 @@
 //
 //	hetexp [-exp table1|fig3|fig4|fig5a|fig5b|all] [-small] [-kernel name]
 //	       [-j N] [-cache-dir DIR] [-no-cache] [-breakdown]
-//	       [-remote URL] [-tenant NAME]
+//	       [-remote URL] [-tenant NAME] [-hedge D]
+//	       [-resume FILE] [-scrub] [-stats-json FILE]
+//
+// -resume makes the campaign crash-safe: every completed job is appended
+// (fsync'd, checksummed) to FILE before it counts as done, and a rerun
+// with the same -resume replays the journal and simulates only the
+// missing jobs — the rendered output is byte-identical to an
+// uninterrupted run, even after SIGKILL (the kill-9 crash drill in
+// internal/chaos proves it). -scrub quarantines what a killed writer can
+// leave in the cache (leftover temp files, torn entries) and exits.
+// -hedge, with -remote, launches one backup request per job still
+// unanswered after the given duration; the server's single-flight dedup
+// keeps a hedge to one extra round trip, never a second simulation.
 //
 // -remote routes the measurement sweep through a hetsimd server instead
 // of simulating locally: each (kernel, configuration) point becomes a
@@ -79,6 +91,10 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "per-simulation time budget (0 = unbounded)")
 	remote := flag.String("remote", "", "route the measurement sweep through a hetsimd server at this base URL")
 	tenant := flag.String("tenant", "", "tenant name sent with -remote requests (rate limiting/quota identity)")
+	resume := flag.String("resume", "", "journal completed jobs to this file and replay it on restart (crash-safe resume)")
+	scrub := flag.Bool("scrub", false, "scrub the run cache (quarantine corrupt entries and leftover temp files), report, and exit")
+	hedge := flag.Duration("hedge", 0, "with -remote: launch one backup request per job still unanswered after this long (0 disables)")
+	statsJSON := flag.String("stats-json", "", "write machine-readable run stats (sweep/cache/journal/hedges) to this file on success")
 	chaosOn := flag.Bool("chaos", false, "run the memory-fault chaos campaign instead of the paper figures")
 	chaosKernels := flag.String("chaos-kernels", "matmul", "comma-separated kernels for the chaos campaign")
 	chaosClasses := flag.String("chaos-classes", "", "comma-separated fault classes (default: tcdm,l2,parity,dma)")
@@ -110,9 +126,39 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *scrub {
+		if cache == nil {
+			fatal(fmt.Errorf("-scrub needs a cache: set -cache-dir, drop -no-cache"))
+		}
+		rep, err := cache.Scrub()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scrub %s: %s\n", cache.Dir(), rep)
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	var journal *sweep.Journal
+	if *resume != "" {
+		if *remote != "" {
+			fatal(fmt.Errorf("-resume journals the local sweep engine; it cannot be combined with -remote"))
+		}
+		journal, err = sweep.OpenJournal(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer journal.Close()
+		if st := journal.Stats(); st.Replayed > 0 || st.TornBytes > 0 {
+			fmt.Fprintf(os.Stderr, "resume: %d completed job(s) replayed from %s (%d torn byte(s) discarded)\n",
+				st.Replayed, *resume, st.TornBytes)
+		}
+	}
 	eng := sweep.New(sweep.Config{
 		Workers:    *workers,
 		Cache:      cache,
+		Journal:    journal,
 		Context:    ctx,
 		JobTimeout: *jobTimeout,
 		Progress: func(ev sweep.Event) {
@@ -141,12 +187,16 @@ func main() {
 		if cerr != nil {
 			fatal(cerr)
 		}
+		if err := writeStatsJSON(*statsJSON, eng, 0); err != nil {
+			fatal(err)
+		}
 		if err := stopProf(); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
+	var hedges uint64
 	var m *paper.Measurements
 	if *remote != "" {
 		switch *exp {
@@ -156,7 +206,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "measuring kernel suite via %s (each kernel on 6 configurations, %d concurrent requests)...\n",
 			*remote, *workers)
-		client := &serve.Client{BaseURL: *remote, Tenant: *tenant}
+		client := &serve.Client{BaseURL: *remote, Tenant: *tenant, HedgeAfter: *hedge}
 		runner := client.RunSpec
 		if *jobTimeout > 0 {
 			// Deadline propagation: the per-simulation budget becomes the
@@ -170,6 +220,10 @@ func main() {
 		m, err = paper.MeasureRemote(ctx, runner, suite, *small, *breakdown, *workers)
 		if err != nil {
 			fatal(err)
+		}
+		if hedges = client.Hedges(); hedges > 0 {
+			fmt.Fprintf(os.Stderr, "hedge: %d backup request(s) launched after %v (server-side dedup kept each to one simulation)\n",
+				hedges, *hedge)
 		}
 	} else {
 		fmt.Fprintf(os.Stderr, "measuring kernel suite (each kernel on 6 configurations, %d workers)...\n", eng.Workers())
@@ -300,9 +354,43 @@ func main() {
 	}
 
 	sweepStats(eng)
+	if err := writeStatsJSON(*statsJSON, eng, hedges); err != nil {
+		fatal(err)
+	}
 	if err := stopProf(); err != nil {
 		fatal(err)
 	}
+}
+
+// statsOut is the -stats-json schema: the machine-readable mirror of the
+// stderr summary, consumed by the crash drill (internal/chaos) to assert
+// exact resume accounting.
+type statsOut struct {
+	Sweep   sweep.Stats         `json:"sweep"`
+	Cache   *sweep.CacheStats   `json:"cache,omitempty"`
+	Journal *sweep.JournalStats `json:"journal,omitempty"`
+	Hedges  uint64              `json:"hedges,omitempty"`
+}
+
+// writeStatsJSON dumps the run's counters to path (no-op when empty).
+func writeStatsJSON(path string, eng *sweep.Engine, hedges uint64) error {
+	if path == "" {
+		return nil
+	}
+	out := statsOut{Sweep: eng.Stats(), Hedges: hedges}
+	if c := eng.Cache(); c != nil {
+		cs := c.Stats()
+		out.Cache = &cs
+	}
+	if j := eng.Journal(); j != nil {
+		js := j.Stats()
+		out.Journal = &js
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // sweepStats prints the engine's cumulative counters; it runs on success
@@ -312,6 +400,17 @@ func sweepStats(eng *sweep.Engine) {
 	st := eng.Stats()
 	fmt.Fprintf(os.Stderr, "sweep: %d jobs, %d simulated, %d served from cache\n",
 		st.Jobs, st.Executed, st.CacheHits)
+	if j := eng.Journal(); j != nil {
+		js := j.Stats()
+		fmt.Fprintf(os.Stderr, "journal: %d job(s) replayed on resume, %d appended this run (%s)\n",
+			st.JournalHits, js.Appended, j.Path())
+		if js.AppendFails > 0 {
+			// A journal that cannot persist silently downgrades -resume to
+			// re-simulation; say so while the campaign is still attended.
+			fmt.Fprintf(os.Stderr, "journal: warning: %d append(s) failed; a crash would re-simulate those jobs\n",
+				js.AppendFails)
+		}
+	}
 	if c := eng.Cache(); c != nil {
 		cs := c.Stats()
 		if cs.Corrupt > 0 {

@@ -6,11 +6,15 @@
 //
 // Usage:
 //
-//	hetsimd [-addr :9966] [-cache-dir DIR] [-no-cache] [-j N] [-queue N]
-//	        [-job-timeout D] [-retries N] [-rate R] [-burst N] [-tenant-quota N]
-//	        [-drain-timeout D] [-seed N]
+//	hetsimd [-addr :9966] [-cache-dir DIR] [-no-cache] [-scrub=false] [-j N]
+//	        [-queue N] [-job-timeout D] [-retries N] [-rate R] [-burst N]
+//	        [-tenant-quota N] [-drain-timeout D] [-seed N]
 //	        [-fault-slow-every N] [-fault-slow D] [-fault-cachefail-first N]
 //	        [-fault-cachefail RATE] [-fault-cancel RATE] [-fault-seed N]
+//
+// At startup the run cache is scrubbed (-scrub=false skips it): leftover
+// temp files and torn entries from a killed predecessor are quarantined
+// under .quarantine/ and the report lands on stderr and in /v1/stats.
 //
 // Endpoints: POST /v1/jobs (paper.JobRequest → paper.JobResponse),
 // GET /v1/stats, GET /healthz (liveness), GET /readyz (readiness — flips
@@ -48,6 +52,7 @@ func main() {
 	addr := flag.String("addr", ":9966", "listen address")
 	cacheDir := flag.String("cache-dir", defaultCacheDir(), "run-cache directory (empty disables persistence)")
 	noCache := flag.Bool("no-cache", false, "disable the run cache")
+	scrub := flag.Bool("scrub", true, "scrub the cache at startup (quarantine corrupt entries and leftover temp files)")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	queue := flag.Int("queue", 0, "admission queue bound (0 = 8x workers)")
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-simulation time budget (0 = unbounded)")
@@ -67,11 +72,23 @@ func main() {
 	flag.Parse()
 
 	var cache *sweep.Cache
+	var scrubRep *sweep.ScrubReport
 	if !*noCache && *cacheDir != "" {
 		var err error
 		cache, err = sweep.Open(*cacheDir)
 		if err != nil {
 			fatal(err)
+		}
+		if *scrub {
+			// Boot-time hygiene: a previous process killed mid-write can
+			// leave temp files and torn entries behind; quarantine them
+			// before the first request, and publish the report in /v1/stats.
+			rep, err := cache.Scrub()
+			if err != nil {
+				fatal(err)
+			}
+			scrubRep = &rep
+			fmt.Fprintf(os.Stderr, "hetsimd: cache scrub: %s\n", rep)
 		}
 	}
 	var faults *serve.Faults
@@ -94,6 +111,7 @@ func main() {
 		TenantQuota: *tenantQuota,
 		Seed:        *seed,
 		Faults:      faults,
+		Scrub:       scrubRep,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -125,8 +143,8 @@ func main() {
 		derr = err
 	}
 	st := srv.Stats()
-	fmt.Fprintf(os.Stderr, "hetsimd: %s — %d requests, %d executed, %d cache hits, %d deduped, %d retries, %d failed\n",
-		st.State, st.Requests, st.Executed, st.CacheHits, st.Deduped, st.ExecRetries+st.PutRetries, st.Failed)
+	fmt.Fprintf(os.Stderr, "hetsimd: %s — %d requests (%d hedged), %d executed, %d cache hits, %d deduped, %d retries, %d failed\n",
+		st.State, st.Requests, st.HedgedRequests, st.Executed, st.CacheHits, st.Deduped, st.ExecRetries+st.PutRetries, st.Failed)
 	if derr != nil {
 		fatal(derr)
 	}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"hetsim/internal/paper"
@@ -32,7 +33,24 @@ type Client struct {
 	MaxAttempts int
 	// MaxWait caps a single Retry-After or backoff wait (<= 0: 5s).
 	MaxWait time.Duration
+	// HedgeAfter, when > 0, launches one backup submission for any
+	// request still unanswered after this long, and takes whichever
+	// answer lands first. Safe against double work by construction: the
+	// server's single-flight layer coalesces the backup onto the
+	// primary's in-flight simulation, so a hedge costs one extra HTTP
+	// round trip, never a second simulation. Backups carry the
+	// HedgedHeader so the server can count them. Zero disables hedging.
+	HedgeAfter time.Duration
+
+	hedges atomic.Uint64
 }
+
+// HedgedHeader marks a backup (hedged) submission, letting the server
+// report how much of its traffic is hedges (Stats.HedgedRequests).
+const HedgedHeader = "X-Hetsim-Hedged"
+
+// Hedges reports how many backup submissions this client has launched.
+func (c *Client) Hedges() uint64 { return c.hedges.Load() }
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
@@ -59,7 +77,7 @@ func (c *Client) RunSpec(ctx context.Context, spec paper.JobSpec) (json.RawMessa
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		raw, wait, err := c.submit(ctx, spec)
+		raw, wait, err := c.submitHedged(ctx, spec)
 		if err == nil {
 			return raw, nil
 		}
@@ -84,10 +102,65 @@ func (c *Client) RunSpec(ctx context.Context, spec paper.JobSpec) (json.RawMessa
 	return nil, fmt.Errorf("serve: job not accepted after %d attempts: %w", attempts, lastErr)
 }
 
+// submitHedged performs one logical submission, hedged: the primary
+// round trip starts immediately, and if it is still unanswered after
+// HedgeAfter a single backup is launched; the first success wins. When
+// both legs fail, the retryable error is preferred over the terminal one
+// (ties go to whichever landed first) so RunSpec's loop keeps the better
+// guidance. The losing leg is left to finish on the shared context —
+// cancelling it could tear down the winner's transport connection.
+func (c *Client) submitHedged(ctx context.Context, spec paper.JobSpec) (json.RawMessage, time.Duration, error) {
+	if c.HedgeAfter <= 0 {
+		return c.submit(ctx, spec, false)
+	}
+	type outcome struct {
+		raw  json.RawMessage
+		wait time.Duration
+		err  error
+	}
+	ch := make(chan outcome, 2) // buffered: the losing leg must never block
+	launch := func(hedged bool) {
+		go func() {
+			raw, wait, err := c.submit(ctx, spec, hedged)
+			ch <- outcome{raw, wait, err}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(c.HedgeAfter)
+	defer timer.Stop()
+	hedged := false
+	var first *outcome
+	for {
+		select {
+		case o := <-ch:
+			if o.err == nil {
+				return o.raw, 0, nil
+			}
+			if !hedged || first != nil {
+				// Sole outstanding leg failed (no backup launched, or this
+				// is the second failure): pick the better error.
+				if first != nil && first.wait >= 0 && o.wait < 0 {
+					return first.raw, first.wait, first.err
+				}
+				return o.raw, o.wait, o.err
+			}
+			first = &o // backup still in flight: give it its chance
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				c.hedges.Add(1)
+				launch(true)
+			}
+		case <-ctx.Done():
+			return nil, -1, ctx.Err()
+		}
+	}
+}
+
 // submit performs one round trip. wait tells RunSpec how to continue on
 // error: < 0 terminal, 0 retry after default backoff, > 0 retry after
-// the server-requested wait.
-func (c *Client) submit(ctx context.Context, spec paper.JobSpec) (raw json.RawMessage, wait time.Duration, err error) {
+// the server-requested wait. hedged marks the request as a backup.
+func (c *Client) submit(ctx context.Context, spec paper.JobSpec, hedged bool) (raw json.RawMessage, wait time.Duration, err error) {
 	jreq := paper.JobRequest{Tenant: c.Tenant, Spec: spec}
 	if dl, ok := ctx.Deadline(); ok {
 		ms := time.Until(dl).Milliseconds()
@@ -106,6 +179,9 @@ func (c *Client) submit(ctx context.Context, spec paper.JobSpec) (raw json.RawMe
 		return nil, -1, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if hedged {
+		req.Header.Set(HedgedHeader, "1")
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		if ctx.Err() != nil {

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hetsim/internal/paper"
+	"hetsim/internal/sweep"
+)
+
+// TestClientHedgeSlowServer: a slow first simulation trips the hedge, the
+// backup coalesces onto the leader's flight (one execution), the client
+// still gets the result, and both sides count the hedge.
+func TestClientHedgeSlowServer(t *testing.T) {
+	var execs atomic.Int64
+	build := testBuild(map[string]func() (json.RawMessage, error){
+		"slow": func() (json.RawMessage, error) {
+			execs.Add(1)
+			time.Sleep(300 * time.Millisecond)
+			return json.RawMessage(`{"cycles":1}`), nil
+		},
+	})
+	srv := New(Config{Build: build, Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, HedgeAfter: 30 * time.Millisecond}
+	raw, err := c.RunSpec(context.Background(), paper.JobSpec{Kernel: "slow", Seed: 1, Config: "plain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `{"cycles":1}` {
+		t.Fatalf("result = %s", raw)
+	}
+	if c.Hedges() != 1 {
+		t.Fatalf("client hedges = %d, want 1", c.Hedges())
+	}
+	if execs.Load() != 1 {
+		t.Fatalf("hedge caused %d executions, want 1 (single-flight dedup)", execs.Load())
+	}
+	// The backup leg may still be finishing its round trip after the
+	// winner returned; wait for the server to have seen it.
+	waitFor(t, "hedged request to land", func() bool {
+		return srv.Stats().HedgedRequests == 1
+	})
+	if st := srv.Stats(); st.Executed != 1 || st.Requests != 2 {
+		t.Fatalf("server stats = %+v", st)
+	}
+}
+
+// TestClientHedgeNotTripped: a fast answer never launches a backup.
+func TestClientHedgeNotTripped(t *testing.T) {
+	srv := New(Config{Build: testBuild(nil), Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, HedgeAfter: 5 * time.Second}
+	if _, err := c.RunSpec(context.Background(), paper.JobSpec{Kernel: "fast", Seed: 1, Config: "plain"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Hedges() != 0 {
+		t.Fatalf("fast request hedged %d times", c.Hedges())
+	}
+	if st := srv.Stats(); st.HedgedRequests != 0 || st.Requests != 1 {
+		t.Fatalf("server stats = %+v", st)
+	}
+}
+
+// TestClientHedgeTerminalError: when both legs fail terminally the error
+// stays terminal — hedging must not turn a bad spec into a retry storm.
+func TestClientHedgeTerminalError(t *testing.T) {
+	srv := New(Config{Build: testBuild(nil), Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, HedgeAfter: time.Millisecond, MaxAttempts: 3}
+	start := time.Now()
+	_, err := c.RunSpec(context.Background(), paper.JobSpec{Kernel: "reject-me", Seed: 1, Config: "plain"})
+	if err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("terminal error took %v — retried instead of failing fast", elapsed)
+	}
+}
+
+// TestServeScrubInStats: a startup scrub report configured on the server
+// is republished through Stats (and so through /v1/stats).
+func TestServeScrubInStats(t *testing.T) {
+	rep := &sweep.ScrubReport{Scanned: 3, Healthy: 2, Corrupt: 1}
+	srv := New(Config{Build: testBuild(nil), Workers: 1, Scrub: rep})
+	st := srv.Stats()
+	if st.Scrub == nil || *st.Scrub != *rep {
+		t.Fatalf("stats scrub = %+v, want %+v", st.Scrub, rep)
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Stats
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Scrub == nil || *decoded.Scrub != *rep {
+		t.Fatalf("scrub did not survive the JSON round trip: %+v", decoded.Scrub)
+	}
+}

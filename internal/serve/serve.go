@@ -96,6 +96,10 @@ type Config struct {
 	Seed uint64
 	// Faults injects service-level failures for drills (nil = none).
 	Faults *Faults
+	// Scrub, when set, is the startup cache-scrub report (cmd/hetsimd
+	// runs sweep.Cache.Scrub before serving); it is republished verbatim
+	// in Stats so operators can see what the last boot quarantined.
+	Scrub *sweep.ScrubReport
 }
 
 // Stats is a snapshot of the server's counters.
@@ -116,6 +120,13 @@ type Stats struct {
 	PutFailures   uint64 `json:"put_failures"` // puts that failed even after retry
 	Failed        uint64 `json:"failed"`
 	Expired       uint64 `json:"expired"` // waits abandoned on deadline/cancel
+	// HedgedRequests counts submissions carrying the client's hedge
+	// marker (Client.HedgeAfter backups). Hedges ride the single-flight
+	// dedup, so this measures tail-latency pressure, not extra work.
+	HedgedRequests uint64 `json:"hedged_requests"`
+	// Scrub is the startup cache-scrub report (absent when the server
+	// booted without one).
+	Scrub *sweep.ScrubReport `json:"scrub,omitempty"`
 
 	// Compile-tier counters (process-wide, DESIGN.md §12–13): how much
 	// of the served simulation work ran compiled. BlockCompiles and
@@ -157,6 +168,7 @@ type Server struct {
 	putFailures   atomic.Uint64
 	failed        atomic.Uint64
 	expired       atomic.Uint64
+	hedgedReqs    atomic.Uint64
 }
 
 // flightVal is what a flight publishes to its waiters.
@@ -208,22 +220,24 @@ func (s *Server) Stats() Stats {
 	fs := s.flight.Stats()
 	bc, sc, mh, mm := kernels.CompileStats()
 	return Stats{
-		State:         s.State().String(),
-		Requests:      s.requests.Load(),
-		RejectedQueue: s.rejectedQueue.Load(),
-		RejectedRate:  s.rejectedRate.Load(),
-		RejectedQuota: s.rejectedQuota.Load(),
-		RejectedDrain: s.rejectedDrain.Load(),
-		BadRequests:   s.badRequests.Load(),
-		Deduped:       s.deduped.Load(),
-		Leads:         fs.Leads,
-		CacheHits:     s.cacheHits.Load(),
-		Executed:      s.executed.Load(),
-		ExecRetries:   s.execRetries.Load(),
-		PutRetries:    s.putRetries.Load(),
-		PutFailures:   s.putFailures.Load(),
-		Failed:        s.failed.Load(),
-		Expired:       s.expired.Load(),
+		State:          s.State().String(),
+		Requests:       s.requests.Load(),
+		RejectedQueue:  s.rejectedQueue.Load(),
+		RejectedRate:   s.rejectedRate.Load(),
+		RejectedQuota:  s.rejectedQuota.Load(),
+		RejectedDrain:  s.rejectedDrain.Load(),
+		BadRequests:    s.badRequests.Load(),
+		Deduped:        s.deduped.Load(),
+		Leads:          fs.Leads,
+		CacheHits:      s.cacheHits.Load(),
+		Executed:       s.executed.Load(),
+		ExecRetries:    s.execRetries.Load(),
+		PutRetries:     s.putRetries.Load(),
+		PutFailures:    s.putFailures.Load(),
+		Failed:         s.failed.Load(),
+		Expired:        s.expired.Load(),
+		HedgedRequests: s.hedgedReqs.Load(),
+		Scrub:          s.cfg.Scrub,
 
 		BlockCompiles:      bc,
 		SuperblockCompiles: sc,
@@ -291,6 +305,9 @@ const maxBodyBytes = 1 << 20
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if r.Header.Get(HedgedHeader) != "" {
+		s.hedgedReqs.Add(1)
+	}
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeJSON(w, http.StatusMethodNotAllowed, paper.JobResponse{Error: "POST only"})

@@ -20,6 +20,11 @@ import (
 type Cache struct {
 	dir string
 
+	// Faults, when set, injects failures into write's crash windows —
+	// the serve.Faults discipline turned on the cache itself (tests and
+	// drills only; nil costs nothing).
+	Faults *WriteFaults
+
 	hits    atomic.Uint64
 	misses  atomic.Uint64
 	corrupt atomic.Uint64
@@ -108,10 +113,12 @@ func (c *Cache) Get(key string, out any) bool {
 // sweep engine a failed write is best-effort (counted, never fatal: a
 // cache that cannot persist only costs a future re-simulation); the
 // service layer treats the returned error as retryable and re-attempts
-// the write without re-running the simulation. The temp file is fsynced
-// before the rename, so a host crash right after Put returns can leave a
-// stale entry or none — never a zero-length one that costs a corrupt
-// miss.
+// the write without re-running the simulation. The durability contract
+// (every window crash-drilled, see DESIGN.md §14): the temp file is
+// fsynced before the rename and the parent directory is fsynced after
+// it, so once Put returns the entry survives a host crash — and a crash
+// at any earlier point leaves a stale entry or none, never a torn one
+// that could serve as a hit.
 func (c *Cache) Put(key string, v any) error {
 	err := c.write(key, v)
 	if err != nil {
@@ -132,19 +139,34 @@ func (c *Cache) write(key string, v any) error {
 		return fmt.Errorf("sweep: encoding cache entry: %w", err)
 	}
 	path := c.path(key)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	dir := filepath.Dir(path)
+	_, statErr := os.Stat(dir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("sweep: cache write: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp")
+	if os.IsNotExist(statErr) {
+		// First entry in this fanout directory: make its creation durable
+		// too, or a crash could lose the whole subtree's entries at once.
+		if err := syncDir(c.dir); err != nil {
+			return fmt.Errorf("sweep: cache root fsync: %w", err)
+		}
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp")
 	if err != nil {
 		return fmt.Errorf("sweep: cache write: %w", err)
 	}
-	if _, err := tmp.Write(b); err != nil {
+	if err = c.Faults.fail(FaultTempWrite); err == nil {
+		_, err = tmp.Write(b)
+	}
+	if err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("sweep: cache write: %w", err)
 	}
-	if err := tmp.Sync(); err != nil {
+	if err = c.Faults.fail(FaultSync); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("sweep: cache fsync: %w", err)
@@ -153,9 +175,38 @@ func (c *Cache) write(key string, v any) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("sweep: cache write: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err = c.Faults.fail(FaultRename); err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("sweep: cache write: %w", err)
 	}
+	// The rename is not durable until the directory that holds the new
+	// name is — the gap the Put comment used to admit to: a crash right
+	// after Put could lose a committed entry. A dir-fsync failure leaves
+	// the entry present and valid (only its durability is unknown), so
+	// the error is honest but a subsequent Get is still a correct hit.
+	if err = c.Faults.fail(FaultDirSync); err == nil {
+		err = syncDir(dir)
+	}
+	if err != nil {
+		return fmt.Errorf("sweep: cache directory fsync: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making renames and creations inside it
+// durable. Every crash-safety path (cache commit, journal repair) funnels
+// through here.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

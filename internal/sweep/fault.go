@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"errors"
+	"sync"
+)
+
+// WriteStage names one crash window inside Cache.write, in commit order.
+// Each is a point where a killed or failing writer leaves the store in a
+// different state, and each must degrade to a countable miss or WriteFail
+// — never a corrupt hit (cachefault_test.go proves it per stage; the
+// process-level crash drill proves it under real SIGKILL).
+type WriteStage int
+
+const (
+	FaultTempWrite WriteStage = iota // writing the temp file (partial bytes on disk)
+	FaultSync                        // fsyncing the temp file (bytes may not be durable)
+	FaultRename                      // renaming into place (entry never appears)
+	FaultDirSync                     // fsyncing the parent dir (entry valid, durability unknown)
+	writeStages
+)
+
+func (s WriteStage) String() string {
+	switch s {
+	case FaultTempWrite:
+		return "temp-write"
+	case FaultSync:
+		return "fsync"
+	case FaultRename:
+		return "rename"
+	case FaultDirSync:
+		return "dir-fsync"
+	}
+	return "?"
+}
+
+// ErrInjectedWriteFault marks a WriteFaults-injected failure, so tests
+// and drills can tell an injected miss from a real I/O error.
+var ErrInjectedWriteFault = errors.New("sweep: injected cache write fault")
+
+// WriteFaults injects failures into the crash windows of Cache.write —
+// the serve.Faults pattern (seeded splitmix64 stream, per-decision rates,
+// optional deterministic first-N) pointed at the cache's own commit
+// protocol. A nil *WriteFaults decides nothing and costs one nil compare
+// per stage.
+type WriteFaults struct {
+	// Seed feeds the splitmix64 stream behind the rate-based decisions.
+	Seed uint64
+	// Rates holds the per-stage failure probability (zero = never).
+	Rates [4]float64
+	// FailFirst deterministically fails the first N write attempts that
+	// reach the given stage (0 disables) — the knob that lets a retry
+	// budget > N provably exercise the retry path and still persist.
+	FailFirst [4]int
+
+	mu       sync.Mutex
+	rng      uint64
+	seeded   bool
+	injected [4]uint64
+	firsts   [4]int
+}
+
+// next advances the splitmix64 stream (the internal/fault generator).
+func (f *WriteFaults) next() uint64 {
+	if !f.seeded {
+		f.rng = f.Seed
+		f.seeded = true
+	}
+	f.rng += 0x9e3779b97f4a7c15
+	z := f.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fail decides whether the write attempt currently at stage should fail,
+// returning ErrInjectedWriteFault when it should.
+func (f *WriteFaults) fail(stage WriteStage) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.FailFirst[stage] > 0 && f.firsts[stage] < f.FailFirst[stage] {
+		f.firsts[stage]++
+		f.injected[stage]++
+		return ErrInjectedWriteFault
+	}
+	if f.Rates[stage] > 0 && float64(f.next()>>11)/float64(1<<53) < f.Rates[stage] {
+		f.injected[stage]++
+		return ErrInjectedWriteFault
+	}
+	return nil
+}
+
+// Injected reports how many failures each stage has injected.
+func (f *WriteFaults) Injected() [4]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}

@@ -1,0 +1,210 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// plantEntry writes a raw entry file for an arbitrary version at its
+// content-addressed path, bypassing Cache.Put (which only writes the
+// current Version).
+func plantEntry(t *testing.T, root string, version int, key string, raw []byte) string {
+	t.Helper()
+	sum := sha256.Sum256([]byte(fmt.Sprintf("v%d|%s", version, key)))
+	h := hex.EncodeToString(sum[:])
+	dir := filepath.Join(root, h[:2])
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, h[2:]+".json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestScrubClassification seeds every species of debris a crashed writer
+// (or a sick disk) can leave behind and checks that Scrub quarantines
+// exactly the unusable ones, leaves the healthy and stale ones serving,
+// and comes back Clean on the second pass.
+func TestScrubClassification(t *testing.T) {
+	root := t.TempDir()
+	c, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two healthy entries via the real write path.
+	for i := 0; i < 2; i++ {
+		if err := c.Put(fmt.Sprintf("good-%d", i), payload{Cycles: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A self-consistent entry of an older version: stale, left in place.
+	staleRaw, _ := json.Marshal(entry{Version: Version - 1, Key: "old",
+		Value: json.RawMessage(`{"Cycles":1}`)})
+	stalePath := plantEntry(t, root, Version-1, "old", staleRaw)
+	// Torn JSON at a legitimate path: corrupt, quarantined.
+	goodRaw, _ := json.Marshal(entry{Version: Version, Key: "torn",
+		Value: json.RawMessage(`{"Cycles":2}`)})
+	tornPath := plantEntry(t, root, Version, "torn", goodRaw[:len(goodRaw)/2])
+	// A valid entry whose file name is not the hash of its (version, key):
+	// could never be a legitimate hit, quarantined. Plant it at the path
+	// for a different key.
+	lieRaw, _ := json.Marshal(entry{Version: Version, Key: "liar",
+		Value: json.RawMessage(`{"Cycles":3}`)})
+	mishashPath := plantEntry(t, root, Version, "not-liar", lieRaw)
+	// A leftover temp file from a killed writer, inside a fanout dir.
+	tmpDir := filepath.Join(root, "ab")
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmpPath := filepath.Join(tmpDir, "deadbeef.json.tmp123456")
+	if err := os.WriteFile(tmpPath, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A file with a foreign name in a fanout dir: not ours, quarantined.
+	foreignPath := filepath.Join(tmpDir, "README")
+	if err := os.WriteFile(foreignPath, []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A file at the cache root (outside any fanout dir): ignored entirely.
+	if err := os.WriteFile(filepath.Join(root, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := c.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ScrubReport{Scanned: 6, Healthy: 2, Stale: 1, Corrupt: 3, TmpFiles: 1}
+	if r != want {
+		t.Fatalf("scrub report = %+v, want %+v", r, want)
+	}
+
+	// Quarantined files moved under .quarantine preserving their subpath;
+	// their original locations are empty.
+	for _, p := range []string{tornPath, mishashPath, tmpPath, foreignPath} {
+		if _, err := os.Lstat(p); !os.IsNotExist(err) {
+			t.Fatalf("%s still in the store after scrub", p)
+		}
+		rel, _ := filepath.Rel(root, p)
+		q := filepath.Join(root, QuarantineDir, rel)
+		if _, err := os.Lstat(q); err != nil {
+			t.Fatalf("%s not quarantined at %s: %v", p, q, err)
+		}
+	}
+	if _, err := os.Lstat(stalePath); err != nil {
+		t.Fatalf("stale entry was not left in place: %v", err)
+	}
+
+	// Healthy entries still serve, and nothing the scrub did registers as
+	// cache corruption.
+	for i := 0; i < 2; i++ {
+		var got payload
+		if !c.Get(fmt.Sprintf("good-%d", i), &got) || got.Cycles != uint64(i) {
+			t.Fatalf("good-%d lost after scrub: %+v", i, got)
+		}
+	}
+	if st := c.Stats(); st.Corrupt != 0 {
+		t.Fatalf("stats after scrub = %+v", st)
+	}
+
+	// Second pass: the store is clean, and the quarantine area (plus the
+	// root-level stray) is invisible to it.
+	r2, err := c.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Clean() || r2.Healthy != 2 || r2.Stale != 1 {
+		t.Fatalf("second scrub = %+v, want clean with 2 healthy + 1 stale", r2)
+	}
+}
+
+// TestScrubQuarantineCollision: quarantining a second file with the same
+// relative path must not overwrite the first post-mortem artifact.
+func TestScrubQuarantineCollision(t *testing.T) {
+	root := t.TempDir()
+	c, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plant := func(content string) {
+		dir := filepath.Join(root, "cd")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "feed.json"), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plant("first corpse")
+	if r, _ := c.Scrub(); r.Corrupt != 1 {
+		t.Fatalf("first scrub = %+v", r)
+	}
+	plant("second corpse")
+	if r, _ := c.Scrub(); r.Corrupt != 1 {
+		t.Fatalf("second scrub = %+v", r)
+	}
+	q := filepath.Join(root, QuarantineDir, "cd")
+	b1, err1 := os.ReadFile(filepath.Join(q, "feed.json"))
+	b2, err2 := os.ReadFile(filepath.Join(q, "feed.json.1"))
+	if err1 != nil || err2 != nil || string(b1) != "first corpse" || string(b2) != "second corpse" {
+		t.Fatalf("quarantine collision handling: %q/%v, %q/%v", b1, err1, b2, err2)
+	}
+}
+
+// TestScrubAfterFaultyCampaign is the closed loop: a cache battered by
+// injected write faults plus hand-planted SIGKILL debris scrubs down to a
+// store where every surviving entry is correct.
+func TestScrubAfterFaultyCampaign(t *testing.T) {
+	root := t.TempDir()
+	c, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := &WriteFaults{Seed: 1}
+	for s := FaultTempWrite; s < writeStages; s++ {
+		faults.Rates[s] = 0.15
+	}
+	c.Faults = faults
+	const n = 120
+	for i := 0; i < n; i++ {
+		_ = c.Put(fmt.Sprintf("k-%d", i), payload{Cycles: uint64(i)})
+	}
+	// Simulated SIGKILL leftovers the error paths can't produce.
+	dir := filepath.Join(root, "0f")
+	os.MkdirAll(dir, 0o755)
+	os.WriteFile(filepath.Join(dir, "cafe.json.tmp42"), []byte(`{"version":`), 0o644)
+	os.WriteFile(filepath.Join(dir, "cafe.json"), []byte(`{"version":2,"key":`), 0o644)
+
+	c.Faults = nil
+	r, err := c.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TmpFiles != 1 || r.Corrupt != 1 || r.IOErrors != 0 {
+		t.Fatalf("scrub = %+v, want exactly the planted debris quarantined", r)
+	}
+	// Every successful write is healthy; a dir-fsync injection fails the
+	// Put but still leaves a committed (healthy) entry, so the ceiling is
+	// writes + dir-fsync injections.
+	writes, dirSyncFails := int(c.Stats().Writes), int(faults.Injected()[FaultDirSync])
+	if r.Healthy < writes || r.Healthy > writes+dirSyncFails {
+		t.Fatalf("%d healthy entries outside [%d, %d]", r.Healthy, writes, writes+dirSyncFails)
+	}
+	for i := 0; i < n; i++ {
+		var got payload
+		if c.Get(fmt.Sprintf("k-%d", i), &got) && got.Cycles != uint64(i) {
+			t.Fatalf("k-%d: wrong survivor %+v", i, got)
+		}
+	}
+	if r2, _ := c.Scrub(); !r2.Clean() {
+		t.Fatalf("second scrub not clean: %+v", r2)
+	}
+}

@@ -65,6 +65,13 @@ type Config struct {
 	Workers int
 	// Cache memoizes completed jobs on disk (nil disables caching).
 	Cache *Cache
+	// Journal, when set, makes the campaign resumable across crashes:
+	// every completed job is appended (fsync'd) before it counts as done,
+	// jobs the journal already holds are served from it without touching
+	// the cache or the simulator, and a torn tail left by SIGKILL costs
+	// only the jobs from the torn record on (see Journal). Consulted
+	// before the cache — the journal is the authority a resume trusts.
+	Journal *Journal
 	// Progress, when set, is called after every completed job. Callbacks
 	// may arrive from any worker goroutine, but never concurrently.
 	Progress func(Event)
@@ -83,9 +90,10 @@ type Config struct {
 
 // Stats counts what an engine has done across all Run batches.
 type Stats struct {
-	Jobs      int // jobs scheduled
-	Executed  int // jobs actually simulated (cache miss or no cache)
-	CacheHits int // jobs served from the cache
+	Jobs        int // jobs scheduled
+	Executed    int // jobs actually simulated (cache miss or no cache)
+	CacheHits   int // jobs served from the cache
+	JournalHits int // jobs served from a resumed journal
 }
 
 // Engine is a reusable scheduler: one engine typically serves every sweep
@@ -93,6 +101,7 @@ type Stats struct {
 type Engine struct {
 	workers  int
 	cache    *Cache
+	journal  *Journal
 	progress func(Event)
 	ctx      context.Context
 	timeout  time.Duration
@@ -111,8 +120,8 @@ func New(cfg Config) *Engine {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Engine{workers: w, cache: cfg.Cache, progress: cfg.Progress,
-		ctx: ctx, timeout: cfg.JobTimeout}
+	return &Engine{workers: w, cache: cfg.Cache, journal: cfg.Journal,
+		progress: cfg.Progress, ctx: ctx, timeout: cfg.JobTimeout}
 }
 
 // Workers returns the pool size.
@@ -120,6 +129,10 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Cache returns the engine's cache (nil when caching is disabled).
 func (e *Engine) Cache() *Cache { return e.cache }
+
+// Journal returns the engine's journal (nil when the campaign is not
+// resumable).
+func (e *Engine) Journal() *Journal { return e.journal }
 
 // Context returns the engine's cancellation context (never nil), so
 // multi-batch drivers like the chaos campaign can stop scheduling new
@@ -222,9 +235,19 @@ func Run[T any](e *Engine, jobs []Job[T]) ([]T, error) {
 				return
 			}
 			j := jobs[i]
-			hit := false
-			if e.cache != nil {
+			hit, journaled := false, false
+			if e.journal != nil {
+				hit = e.journal.Lookup(j.Key, &results[i])
+				journaled = hit
+			}
+			if !hit && e.cache != nil {
 				hit = e.cache.Get(j.Key, &results[i])
+				if hit && e.journal != nil {
+					// A cache hit is a completed job: journal it so the
+					// resume guarantee never depends on the (best-effort)
+					// cache still holding the entry.
+					_ = e.journal.Append(j.Key, results[i])
+				}
 			}
 			if !hit {
 				v, err := exec(e, j)
@@ -233,6 +256,11 @@ func Run[T any](e *Engine, jobs []Job[T]) ([]T, error) {
 					failed.Store(true)
 				} else {
 					results[i] = v
+					// Journal first: once Append returns the job is durably
+					// complete, whatever happens to the cache write after.
+					if e.journal != nil {
+						_ = e.journal.Append(j.Key, v) // counted in JournalStats.AppendFails
+					}
 					if e.cache != nil {
 						_ = e.cache.Put(j.Key, v) // best effort: a failed write is only a future miss
 					}
@@ -240,10 +268,14 @@ func Run[T any](e *Engine, jobs []Job[T]) ([]T, error) {
 			}
 			e.mu.Lock()
 			done++
-			if hit {
+			switch {
+			case journaled:
+				cached++
+				e.stats.JournalHits++
+			case hit:
 				cached++
 				e.stats.CacheHits++
-			} else {
+			default:
 				e.stats.Executed++
 			}
 			e.stats.Jobs++
