@@ -4,7 +4,7 @@
 //
 //	hetexp [-exp table1|fig3|fig4|fig5a|fig5b|all] [-small] [-kernel name]
 //	       [-j N] [-cache-dir DIR] [-no-cache] [-breakdown]
-//	       [-remote URL] [-tenant NAME] [-hedge D]
+//	       [-remote URL] [-tenant NAME] [-hedge D] [-no-batch]
 //	       [-resume FILE] [-scrub] [-stats-json FILE]
 //
 // -resume makes the campaign crash-safe: every completed job is appended
@@ -19,12 +19,16 @@
 // keeps a hedge to one extra round trip, never a second simulation.
 //
 // -remote routes the measurement sweep through a hetsimd server instead
-// of simulating locally: each (kernel, configuration) point becomes a
-// content-keyed job request, deduplicated server-side and served from
-// the shared cache. The rendered tables are byte-identical to local
-// execution for the measurement experiments (table1, fig3, fig4, fig5a,
-// -breakdown); ablate/fig5b/chaos simulate extra local points and are
-// skipped (-exp all) or rejected under -remote.
+// of simulating locally: the whole campaign goes out as one streamed
+// /v1/batch submission — content-keyed points, deduplicated server-side,
+// served from the shared cache, completions consumed as they land, a cut
+// stream resumed by re-submitting only the incomplete points. The
+// rendered tables are byte-identical to local execution for the
+// measurement experiments (table1, fig3, fig4, fig5a, -breakdown);
+// ablate/fig5b/chaos simulate extra local points and are skipped
+// (-exp all) or rejected under -remote. -no-batch restores the
+// one-request-per-point path (-j concurrent requests), which -hedge
+// implies: hedging is a per-request tail-latency policy.
 //
 // -small runs reduced-size kernels (seconds instead of minutes); the
 // recorded EXPERIMENTS.md numbers come from the full-size run.
@@ -93,7 +97,8 @@ func main() {
 	tenant := flag.String("tenant", "", "tenant name sent with -remote requests (rate limiting/quota identity)")
 	resume := flag.String("resume", "", "journal completed jobs to this file and replay it on restart (crash-safe resume)")
 	scrub := flag.Bool("scrub", false, "scrub the run cache (quarantine corrupt entries and leftover temp files), report, and exit")
-	hedge := flag.Duration("hedge", 0, "with -remote: launch one backup request per job still unanswered after this long (0 disables)")
+	hedge := flag.Duration("hedge", 0, "with -remote: launch one backup request per job still unanswered after this long (0 disables; implies -no-batch)")
+	noBatch := flag.Bool("no-batch", false, "with -remote: submit one request per point instead of one streamed /v1/batch campaign")
 	statsJSON := flag.String("stats-json", "", "write machine-readable run stats (sweep/cache/journal/hedges) to this file on success")
 	chaosOn := flag.Bool("chaos", false, "run the memory-fault chaos campaign instead of the paper figures")
 	chaosKernels := flag.String("chaos-kernels", "matmul", "comma-separated kernels for the chaos campaign")
@@ -187,7 +192,7 @@ func main() {
 		if cerr != nil {
 			fatal(cerr)
 		}
-		if err := writeStatsJSON(*statsJSON, eng, 0); err != nil {
+		if err := writeStatsJSON(*statsJSON, eng, 0, 0); err != nil {
 			fatal(err)
 		}
 		if err := stopProf(); err != nil {
@@ -196,7 +201,7 @@ func main() {
 		return
 	}
 
-	var hedges uint64
+	var hedges, reconnects uint64
 	var m *paper.Measurements
 	if *remote != "" {
 		switch *exp {
@@ -204,26 +209,44 @@ func main() {
 		default:
 			fatal(fmt.Errorf("-exp %s simulates extra local points; -remote serves table1, fig3, fig4, fig5a", *exp))
 		}
-		fmt.Fprintf(os.Stderr, "measuring kernel suite via %s (each kernel on 6 configurations, %d concurrent requests)...\n",
-			*remote, *workers)
 		client := &serve.Client{BaseURL: *remote, Tenant: *tenant, HedgeAfter: *hedge}
-		runner := client.RunSpec
-		if *jobTimeout > 0 {
-			// Deadline propagation: the per-simulation budget becomes the
-			// per-request budget, carried to the server in the job request.
-			runner = func(ctx context.Context, spec paper.JobSpec) (json.RawMessage, error) {
-				ctx, cancel := context.WithTimeout(ctx, *jobTimeout)
-				defer cancel()
-				return client.RunSpec(ctx, spec)
+		if *noBatch || *hedge > 0 {
+			// Per-point path: one request per sweep point, -j of them in
+			// flight, hedging per request. The server overlaps them on its
+			// own worker pool exactly like a batch would.
+			fmt.Fprintf(os.Stderr, "measuring kernel suite via %s (each kernel on 6 configurations, %d concurrent requests)...\n",
+				*remote, *workers)
+			runner := client.RunSpec
+			if *jobTimeout > 0 {
+				// Deadline propagation: the per-simulation budget becomes the
+				// per-request budget, carried to the server in the job request.
+				runner = func(ctx context.Context, spec paper.JobSpec) (json.RawMessage, error) {
+					ctx, cancel := context.WithTimeout(ctx, *jobTimeout)
+					defer cancel()
+					return client.RunSpec(ctx, spec)
+				}
 			}
+			m, err = paper.MeasureRemote(ctx, runner, suite, *small, *breakdown, *workers)
+		} else {
+			// Batch path (default): the whole campaign is one streamed
+			// /v1/batch submission; the server's worker pool provides the
+			// overlap, reconnects re-submit only incomplete points.
+			// -job-timeout is not applied client-side here — it is a
+			// per-point budget and the server enforces its own.
+			fmt.Fprintf(os.Stderr, "measuring kernel suite via %s (one streamed batch, server workers overlap the points)...\n",
+				*remote)
+			m, err = paper.MeasureRemoteBatch(ctx, client.RunBatch, suite, *small, *breakdown)
 		}
-		m, err = paper.MeasureRemote(ctx, runner, suite, *small, *breakdown, *workers)
 		if err != nil {
 			fatal(err)
 		}
 		if hedges = client.Hedges(); hedges > 0 {
 			fmt.Fprintf(os.Stderr, "hedge: %d backup request(s) launched after %v (server-side dedup kept each to one simulation)\n",
 				hedges, *hedge)
+		}
+		if reconnects = client.Reconnects(); reconnects > 0 {
+			fmt.Fprintf(os.Stderr, "batch: %d reconnect(s) resumed the stream (only incomplete points re-submitted)\n",
+				reconnects)
 		}
 	} else {
 		fmt.Fprintf(os.Stderr, "measuring kernel suite (each kernel on 6 configurations, %d workers)...\n", eng.Workers())
@@ -354,7 +377,7 @@ func main() {
 	}
 
 	sweepStats(eng)
-	if err := writeStatsJSON(*statsJSON, eng, hedges); err != nil {
+	if err := writeStatsJSON(*statsJSON, eng, hedges, reconnects); err != nil {
 		fatal(err)
 	}
 	if err := stopProf(); err != nil {
@@ -366,18 +389,19 @@ func main() {
 // stderr summary, consumed by the crash drill (internal/chaos) to assert
 // exact resume accounting.
 type statsOut struct {
-	Sweep   sweep.Stats         `json:"sweep"`
-	Cache   *sweep.CacheStats   `json:"cache,omitempty"`
-	Journal *sweep.JournalStats `json:"journal,omitempty"`
-	Hedges  uint64              `json:"hedges,omitempty"`
+	Sweep      sweep.Stats         `json:"sweep"`
+	Cache      *sweep.CacheStats   `json:"cache,omitempty"`
+	Journal    *sweep.JournalStats `json:"journal,omitempty"`
+	Hedges     uint64              `json:"hedges,omitempty"`
+	Reconnects uint64              `json:"reconnects,omitempty"`
 }
 
 // writeStatsJSON dumps the run's counters to path (no-op when empty).
-func writeStatsJSON(path string, eng *sweep.Engine, hedges uint64) error {
+func writeStatsJSON(path string, eng *sweep.Engine, hedges, reconnects uint64) error {
 	if path == "" {
 		return nil
 	}
-	out := statsOut{Sweep: eng.Stats(), Hedges: hedges}
+	out := statsOut{Sweep: eng.Stats(), Hedges: hedges, Reconnects: reconnects}
 	if c := eng.Cache(); c != nil {
 		cs := c.Stats()
 		out.Cache = &cs

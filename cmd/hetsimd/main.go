@@ -8,7 +8,7 @@
 //
 //	hetsimd [-addr :9966] [-cache-dir DIR] [-no-cache] [-scrub=false] [-j N]
 //	        [-queue N] [-job-timeout D] [-retries N] [-rate R] [-burst N]
-//	        [-tenant-quota N] [-drain-timeout D] [-seed N]
+//	        [-tenant-quota N] [-drain-timeout D] [-heartbeat D] [-seed N]
 //	        [-fault-slow-every N] [-fault-slow D] [-fault-cachefail-first N]
 //	        [-fault-cachefail RATE] [-fault-cancel RATE] [-fault-seed N]
 //
@@ -17,13 +17,18 @@
 // under .quarantine/ and the report lands on stderr and in /v1/stats.
 //
 // Endpoints: POST /v1/jobs (paper.JobRequest → paper.JobResponse),
-// GET /v1/stats, GET /healthz (liveness), GET /readyz (readiness — flips
-// to 503 the moment a drain starts). Overload answers 429 with
-// Retry-After; per-tenant token buckets (-rate/-burst) and in-flight
-// quotas (-tenant-quota) keep one tenant from starving the rest.
+// POST /v1/batch (paper.BatchRequest → streamed NDJSON paper.BatchRecords:
+// per-job completions as they land, heartbeats every -heartbeat so
+// proxies keep idle streams alive, a resumable cursor when a batch is
+// cut, a terminal summary), GET /v1/stats, GET /healthz (liveness),
+// GET /readyz (readiness — flips to 503 the moment a drain starts).
+// Overload answers 429 with Retry-After; per-tenant token buckets
+// (-rate/-burst) and in-flight quotas (-tenant-quota) keep one tenant
+// from starving the rest — a batch is charged its full job count.
 //
 // SIGTERM/SIGINT drains gracefully: admission stops, in-flight jobs
-// finish and checkpoint into the fsynced cache, then the server exits 0
+// finish and checkpoint into the fsynced cache, batch streams end with a
+// cursor naming their uncompleted points, then the server exits 0
 // (or 1 if the drain ran out of -drain-timeout). A second signal
 // force-exits with status 3 instead of waiting on a wedged job.
 //
@@ -62,6 +67,7 @@ func main() {
 	burst := flag.Int("burst", 0, "per-tenant burst size (0 = max(1, rate))")
 	tenantQuota := flag.Int("tenant-quota", 0, "per-tenant in-flight request cap (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget after the first signal")
+	heartbeat := flag.Duration("heartbeat", 10*time.Second, "keepalive cadence of idle /v1/batch streams")
 	seed := flag.Uint64("seed", 1, "retry-jitter seed")
 	fSlowEvery := flag.Int("fault-slow-every", 0, "inject: every Nth execution runs slow (0 = off)")
 	fSlow := flag.Duration("fault-slow", 50*time.Millisecond, "inject: slow-job delay")
@@ -109,6 +115,7 @@ func main() {
 		RatePerSec:  *rate,
 		Burst:       *burst,
 		TenantQuota: *tenantQuota,
+		Heartbeat:   *heartbeat,
 		Seed:        *seed,
 		Faults:      faults,
 		Scrub:       scrubRep,
@@ -145,6 +152,10 @@ func main() {
 	st := srv.Stats()
 	fmt.Fprintf(os.Stderr, "hetsimd: %s — %d requests (%d hedged), %d executed, %d cache hits, %d deduped, %d retries, %d failed\n",
 		st.State, st.Requests, st.HedgedRequests, st.Executed, st.CacheHits, st.Deduped, st.ExecRetries+st.PutRetries, st.Failed)
+	if st.BatchRequests > 0 {
+		fmt.Fprintf(os.Stderr, "hetsimd: batches — %d accepted carrying %d jobs: %d completed, %d failed, %d cursor cut(s), %d heartbeat(s)\n",
+			st.BatchRequests, st.BatchJobs, st.BatchCompleted, st.BatchFailed, st.BatchCursorCuts, st.BatchHeartbeats)
+	}
 	if derr != nil {
 		fatal(derr)
 	}

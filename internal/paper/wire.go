@@ -100,6 +100,20 @@ type JobResponse struct {
 // independently of the HTTP layer's own limit.
 const maxJobRequestBytes = 1 << 16
 
+// validateTenant guards the tenant attribution shared by the singleton
+// and batch request forms.
+func validateTenant(tenant string) error {
+	if len(tenant) > 64 {
+		return fmt.Errorf("paper: tenant name longer than 64 bytes")
+	}
+	for _, r := range tenant {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("paper: tenant name contains control characters")
+		}
+	}
+	return nil
+}
+
 // ParseJobRequest strictly decodes and validates a job request: unknown
 // fields, trailing data, oversized bodies and malformed specs are
 // errors, never best-effort guesses — the server's first line of defense
@@ -117,13 +131,8 @@ func ParseJobRequest(b []byte) (*JobRequest, error) {
 	if dec.More() {
 		return nil, fmt.Errorf("paper: trailing data after job request")
 	}
-	if len(req.Tenant) > 64 {
-		return nil, fmt.Errorf("paper: tenant name longer than 64 bytes")
-	}
-	for _, r := range req.Tenant {
-		if r < 0x20 || r == 0x7f {
-			return nil, fmt.Errorf("paper: tenant name contains control characters")
-		}
+	if err := validateTenant(req.Tenant); err != nil {
+		return nil, err
 	}
 	if req.TimeoutMS < 0 {
 		return nil, fmt.Errorf("paper: negative timeout_ms")
@@ -132,6 +141,198 @@ func ParseJobRequest(b []byte) (*JobRequest, error) {
 		return nil, err
 	}
 	return &req, nil
+}
+
+// BatchRequest is the body of POST /v1/batch: a whole campaign in one
+// submission. Exactly one of Specs (an explicit point list) and Suite (a
+// named server-side expansion, see SuiteSpecs) must be set; Small,
+// Observe and Seed parameterize a Suite expansion only — explicit specs
+// already carry their own.
+type BatchRequest struct {
+	// Tenant attributes the whole batch for rate limiting and quotas:
+	// admission charges the full job count, so packaging requests into a
+	// batch never sidesteps a tenant's budget.
+	Tenant string `json:"tenant,omitempty"`
+	// TimeoutMS bounds the whole stream: when it expires the server cuts
+	// the batch exactly like a drain — in-flight jobs finish and land in
+	// the cache, the stream ends with a cursor of uncompleted keys.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Specs is the explicit campaign point list.
+	Specs []JobSpec `json:"specs,omitempty"`
+	// Suite names a server-side expansion: "table1", "fig3", "fig4",
+	// "fig5a" or "measure" (aliases of the same kernel × configuration
+	// measurement matrix) or "breakdown" (the matrix with attribution on
+	// the pulp4 points).
+	Suite   string `json:"suite,omitempty"`
+	Small   bool   `json:"small,omitempty"`
+	Observe bool   `json:"observe,omitempty"`
+	// Seed feeds the kernels' input generators (0 selects 1, the local
+	// sweep default — the expansion must hit the same cache entries).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// maxBatchRequestBytes bounds a batch body (a 4096-spec campaign of
+// worst-case specs fits comfortably).
+const maxBatchRequestBytes = 1 << 20
+
+// MaxBatchSpecs bounds the points of one batch submission.
+const MaxBatchSpecs = 4096
+
+// suiteNames lists the valid BatchRequest.Suite expansions. The
+// measurement aliases all name the same matrix because every one of
+// those artifacts is rendered from the same Measurements.
+var suiteNames = []string{"measure", "table1", "fig3", "fig4", "fig5a", "breakdown"}
+
+// ParseBatchRequest strictly decodes and validates a batch request, the
+// same zero-tolerance discipline as ParseJobRequest (fuzzed by
+// FuzzParseBatchRequest). Validation is wire-shape only: kernel names
+// resolve later, in BuildSpecJob.
+func ParseBatchRequest(b []byte) (*BatchRequest, error) {
+	if len(b) > maxBatchRequestBytes {
+		return nil, fmt.Errorf("paper: batch request larger than %d bytes", maxBatchRequestBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var req BatchRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("paper: bad batch request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("paper: trailing data after batch request")
+	}
+	if err := validateTenant(req.Tenant); err != nil {
+		return nil, err
+	}
+	if req.TimeoutMS < 0 {
+		return nil, fmt.Errorf("paper: negative timeout_ms")
+	}
+	switch {
+	case len(req.Specs) > 0 && req.Suite != "":
+		return nil, fmt.Errorf("paper: batch request names both specs and a suite")
+	case len(req.Specs) == 0 && req.Suite == "":
+		return nil, fmt.Errorf("paper: batch request names neither specs nor a suite")
+	case len(req.Specs) > MaxBatchSpecs:
+		return nil, fmt.Errorf("paper: batch of %d specs exceeds the %d-spec bound", len(req.Specs), MaxBatchSpecs)
+	}
+	if req.Suite != "" {
+		ok := false
+		for _, n := range suiteNames {
+			if n == req.Suite {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("paper: unknown suite %q", req.Suite)
+		}
+	} else if req.Small || req.Observe || req.Seed != 0 {
+		return nil, fmt.Errorf("paper: small/observe/seed parameterize a suite expansion; explicit specs carry their own")
+	}
+	for i := range req.Specs {
+		if err := req.Specs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("paper: batch spec %d: %w", i, err)
+		}
+	}
+	return &req, nil
+}
+
+// Expand resolves the request into its concrete spec list: explicit
+// specs verbatim, a named suite through SuiteSpecs.
+func (r *BatchRequest) Expand() ([]JobSpec, error) {
+	if r.Suite != "" {
+		return SuiteSpecs(r.Suite, r.Small, r.Observe, r.Seed)
+	}
+	return r.Specs, nil
+}
+
+// SuiteSpecs expands a named suite into exactly the spec list the local
+// MeasureWith-family producers schedule — same (kernel × configuration)
+// matrix, same order, same seed default — so a suite-form batch hits the
+// same content keys (and so the same cache entries and dedup flights) as
+// both a local sweep and an explicit-spec batch.
+func SuiteSpecs(name string, small, observe bool, seed uint64) ([]JobSpec, error) {
+	known := false
+	for _, n := range suiteNames {
+		if n == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("paper: unknown suite %q", name)
+	}
+	if name == "breakdown" {
+		observe = true
+	}
+	if seed == 0 {
+		seed = 1 // newMeasurements' seed — the local default
+	}
+	suite := kernels.PaperSuite()
+	if small {
+		suite = kernels.SmallSuite()
+	}
+	var specs []JobSpec
+	for _, k := range suite {
+		for _, rc := range measureRuns {
+			specs = append(specs, JobSpec{
+				Kernel: k.Name, Small: small, Seed: seed,
+				Config: string(rc.key), Observe: observe,
+			})
+		}
+	}
+	return specs, nil
+}
+
+// BatchRecord is one NDJSON line of a /v1/batch response stream. Type
+// selects which of the optional fields is meaningful:
+//
+//	"job"       one per-point completion, as it lands (Job)
+//	"heartbeat" keepalive on an idle stream — proxies see traffic
+//	"cursor"    the uncompleted keys of a cut batch (Pending); resubmit
+//	            them to resume — completed points are already cached
+//	"summary"   the terminal record, always last (Summary)
+type BatchRecord struct {
+	Type    string        `json:"type"`
+	Job     *BatchJob     `json:"job,omitempty"`
+	Pending []string      `json:"pending,omitempty"`
+	Summary *BatchSummary `json:"summary,omitempty"`
+}
+
+// Batch record types.
+const (
+	BatchTypeJob       = "job"
+	BatchTypeHeartbeat = "heartbeat"
+	BatchTypeCursor    = "cursor"
+	BatchTypeSummary   = "summary"
+)
+
+// BatchJob is one streamed per-point completion; the fields mirror
+// JobResponse (Index positions the point in the submitted batch).
+type BatchJob struct {
+	Index     int             `json:"index"`
+	Key       string          `json:"key"`
+	Cached    bool            `json:"cached,omitempty"`
+	Shared    bool            `json:"shared,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Retryable bool            `json:"retryable,omitempty"`
+}
+
+// BatchSummary is the terminal accounting of one batch stream: how the
+// submitted jobs resolved (Completed+Failed+Pending == Jobs), how many of
+// the completions were served from the run cache or coalesced onto
+// another request's flight, and the server's drain state when the stream
+// ended — "draining" tells the client the pending remainder was a server
+// decision, not its own disconnect.
+type BatchSummary struct {
+	Jobs      int    `json:"jobs"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	Pending   int    `json:"pending"`
+	Cached    int    `json:"cached"`
+	Deduped   int    `json:"deduped"`
+	Executed  int    `json:"executed"`
+	State     string `json:"state"`
 }
 
 // BuildSpecJob reconstructs the sweep job a spec names. The returned
@@ -254,6 +455,50 @@ func MeasureRemote(ctx context.Context, run SpecRunner, suite []*kernels.Instanc
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("paper: remote sweep cancelled: %w", err)
+	}
+	m.fold(results)
+	return m, nil
+}
+
+// BatchRunner executes a whole campaign remotely in one submission and
+// returns the raw results indexed like specs. internal/serve's
+// Client.RunBatch — one streamed /v1/batch round trip plus reconnects —
+// is the HTTP implementation.
+type BatchRunner func(ctx context.Context, specs []JobSpec) ([]json.RawMessage, error)
+
+// MeasureRemoteBatch measures the suite through a batch runner: the same
+// (kernel × configuration) matrix MeasureRemote fans out as one request
+// per point goes out as a single batch submission, and the in-order raw
+// results fold through the shared path — byte-identical Measurements,
+// a fraction of the HTTP round trips. small must match the suite (it
+// tells the server which registry resolves kernel names); observe
+// requests cycle attribution on the pulp4 points.
+func MeasureRemoteBatch(ctx context.Context, run BatchRunner, suite []*kernels.Instance, small, observe bool) (*Measurements, error) {
+	m, _, err := newMeasurements(suite)
+	if err != nil {
+		return nil, err
+	}
+	var specs []JobSpec
+	for _, k := range suite {
+		for _, rc := range measureRuns {
+			specs = append(specs, JobSpec{
+				Kernel: k.Name, Small: small, Seed: m.seed,
+				Config: string(rc.key), Observe: observe,
+			})
+		}
+	}
+	raws, err := run(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	if len(raws) != len(specs) {
+		return nil, fmt.Errorf("paper: batch runner returned %d results for %d specs", len(raws), len(specs))
+	}
+	results := make([]measureResult, len(specs))
+	for i, raw := range raws {
+		if err := json.Unmarshal(raw, &results[i]); err != nil {
+			return nil, fmt.Errorf("paper: remote point %s/%s: undecodable result: %w", specs[i].Kernel, specs[i].Config, err)
+		}
 	}
 	m.fold(results)
 	return m, nil

@@ -153,6 +153,182 @@ func TestMeasureRemoteFoldsLikeLocal(t *testing.T) {
 	}
 }
 
+func TestParseBatchRequest(t *testing.T) {
+	good := `{"tenant":"lab","timeout_ms":500,"specs":[{"kernel":"matmul","seed":1,"config":"pulp4"},{"kernel":"fir","small":true,"seed":1,"config":"plain"}]}`
+	req, err := ParseBatchRequest([]byte(good))
+	if err != nil {
+		t.Fatalf("good explicit batch rejected: %v", err)
+	}
+	if req.Tenant != "lab" || len(req.Specs) != 2 || req.Specs[1].Kernel != "fir" {
+		t.Fatalf("good batch decoded as %+v", req)
+	}
+	specs, err := req.Expand()
+	if err != nil || len(specs) != 2 {
+		t.Fatalf("explicit Expand = %d specs, %v", len(specs), err)
+	}
+
+	suite := `{"suite":"table1","small":true}`
+	sreq, err := ParseBatchRequest([]byte(suite))
+	if err != nil {
+		t.Fatalf("good suite batch rejected: %v", err)
+	}
+	sspecs, err := sreq.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(kernels.SmallSuite()) * len(measureRuns); len(sspecs) != want {
+		t.Fatalf("suite expanded to %d specs, want %d", len(sspecs), want)
+	}
+
+	bad := []struct{ name, body string }{
+		{"empty", ``},
+		{"not json", `hello`},
+		{"unknown field", `{"bogus":1,"specs":[{"kernel":"matmul","seed":1,"config":"m3"}]}`},
+		{"trailing data", good + `{"again":true}`},
+		{"neither form", `{"tenant":"lab"}`},
+		{"both forms", `{"suite":"table1","specs":[{"kernel":"matmul","seed":1,"config":"m3"}]}`},
+		{"unknown suite", `{"suite":"table9"}`},
+		{"specs with suite knobs", `{"small":true,"specs":[{"kernel":"matmul","seed":1,"config":"m3"}]}`},
+		{"bad spec inside", `{"specs":[{"kernel":"matmul","seed":1,"config":"m3"},{"kernel":"matmul","seed":1,"config":"turbo"}]}`},
+		{"negative timeout", `{"timeout_ms":-5,"suite":"measure"}`},
+		{"long tenant", `{"tenant":"` + strings.Repeat("t", 65) + `","suite":"measure"}`},
+		{"oversized", `{"tenant":"` + strings.Repeat(" ", maxBatchRequestBytes) + `"}`},
+	}
+	for _, tc := range bad {
+		if _, err := ParseBatchRequest([]byte(tc.body)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// A bad spec names its index for diagnosability.
+	_, err = ParseBatchRequest([]byte(`{"specs":[{"kernel":"matmul","seed":1,"config":"m3"},{"kernel":"","seed":1,"config":"m3"}]}`))
+	if err == nil || !strings.Contains(err.Error(), "batch spec 1") {
+		t.Fatalf("bad spec error does not name its index: %v", err)
+	}
+	// The spec-count bound holds.
+	var b strings.Builder
+	b.WriteString(`{"specs":[`)
+	for i := 0; i <= MaxBatchSpecs; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(`{"kernel":"m","seed":1,"config":"m3"}`)
+	}
+	b.WriteString(`]}`)
+	if _, err := ParseBatchRequest([]byte(b.String())); err == nil {
+		t.Error("over-bound spec count accepted")
+	}
+}
+
+// TestSuiteSpecsMatchLocal pins what the suite form rests on: a named
+// expansion yields exactly the (kernel × configuration) matrix the local
+// MeasureWith producers schedule — same order, same content keys — so a
+// suite batch hits the same cache entries and dedup flights as a local
+// sweep.
+func TestSuiteSpecsMatchLocal(t *testing.T) {
+	specs, err := SuiteSpecs("table1", true, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := kernels.SmallSuite()
+	if len(specs) != len(suite)*len(measureRuns) {
+		t.Fatalf("%d specs for a %d-kernel suite", len(specs), len(suite))
+	}
+	i := 0
+	for _, k := range suite {
+		in := k.Input(1)
+		for _, rc := range measureRuns {
+			local, err := measureJob(k, in, rc, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remote, err := BuildSpecJob(specs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if remote.Key != local.Key {
+				t.Fatalf("spec %d (%s/%s): key %q != local %q", i, k.Name, rc.key, remote.Key, local.Key)
+			}
+			i++
+		}
+	}
+	// The measurement aliases all expand identically.
+	for _, alias := range []string{"measure", "fig3", "fig4", "fig5a"} {
+		got, err := SuiteSpecs(alias, true, false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(specs) {
+			t.Fatalf("%s expanded to %d specs, table1 to %d", alias, len(got), len(specs))
+		}
+		for j := range got {
+			if got[j] != specs[j] {
+				t.Fatalf("%s[%d] = %+v, table1 has %+v", alias, j, got[j], specs[j])
+			}
+		}
+	}
+	// breakdown forces attribution on, exactly like the local producer.
+	bspecs, err := SuiteSpecs("breakdown", true, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, s := range bspecs {
+		if !s.Observe {
+			t.Fatalf("breakdown spec %d not observed: %+v", j, s)
+		}
+	}
+	if _, err := SuiteSpecs("table9", true, false, 0); err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+}
+
+// TestMeasureRemoteBatchFoldsLikeLocal routes the whole campaign through
+// an in-process batch runner — one call carrying every spec, the shape
+// of /v1/batch without HTTP — and checks the fold is identical to the
+// local path.
+func TestMeasureRemoteBatchFoldsLikeLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the small suite twice")
+	}
+	suite := kernels.SmallSuite()[:2]
+	local, err := MeasureWith(defaultEngine(), suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	run := func(ctx context.Context, specs []JobSpec) ([]json.RawMessage, error) {
+		calls++
+		out := make([]json.RawMessage, len(specs))
+		for i, spec := range specs {
+			job, err := BuildSpecJob(spec)
+			if err != nil {
+				return nil, err
+			}
+			if out[i], err = job.Run(); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	remote, err := MeasureRemoteBatch(context.Background(), run, suite, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("campaign cost %d batch calls, want 1", calls)
+	}
+	lb, rb := renderAll(t, local), renderAll(t, remote)
+	if string(lb) != string(rb) {
+		t.Fatalf("batch remote tables differ from local:\n%s\nvs\n%s", rb, lb)
+	}
+	// A runner returning the wrong shape is a protocol error, not a panic.
+	short := func(ctx context.Context, specs []JobSpec) ([]json.RawMessage, error) {
+		return make([]json.RawMessage, len(specs)-1), nil
+	}
+	if _, err := MeasureRemoteBatch(context.Background(), short, suite, true, false); err == nil {
+		t.Fatal("short batch result accepted")
+	}
+}
+
 // FuzzParseJobRequest hammers the server's first line of defense: the
 // decoder must reject or accept without panicking, and anything it
 // accepts must survive a re-encode/re-parse round trip.
@@ -178,6 +354,40 @@ func FuzzParseJobRequest(f *testing.F) {
 			t.Fatalf("re-encoded request rejected: %v\n%s", err, enc)
 		}
 		if *again != *req {
+			t.Fatalf("round trip changed the request: %+v vs %+v", again, req)
+		}
+	})
+}
+
+// FuzzParseBatchRequest gives the batch decoder the same treatment: no
+// panics, and anything accepted survives a re-encode/re-parse round trip
+// and still expands.
+func FuzzParseBatchRequest(f *testing.F) {
+	f.Add([]byte(`{"tenant":"lab","timeout_ms":500,"specs":[{"kernel":"matmul","seed":1,"config":"pulp4"}]}`))
+	f.Add([]byte(`{"suite":"table1","small":true,"observe":true,"seed":7}`))
+	f.Add([]byte(`{"suite":"breakdown"}`))
+	f.Add([]byte(`{"specs":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"suite":"table1","specs":[{"kernel":"m","seed":1,"config":"m3"}]}`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		req, err := ParseBatchRequest(b)
+		if err != nil {
+			return
+		}
+		if _, err := req.Expand(); err != nil {
+			t.Fatalf("accepted batch does not expand: %v", err)
+		}
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
+		again, err := ParseBatchRequest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded batch rejected: %v\n%s", err, enc)
+		}
+		if again.Tenant != req.Tenant || again.Suite != req.Suite || len(again.Specs) != len(req.Specs) {
 			t.Fatalf("round trip changed the request: %+v vs %+v", again, req)
 		}
 	})

@@ -1,14 +1,17 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptrace"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -42,15 +45,24 @@ type Client struct {
 	// HedgedHeader so the server can count them. Zero disables hedging.
 	HedgeAfter time.Duration
 
-	hedges atomic.Uint64
+	hedges     atomic.Uint64
+	reconnects atomic.Uint64
 }
 
 // HedgedHeader marks a backup (hedged) submission, letting the server
 // report how much of its traffic is hedges (Stats.HedgedRequests).
 const HedgedHeader = "X-Hetsim-Hedged"
 
-// Hedges reports how many backup submissions this client has launched.
+// Hedges reports how many backup submissions this client actually wrote
+// to the wire. A backup whose request was cancelled before its bytes
+// left the transport is not counted, so this number reconciles with the
+// server's Stats.HedgedRequests instead of over-reporting hedged
+// traffic.
 func (c *Client) Hedges() uint64 { return c.hedges.Load() }
+
+// Reconnects reports how many times RunBatch re-submitted the incomplete
+// remainder of a campaign after a cut or broken stream.
+func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
@@ -59,19 +71,27 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 10
+}
+
+func (c *Client) maxWait() time.Duration {
+	if c.MaxWait > 0 {
+		return c.MaxWait
+	}
+	return 5 * time.Second
+}
+
 // RunSpec submits one measurement point and returns the raw result
 // bytes. It retries backpressure answers and retryable failures with
 // bounded waits; a terminal failure (bad spec, panicked or timed-out
 // simulation) or an exhausted budget returns an error.
 func (c *Client) RunSpec(ctx context.Context, spec paper.JobSpec) (json.RawMessage, error) {
-	attempts := c.MaxAttempts
-	if attempts <= 0 {
-		attempts = 10
-	}
-	maxWait := c.MaxWait
-	if maxWait <= 0 {
-		maxWait = 5 * time.Second
-	}
+	attempts := c.maxAttempts()
+	maxWait := c.maxWait()
 	var lastErr error
 	for n := 0; n < attempts; n++ {
 		if err := ctx.Err(); err != nil {
@@ -148,7 +168,10 @@ func (c *Client) submitHedged(ctx context.Context, spec paper.JobSpec) (json.Raw
 		case <-timer.C:
 			if !hedged {
 				hedged = true
-				c.hedges.Add(1)
+				// The counter is incremented by the wire trace in submit,
+				// not here: a backup cancelled before its bytes left the
+				// transport never reached the server and must not be
+				// reported as hedged traffic.
 				launch(true)
 			}
 		case <-ctx.Done():
@@ -181,6 +204,19 @@ func (c *Client) submit(ctx context.Context, spec paper.JobSpec, hedged bool) (r
 	req.Header.Set("Content-Type", "application/json")
 	if hedged {
 		req.Header.Set(HedgedHeader, "1")
+		// Count the hedge only once its request was actually written to
+		// the wire: WroteRequest fires per write attempt (the transport
+		// may rewrite on a dead connection), hence the Once, and a leg
+		// that errored before or during the write never counts — keeping
+		// Hedges() reconciled with the server's HedgedRequests.
+		var once sync.Once
+		req = req.WithContext(httptrace.WithClientTrace(req.Context(), &httptrace.ClientTrace{
+			WroteRequest: func(info httptrace.WroteRequestInfo) {
+				if info.Err == nil {
+					once.Do(func() { c.hedges.Add(1) })
+				}
+			},
+		}))
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -203,7 +239,8 @@ func (c *Client) submit(ctx context.Context, spec paper.JobSpec, hedged bool) (r
 		return jresp.Result, 0, nil
 	case resp.StatusCode == http.StatusTooManyRequests ||
 		resp.StatusCode == http.StatusServiceUnavailable:
-		return nil, retryAfterWait(resp), fmt.Errorf("serve: backpressure (%d): %s", resp.StatusCode, jresp.Error)
+		return nil, retryAfterWait(resp, c.maxWait(), time.Now()),
+			fmt.Errorf("serve: backpressure (%d): %s", resp.StatusCode, jresp.Error)
 	case jresp.Retryable:
 		return nil, 0, fmt.Errorf("serve: retryable failure (%d): %s", resp.StatusCode, jresp.Error)
 	default:
@@ -211,11 +248,215 @@ func (c *Client) submit(ctx context.Context, spec paper.JobSpec, hedged bool) (r
 	}
 }
 
-// retryAfterWait parses the Retry-After header (seconds form).
-func retryAfterWait(resp *http.Response) time.Duration {
-	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
-	if err != nil || secs < 1 {
-		return time.Second
+// RunBatch runs a whole campaign through one streamed /v1/batch
+// submission and returns the raw results indexed like specs (it is a
+// paper.BatchRunner — how `hetexp -remote` folds a remote sweep). It
+// consumes per-job completion records as the server lands them, and on
+// any cut — server drain cursor, broken connection, request deadline on
+// the server side — reconnects and re-submits only the still-incomplete
+// points: the completed remainder is already in the server's cache, so a
+// resume costs one round trip plus the missing work. Forward progress
+// refreshes the attempt budget (MaxAttempts bounds *consecutive*
+// attempts without a single completion); a terminal per-point failure
+// aborts the whole batch.
+func (c *Client) RunBatch(ctx context.Context, specs []paper.JobSpec) ([]json.RawMessage, error) {
+	if len(specs) == 0 {
+		return nil, nil
 	}
-	return time.Duration(secs) * time.Second
+	attempts := c.maxAttempts()
+	maxWait := c.maxWait()
+	results := make([]json.RawMessage, len(specs))
+	done := make([]bool, len(specs))
+	remaining := len(specs)
+	var lastErr error
+	for n, first := 0, true; n < attempts; n++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		idx := make([]int, 0, remaining)
+		for i, d := range done {
+			if !d {
+				idx = append(idx, i)
+			}
+		}
+		if !first {
+			c.reconnects.Add(1)
+		}
+		first = false
+		progressed, wait, err := c.streamBatch(ctx, idx, specs, results, done)
+		remaining -= progressed
+		if remaining == 0 {
+			return results, nil
+		}
+		lastErr = err
+		if wait < 0 { // terminal
+			return nil, err
+		}
+		if progressed > 0 {
+			// Forward progress: the next submission is strictly smaller, so
+			// refresh the budget — it bounds stalls, not total round trips.
+			n = -1
+		}
+		if wait == 0 {
+			wait = time.Duration(50*(n+2)) * time.Millisecond
+		}
+		if wait > maxWait {
+			wait = maxWait
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("serve: batch incomplete after %d attempts without progress (%d of %d points missing): %w",
+		attempts, remaining, len(specs), lastErr)
+}
+
+// streamBatch performs one /v1/batch round trip over the incomplete
+// points (idx indexes specs), filling results/done as job records land.
+// progressed counts points newly completed on this connection; wait has
+// submit's semantics: < 0 terminal, 0 retry after default backoff, > 0
+// retry after the server-requested wait.
+func (c *Client) streamBatch(ctx context.Context, idx []int, specs []paper.JobSpec,
+	results []json.RawMessage, done []bool) (progressed int, wait time.Duration, err error) {
+	sub := make([]paper.JobSpec, len(idx))
+	for i, j := range idx {
+		sub[i] = specs[j]
+	}
+	breq := paper.BatchRequest{Tenant: c.Tenant, Specs: sub}
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		breq.TimeoutMS = ms
+	}
+	body, err := json.Marshal(breq)
+	if err != nil {
+		return 0, -1, err
+	}
+	url := strings.TrimSuffix(c.BaseURL, "/") + "/v1/batch"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, -1, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return 0, -1, ctx.Err()
+		}
+		return 0, 0, err // transport errors are worth a reconnect
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Refusals arrive as plain JSON before any stream starts, with the
+		// same status taxonomy as /v1/jobs.
+		b, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		var jresp paper.JobResponse
+		if err := json.Unmarshal(b, &jresp); err != nil {
+			return 0, -1, fmt.Errorf("serve: undecodable batch refusal (status %d): %w", resp.StatusCode, err)
+		}
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable:
+			return 0, retryAfterWait(resp, c.maxWait(), time.Now()),
+				fmt.Errorf("serve: batch backpressure (%d): %s", resp.StatusCode, jresp.Error)
+		case jresp.Retryable:
+			return 0, 0, fmt.Errorf("serve: retryable batch refusal (%d): %s", resp.StatusCode, jresp.Error)
+		default:
+			return 0, -1, fmt.Errorf("serve: batch refused (%d): %s", resp.StatusCode, jresp.Error)
+		}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), maxBodyBytes)
+	sawSummary := false
+	state := "?"
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec paper.BatchRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return progressed, 0, fmt.Errorf("serve: undecodable batch record: %w", err)
+		}
+		switch rec.Type {
+		case paper.BatchTypeJob:
+			j := rec.Job
+			if j == nil || j.Index < 0 || j.Index >= len(idx) {
+				return progressed, 0, fmt.Errorf("serve: batch job record out of range")
+			}
+			orig := idx[j.Index]
+			switch {
+			case j.Error == "":
+				if !done[orig] {
+					done[orig] = true
+					results[orig] = j.Result
+					progressed++
+				}
+			case !j.Retryable:
+				// One terminal point (panic, job timeout) fails the whole
+				// campaign — resubmitting it would fail identically.
+				return progressed, -1, fmt.Errorf("serve: batch point %s failed terminally: %s", j.Key, j.Error)
+			}
+			// A retryable per-point failure stays incomplete; the next
+			// reconnect re-submits it.
+		case paper.BatchTypeSummary:
+			sawSummary = true
+			if rec.Summary != nil {
+				state = rec.Summary.State
+			}
+		case paper.BatchTypeHeartbeat, paper.BatchTypeCursor:
+			// Keepalive; the cursor is informational — incompleteness is
+			// already tracked point-by-point through done.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return progressed, -1, ctx.Err()
+		}
+		return progressed, 0, fmt.Errorf("serve: batch stream broken: %w", err)
+	}
+	if !sawSummary {
+		if ctx.Err() != nil {
+			return progressed, -1, ctx.Err()
+		}
+		return progressed, 0, fmt.Errorf("serve: batch stream ended without summary")
+	}
+	if progressed < len(idx) {
+		return progressed, 0, fmt.Errorf("serve: batch cut (server %s): %d point(s) left pending",
+			state, len(idx)-progressed)
+	}
+	return progressed, 0, nil
+}
+
+// retryAfterWait parses the Retry-After header in both RFC 9110 forms:
+// delta-seconds and HTTP-date (reverse proxies in front of the service
+// routinely rewrite one into the other). The wait is floored at one
+// second — the header has no sub-second form, and treating an unparsable
+// or past value as zero would busy-loop the retry — and clamped to max
+// so a far-future date cannot stall the client. now is the test seam for
+// the date form.
+func retryAfterWait(resp *http.Response, max time.Duration, now time.Time) time.Duration {
+	h := strings.TrimSpace(resp.Header.Get("Retry-After"))
+	wait := time.Second
+	if secs, err := strconv.Atoi(h); err == nil {
+		wait = time.Duration(secs) * time.Second
+	} else if t, err := http.ParseTime(h); err == nil {
+		wait = t.Sub(now)
+	}
+	if wait < time.Second {
+		wait = time.Second
+	}
+	if max > 0 && wait > max {
+		wait = max
+	}
+	return wait
 }

@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterWait pins the bugfixed Retry-After parsing: both RFC
+// 9110 forms (delta-seconds and HTTP-date) are honored, unparsable or
+// sub-second values floor at one second instead of busy-looping the
+// retry, and every wait clamps to the client's MaxWait.
+func TestRetryAfterWait(t *testing.T) {
+	now := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	const max = 5 * time.Second
+	cases := []struct {
+		name   string
+		header string
+		want   time.Duration
+	}{
+		{"delta seconds", "3", 3 * time.Second},
+		{"delta with space", " 2 ", 2 * time.Second},
+		{"delta clamps to MaxWait", "600", max},
+		{"delta zero floors", "0", time.Second},
+		{"delta negative floors", "-7", time.Second},
+		{"http date", now.Add(3 * time.Second).UTC().Format(http.TimeFormat), 3 * time.Second},
+		{"http date clamps to MaxWait", now.Add(time.Hour).UTC().Format(http.TimeFormat), max},
+		{"http date in the past floors", now.Add(-time.Hour).UTC().Format(http.TimeFormat), time.Second},
+		{"garbage floors", "soon", time.Second},
+		{"empty floors", "", time.Second},
+		{"fractional seconds floors", "1.5", time.Second},
+	}
+	for _, tc := range cases {
+		resp := &http.Response{Header: http.Header{}}
+		if tc.header != "" {
+			resp.Header.Set("Retry-After", tc.header)
+		}
+		if got := retryAfterWait(resp, max, now); got != tc.want {
+			t.Errorf("%s: retryAfterWait(%q) = %v, want %v", tc.name, tc.header, got, tc.want)
+		}
+	}
+	// Without a cap, a far-future date is honored as-is.
+	resp := &http.Response{Header: http.Header{}}
+	resp.Header.Set("Retry-After", now.Add(30*time.Second).UTC().Format(http.TimeFormat))
+	if got := retryAfterWait(resp, 0, now); got != 30*time.Second {
+		t.Errorf("uncapped date = %v, want 30s", got)
+	}
+}

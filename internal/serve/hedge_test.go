@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
@@ -47,8 +49,61 @@ func TestClientHedgeSlowServer(t *testing.T) {
 	waitFor(t, "hedged request to land", func() bool {
 		return srv.Stats().HedgedRequests == 1
 	})
-	if st := srv.Stats(); st.Executed != 1 || st.Requests != 2 {
+	st := srv.Stats()
+	if st.Executed != 1 || st.Requests != 2 {
 		t.Fatalf("server stats = %+v", st)
+	}
+	// Client and server reconcile: every hedge the client counts was a
+	// request the server saw marked hedged.
+	if c.Hedges() != st.HedgedRequests {
+		t.Fatalf("hedge accounting skewed: client %d, server %d", c.Hedges(), st.HedgedRequests)
+	}
+}
+
+// dropHedges fails any request carrying the hedge marker before its
+// bytes reach the wire — the canceled-before-write backup leg.
+type dropHedges struct{ rt http.RoundTripper }
+
+func (d dropHedges) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.Header.Get(HedgedHeader) != "" {
+		return nil, fmt.Errorf("injected: connection refused before write")
+	}
+	return d.rt.RoundTrip(req)
+}
+
+// TestClientHedgeNeverWired pins the wire-count fix: a backup whose HTTP
+// request dies before it is written must not count as a hedge — the old
+// launch-time increment over-reported hedged traffic the server never
+// saw, skewing the client summary against Stats.HedgedRequests.
+func TestClientHedgeNeverWired(t *testing.T) {
+	build := testBuild(map[string]func() (json.RawMessage, error){
+		"slow": func() (json.RawMessage, error) {
+			time.Sleep(150 * time.Millisecond)
+			return json.RawMessage(`{"cycles":2}`), nil
+		},
+	})
+	srv := New(Config{Build: build, Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := &Client{
+		BaseURL:    ts.URL,
+		HedgeAfter: 20 * time.Millisecond,
+		HTTP:       &http.Client{Transport: dropHedges{http.DefaultTransport}},
+	}
+	raw, err := c.RunSpec(context.Background(), paper.JobSpec{Kernel: "slow", Seed: 1, Config: "plain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `{"cycles":2}` {
+		t.Fatalf("result = %s", raw)
+	}
+	st := srv.Stats()
+	if st.HedgedRequests != 0 {
+		t.Fatalf("server saw a hedge that never left the client: %+v", st)
+	}
+	if c.Hedges() != st.HedgedRequests {
+		t.Fatalf("hedge accounting skewed: client %d, server %d — the backup was never wired", c.Hedges(), st.HedgedRequests)
 	}
 }
 

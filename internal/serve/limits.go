@@ -39,6 +39,20 @@ func newLimiter(rate float64, burst, quota int) *limiter {
 // after which a retry can succeed (0 when only the quota blocks —
 // retry once in-flight work completes).
 func (l *limiter) admit(tenant string) (retryAfter time.Duration, ok bool) {
+	return l.admitN(tenant, 1)
+}
+
+// admitN charges n in-flight slots and n rate tokens to the tenant as
+// one all-or-nothing decision: a batch counts as its whole job list, so
+// packaging points into one request never sidesteps a tenant's budget.
+// The in-flight quota is strict — a batch that cannot fit is refused
+// whole (wait 0: retry once in-flight work completes). The rate bucket
+// instead admits on at least one available token and lets the charge
+// drive it negative: a bucket whose burst can never hold n tokens would
+// otherwise refuse the batch forever, while the overdraft pushes the
+// tenant's next admission out by the full n/rate — the long-run rate
+// holds exactly. On success the caller must releaseN(tenant, n).
+func (l *limiter) admitN(tenant string, n int) (retryAfter time.Duration, ok bool) {
 	if l == nil {
 		return 0, true
 	}
@@ -49,7 +63,7 @@ func (l *limiter) admit(tenant string) (retryAfter time.Duration, ok bool) {
 		b = &bucket{tokens: l.burst, last: l.now()}
 		l.buckets[tenant] = b
 	}
-	if l.quota > 0 && b.inflight >= l.quota {
+	if l.quota > 0 && b.inflight+n > l.quota {
 		return 0, false
 	}
 	if l.rate > 0 {
@@ -62,20 +76,26 @@ func (l *limiter) admit(tenant string) (retryAfter time.Duration, ok bool) {
 		if b.tokens < 1 {
 			return time.Duration((1 - b.tokens) / l.rate * float64(time.Second)), false
 		}
-		b.tokens--
+		b.tokens -= float64(n)
 	}
-	b.inflight++
+	b.inflight += n
 	return 0, true
 }
 
 // release returns the tenant's in-flight slot.
-func (l *limiter) release(tenant string) {
+func (l *limiter) release(tenant string) { l.releaseN(tenant, 1) }
+
+// releaseN returns n of the tenant's in-flight slots.
+func (l *limiter) releaseN(tenant string, n int) {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if b := l.buckets[tenant]; b != nil && b.inflight > 0 {
-		b.inflight--
+	if b := l.buckets[tenant]; b != nil {
+		b.inflight -= n
+		if b.inflight < 0 {
+			b.inflight = 0
+		}
 	}
 }

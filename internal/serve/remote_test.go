@@ -81,4 +81,49 @@ func TestRemoteEquivalence(t *testing.T) {
 	if st2.CacheHits == 0 {
 		t.Fatalf("warm pass missed the cache: %+v", st2)
 	}
+
+	// Batch leg: the same campaign as one streamed /v1/batch submission
+	// per pass — still byte-identical against cold and warm cache, but a
+	// whole campaign now costs one HTTP request instead of one per point.
+	bcache, err := sweep.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsrv := New(Config{Cache: bcache, Workers: 4, Queue: 64})
+	bts := httptest.NewServer(bsrv.Handler())
+	defer bts.Close()
+	bclient := &Client{BaseURL: bts.URL, Tenant: "equiv"}
+
+	coldB, err := paper.MeasureRemoteBatch(ctx, bclient.RunBatch, suite, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderTables(t, coldB); !bytes.Equal(got, want) {
+		t.Fatalf("cold batch tables differ from local:\n%s\nvs\n%s", got, want)
+	}
+	warmB, err := paper.MeasureRemoteBatch(ctx, bclient.RunBatch, suite, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderTables(t, warmB); !bytes.Equal(got, want) {
+		t.Fatalf("warm batch tables differ from local:\n%s\nvs\n%s", got, want)
+	}
+	bst := bsrv.Stats()
+	points := uint64(len(suite) * len(paper.SpecConfigs()))
+	if bst.Requests != 2 || bst.BatchRequests != 2 {
+		t.Fatalf("two batch campaigns cost %d HTTP requests (%d batches), want 2: %+v",
+			bst.Requests, bst.BatchRequests, bst)
+	}
+	if bclient.Reconnects() != 0 {
+		t.Fatalf("clean streams needed %d reconnects", bclient.Reconnects())
+	}
+	if bst.Executed != points || bst.CacheHits != points ||
+		bst.BatchJobs != 2*points || bst.BatchCompleted != 2*points {
+		t.Fatalf("batch accounting: %+v (want %d executed, %d cached)", bst, points, points)
+	}
+	// The per-point server ran the identical campaign: its request count
+	// is the old cost, one per point per pass.
+	if st2.Requests != 2*points {
+		t.Fatalf("per-point passes cost %d requests, want %d", st2.Requests, 2*points)
+	}
 }

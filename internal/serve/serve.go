@@ -92,6 +92,10 @@ type Config struct {
 	Burst      int
 	// TenantQuota caps in-flight requests per tenant (<= 0 disables).
 	TenantQuota int
+	// Heartbeat is the keepalive cadence of an idle /v1/batch stream:
+	// when no job completes for this long, a heartbeat record goes out so
+	// proxies and load balancers see a live connection (<= 0 selects 10s).
+	Heartbeat time.Duration
 	// Seed feeds the backoff jitter stream (0 is a valid seed).
 	Seed uint64
 	// Faults injects service-level failures for drills (nil = none).
@@ -124,6 +128,20 @@ type Stats struct {
 	// marker (Client.HedgeAfter backups). Hedges ride the single-flight
 	// dedup, so this measures tail-latency pressure, not extra work.
 	HedgedRequests uint64 `json:"hedged_requests"`
+
+	// Batch counters (/v1/batch): accepted batch submissions, the jobs
+	// they carried, how those jobs resolved, how many streams were cut
+	// with a resumable cursor (drain, deadline or client disconnect), and
+	// the keepalive records written. These are a multi-word group updated
+	// together per batch; handlers mutate them and Stats snapshots them
+	// under the same mutex, so /v1/stats never reports a torn view (a
+	// batch whose jobs are counted but whose completions are not).
+	BatchRequests   uint64 `json:"batch_requests"`
+	BatchJobs       uint64 `json:"batch_jobs"`
+	BatchCompleted  uint64 `json:"batch_completed"`
+	BatchFailed     uint64 `json:"batch_failed"`
+	BatchCursorCuts uint64 `json:"batch_cursor_cuts"`
+	BatchHeartbeats uint64 `json:"batch_heartbeats"`
 	// Scrub is the startup cache-scrub report (absent when the server
 	// booted without one).
 	Scrub *sweep.ScrubReport `json:"scrub,omitempty"`
@@ -154,6 +172,19 @@ type Server struct {
 	state  atomic.Int32
 	wg     sync.WaitGroup
 
+	// drained is closed the moment Drain begins, broadcasting the cut to
+	// every in-flight batch stream (they stop claiming, finish in-flight
+	// jobs, and end with a cursor record).
+	drained   chan struct{}
+	drainOnce sync.Once
+
+	// bmu guards the batch counter group: the fields are multi-word and
+	// meaningful only together, so both the handlers that mutate them and
+	// the Stats snapshot that reads them take this mutex — an atomic-per-
+	// field discipline would hand /v1/stats torn batch accounting.
+	bmu   sync.Mutex
+	batch batchCounters
+
 	requests      atomic.Uint64
 	rejectedQueue atomic.Uint64
 	rejectedRate  atomic.Uint64
@@ -175,6 +206,17 @@ type Server struct {
 type flightVal struct {
 	raw    json.RawMessage
 	cached bool
+}
+
+// batchCounters is the multi-word /v1/batch accounting group (see
+// Server.bmu for the locking discipline).
+type batchCounters struct {
+	requests   uint64
+	jobs       uint64
+	completed  uint64
+	failed     uint64
+	cursorCuts uint64
+	heartbeats uint64
 }
 
 // errInjectedCacheWrite marks a fault-hook cache-write failure; it is
@@ -202,12 +244,16 @@ func New(cfg Config) *Server {
 	if cfg.Burst <= 0 {
 		cfg.Burst = int(math.Max(1, cfg.RatePerSec))
 	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 10 * time.Second
+	}
 	s := &Server{
-		cfg:    cfg,
-		eng:    sweep.New(sweep.Config{Workers: cfg.Workers, JobTimeout: cfg.JobTimeout}),
-		limits: newLimiter(cfg.RatePerSec, cfg.Burst, cfg.TenantQuota),
-		retry:  newRetrier(cfg.Retry, cfg.Seed),
-		sem:    make(chan struct{}, cfg.Workers),
+		cfg:     cfg,
+		eng:     sweep.New(sweep.Config{Workers: cfg.Workers, JobTimeout: cfg.JobTimeout}),
+		limits:  newLimiter(cfg.RatePerSec, cfg.Burst, cfg.TenantQuota),
+		retry:   newRetrier(cfg.Retry, cfg.Seed),
+		sem:     make(chan struct{}, cfg.Workers),
+		drained: make(chan struct{}),
 	}
 	return s
 }
@@ -215,10 +261,16 @@ func New(cfg Config) *Server {
 // State reports where the drain state machine stands.
 func (s *Server) State() State { return State(s.state.Load()) }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters. The single-word counters are atomics;
+// the batch group is multi-word and is snapshotted under the same mutex
+// the batch handlers mutate it under, so its fields are mutually
+// consistent even mid-load.
 func (s *Server) Stats() Stats {
 	fs := s.flight.Stats()
 	bc, sc, mh, mm := kernels.CompileStats()
+	s.bmu.Lock()
+	bt := s.batch
+	s.bmu.Unlock()
 	return Stats{
 		State:          s.State().String(),
 		Requests:       s.requests.Load(),
@@ -237,7 +289,15 @@ func (s *Server) Stats() Stats {
 		Failed:         s.failed.Load(),
 		Expired:        s.expired.Load(),
 		HedgedRequests: s.hedgedReqs.Load(),
-		Scrub:          s.cfg.Scrub,
+
+		BatchRequests:   bt.requests,
+		BatchJobs:       bt.jobs,
+		BatchCompleted:  bt.completed,
+		BatchFailed:     bt.failed,
+		BatchCursorCuts: bt.cursorCuts,
+		BatchHeartbeats: bt.heartbeats,
+
+		Scrub: s.cfg.Scrub,
 
 		BlockCompiles:      bc,
 		SuperblockCompiles: sc,
@@ -249,12 +309,16 @@ func (s *Server) Stats() Stats {
 // Handler returns the service's HTTP surface:
 //
 //	POST /v1/jobs   submit a keyed job (paper.JobRequest → paper.JobResponse)
+//	POST /v1/batch  submit a whole campaign (paper.BatchRequest → streamed
+//	                NDJSON paper.BatchRecords: per-job completions as they
+//	                land, heartbeats, a cursor when cut, a terminal summary)
 //	GET  /v1/stats  counters snapshot
 //	GET  /healthz   liveness  (200 while the process runs)
 //	GET  /readyz    readiness (200 serving, 503 draining/stopped)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleJob)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -284,6 +348,10 @@ func (s *Server) Handler() http.Handler {
 // what was abandoned.
 func (s *Server) Drain(ctx context.Context) error {
 	s.state.CompareAndSwap(int32(StateServing), int32(StateDraining))
+	// Broadcast the cut to in-flight batch streams after the state flip:
+	// they stop claiming new jobs, finish (and cache) what is in flight,
+	// and end their stream with a resumable cursor.
+	s.drainOnce.Do(func() { close(s.drained) })
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()

@@ -133,3 +133,183 @@ func TestServeSoak(t *testing.T) {
 		t.Fatalf("real cache writes failed during the soak: %+v", cs)
 	}
 }
+
+// TestBatchSoak is the batch chaos drill (`make batch-drill`): batch
+// campaigns and singleton requests hammer the same overlapping key space
+// while the fault hook injects slow jobs, cache-write failures and
+// mid-request cancellations — the cancellations cut batch streams
+// mid-flight, forcing RunBatch's reconnect-and-resume path. A stats
+// reader polls concurrently to put the batch counter discipline under
+// the race detector. The promises under that weather:
+//
+//   - exactly-once execution per key across every batch and singleton,
+//     even when a cut batch is resumed,
+//   - every campaign eventually completes with the right bytes,
+//   - a clean drain afterwards, with readiness down.
+func TestBatchSoak(t *testing.T) {
+	cache, err := sweep.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 20
+	var mu sync.Mutex
+	execs := make(map[string]int)
+	build := func(spec paper.JobSpec) (sweep.Job[json.RawMessage], error) {
+		key := "bsoak|" + spec.Kernel
+		payload := json.RawMessage(fmt.Sprintf(`{"kernel":%q,"cycles":%d}`, spec.Kernel, len(spec.Kernel)))
+		return sweep.Job[json.RawMessage]{Key: key, Run: func() (json.RawMessage, error) {
+			mu.Lock()
+			execs[key]++
+			mu.Unlock()
+			return payload, nil
+		}}, nil
+	}
+	srv := New(Config{
+		Build: build, Cache: cache, Workers: 4, Queue: 256,
+		Retry: RetryPolicy{Max: 4, Base: time.Millisecond, Cap: 10 * time.Millisecond},
+		Faults: &Faults{
+			Seed:      7,
+			SlowEvery: 5, SlowDelay: 2 * time.Millisecond,
+			CacheFailFirst: 2,
+			CancelRate:     0.2, // cuts singletons AND whole batch streams
+			CancelAfter:    time.Millisecond,
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &Client{BaseURL: ts.URL, Tenant: "bsoak", MaxAttempts: 40, MaxWait: 50 * time.Millisecond}
+
+	// Concurrent stats reader: the batch counter group is multi-word and
+	// mutex-guarded; polling it while streams update it is what puts the
+	// torn-snapshot fix under the race detector.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st := srv.Stats()
+				if st.BatchCompleted > st.BatchJobs {
+					t.Errorf("torn batch snapshot: %+v", st)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	const (
+		batchClients   = 4
+		campaigns      = 8
+		pointsPerBatch = 8
+		soloClients    = 4
+		soloReqs       = 20
+	)
+	errc := make(chan error, batchClients+soloClients)
+	for c := 0; c < batchClients; c++ {
+		go func(c int) {
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			for i := 0; i < campaigns; i++ {
+				specs := make([]paper.JobSpec, pointsPerBatch)
+				for j := range specs {
+					// Stride keeps keys unique within a batch while the
+					// subsets overlap heavily across clients and campaigns.
+					specs[j] = paper.JobSpec{
+						Kernel: fmt.Sprintf("k%02d", (c*5+i*7+j*3)%keys),
+						Seed:   1, Config: "plain",
+					}
+				}
+				raws, err := client.RunBatch(ctx, specs)
+				if err != nil {
+					errc <- fmt.Errorf("batch client %d campaign %d: %w", c, i, err)
+					return
+				}
+				for j, raw := range raws {
+					want := fmt.Sprintf(`{"kernel":%q,"cycles":%d}`, specs[j].Kernel, len(specs[j].Kernel))
+					if string(raw) != want {
+						errc <- fmt.Errorf("batch client %d campaign %d point %d: got %s, want %s", c, i, j, raw, want)
+						return
+					}
+				}
+			}
+			errc <- nil
+		}(c)
+	}
+	for c := 0; c < soloClients; c++ {
+		go func(c int) {
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			for i := 0; i < soloReqs; i++ {
+				kernel := fmt.Sprintf("k%02d", (c*soloReqs+i*11)%keys)
+				raw, err := client.RunSpec(ctx, paper.JobSpec{Kernel: kernel, Seed: 1, Config: "plain"})
+				if err != nil {
+					errc <- fmt.Errorf("solo client %d req %d (%s): %w", c, i, kernel, err)
+					return
+				}
+				want := fmt.Sprintf(`{"kernel":%q,"cycles":%d}`, kernel, len(kernel))
+				if string(raw) != want {
+					errc <- fmt.Errorf("solo client %d req %d: got %s, want %s", c, i, raw, want)
+					return
+				}
+			}
+			errc <- nil
+		}(c)
+	}
+	for c := 0; c < batchClients+soloClients; c++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	readers.Wait()
+
+	// Core promise: every key simulated exactly once across all batches,
+	// singletons, cuts and resumes.
+	mu.Lock()
+	for key, n := range execs {
+		if n != 1 {
+			t.Errorf("key %s executed %d times, want 1", key, n)
+		}
+	}
+	nKeys := len(execs)
+	mu.Unlock()
+	st := srv.Stats()
+	if nKeys == 0 || st.Executed != uint64(nKeys) {
+		t.Fatalf("executed %d for %d keys; stats = %+v", st.Executed, nKeys, st)
+	}
+	if st.BatchRequests < batchClients*campaigns {
+		t.Errorf("batch requests %d < %d campaigns submitted", st.BatchRequests, batchClients*campaigns)
+	}
+	if st.BatchFailed != 0 {
+		t.Errorf("batch points failed terminally under transient-only faults: %+v", st)
+	}
+	// Reconnects and cursor cuts are probabilistic (the seeded fault
+	// stream is drawn in request-arrival order), so they are logged, not
+	// asserted; TestBatchDrainCursor pins the cut path deterministically.
+	t.Logf("batch soak: %+v, client reconnects %d", st, client.Reconnects())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain after batch soak: %v", err)
+	}
+	if srv.State() != StateStopped {
+		t.Fatalf("state after drain = %v", srv.State())
+	}
+	resp, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("readyz after drain: %d", resp.StatusCode)
+	}
+	if cs := cache.Stats(); cs.WriteFails != 0 {
+		t.Fatalf("real cache writes failed during the batch soak: %+v", cs)
+	}
+}

@@ -201,6 +201,108 @@ func runRecover[T any](j Job[T]) (v T, err error) {
 	return j.Run()
 }
 
+// Completion reports one finished job to a RunNotify consumer.
+type Completion[T any] struct {
+	Index int    // position in the submitted job slice
+	Key   string // the job's content key
+	Value T      // the result; zero when Err != nil
+	Err   error  // the job's typed error, nil on success
+	Hit   bool   // served from the journal or the cache, not simulated
+}
+
+// RunNotify executes jobs on the engine's worker pool like Run, but
+// delivers every outcome to notify the moment it lands — in completion
+// order, serialized (never concurrently), from worker goroutines — and
+// keeps claiming after individual failures: the consumer owns the per-job
+// failure policy, which is what a streaming batch endpoint needs (one bad
+// point must not abandon the rest of a campaign whose results all land in
+// the cache). Cancellation is the only early stop: when the engine's
+// Context ends, workers stop claiming, in-flight jobs finish — still
+// notified, still cached — and RunNotify returns the context error; jobs
+// never claimed are never notified, so the caller can enumerate them as
+// the resumable remainder. Journal/cache consultation, ordering of
+// journal-append before cache-put, and engine Stats accrue exactly as
+// under Run. notify must not call back into the engine.
+func RunNotify[T any](e *Engine, jobs []Job[T], notify func(Completion[T])) error {
+	n := len(jobs)
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		done   int // guarded by e.mu, batch-local
+		cached int // guarded by e.mu, batch-local
+	)
+	next.Store(-1)
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1))
+			if i >= n || e.ctx.Err() != nil {
+				return
+			}
+			j := jobs[i]
+			var v T
+			var err error
+			hit, journaled := false, false
+			if e.journal != nil {
+				hit = e.journal.Lookup(j.Key, &v)
+				journaled = hit
+			}
+			if !hit && e.cache != nil {
+				hit = e.cache.Get(j.Key, &v)
+				if hit && e.journal != nil {
+					_ = e.journal.Append(j.Key, v)
+				}
+			}
+			if !hit {
+				v, err = exec(e, j)
+				if err == nil {
+					// Journal first: once Append returns the job is durably
+					// complete, whatever happens to the cache write after.
+					if e.journal != nil {
+						_ = e.journal.Append(j.Key, v)
+					}
+					if e.cache != nil {
+						_ = e.cache.Put(j.Key, v)
+					}
+				}
+			}
+			e.mu.Lock()
+			done++
+			switch {
+			case journaled:
+				cached++
+				e.stats.JournalHits++
+			case hit:
+				cached++
+				e.stats.CacheHits++
+			default:
+				e.stats.Executed++
+			}
+			e.stats.Jobs++
+			if notify != nil {
+				notify(Completion[T]{Index: i, Key: j.Key, Value: v, Err: err, Hit: hit})
+			}
+			if e.progress != nil {
+				e.progress(Event{Done: done, Total: n, Cached: cached, Key: j.Key, Hit: hit})
+			}
+			e.mu.Unlock()
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go worker()
+	}
+	wg.Wait()
+	if err := e.ctx.Err(); err != nil {
+		return fmt.Errorf("sweep: batch cancelled: %w", err)
+	}
+	return nil
+}
+
 // Run executes the batch on the engine's worker pool and returns the
 // results indexed exactly like jobs — the ordering guarantee every
 // renderer depends on. Workers claim jobs in submission order; on a
